@@ -1,0 +1,189 @@
+// Command entobench is the suite's command-line front end: list
+// kernels, run individual benchmarks, and regenerate every table and
+// figure of the paper from the live suite.
+//
+// Usage:
+//
+//	entobench list                 # kernels with stage/category/dataset
+//	entobench archs                # Table V
+//	entobench run <kernel> [-arch M4] [-nocache]
+//	entobench table3 | table4 | table5 | table6 | table7 | table8
+//	entobench fig3 | fig4 [-step N] | fig5 [-n N]
+//	entobench sweep                # the full >400-datapoint characterization
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/ento"
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = list()
+	case "archs", "table5":
+		ento.WriteTable5(os.Stdout)
+	case "run":
+		err = run(args)
+	case "table3":
+		err = ento.WriteTable3(os.Stdout)
+	case "table4":
+		err = ento.WriteTable4(os.Stdout)
+	case "table6":
+		err = ento.WriteTable6(os.Stdout)
+	case "fig3":
+		err = ento.WriteFig3(os.Stdout)
+	case "table7":
+		ento.WriteTable7(os.Stdout)
+	case "fig4":
+		fs := flag.NewFlagSet("fig4", flag.ExitOnError)
+		step := fs.Int("step", 2, "fraction-bit stride of the sweep (1 = full)")
+		_ = fs.Parse(args)
+		ento.WriteFig4(os.Stdout, *step)
+	case "table8":
+		err = ento.WriteTable8(os.Stdout)
+	case "fig5":
+		fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+		n := fs.Int("n", 50, "synthetic problems per datapoint (paper: 1000)")
+		_ = fs.Parse(args)
+		err = ento.WriteFig5(os.Stdout, *n)
+	case "sweep":
+		err = sweep()
+	case "closedloop":
+		err = closedLoop()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "entobench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: entobench <command>
+
+commands:
+  list      kernels in the suite (stage, category, dataset)
+  archs     modeled Cortex-M cores (Table V)
+  run       run one kernel: entobench run <kernel> [-arch M4] [-nocache]
+  table3    static metrics for the whole suite
+  table4    dynamic metrics for the whole suite
+  table6    perception energy/peak power across datasets (Case Study #1)
+  fig3      perception cycle-count series (Case Study #1)
+  table7    attitude filter precision/energy (Case Study #2)
+  fig4      fixed-point failure-rate sweep (Case Study #2) [-step N]
+  table8    FLOPs vs measured cycles/energy (Case Study #3)
+  fig5      relative-pose solver panels (Case Study #4) [-n N]
+  sweep     full characterization with the datapoint count
+  closedloop  Section VI-E demo: task-level metrics + compute bill`)
+}
+
+func list() error {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Stage\tKernel\tCategory\tDataset\tNotes")
+	for _, s := range ento.Suite() {
+		notes := ""
+		if s.M7Only {
+			notes = "M7 only (SRAM)"
+		}
+		if s.FLOPs > 0 {
+			notes += fmt.Sprintf(" claimed FLOPs=%d", s.FLOPs)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", s.Stage, s.Name, s.Category, s.Dataset, notes)
+	}
+	return tw.Flush()
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	arch := fs.String("arch", "M4", "target core: M0+, M4, M33, M7")
+	nocache := fs.Bool("nocache", false, "disable the I/D caches")
+	csvPath := fs.String("csv", "", "append the measurement to a CSV log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("run needs a kernel name")
+	}
+	kernel := fs.Arg(0)
+	// Accept flags after the kernel name too (entobench run madgwick -arch M33).
+	if fs.NArg() > 1 {
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return err
+		}
+	}
+	res, err := ento.Run(kernel, *arch, !*nocache)
+	if err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := harness.WriteResultsCSV(f, []harness.Result{res}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("kernel      %s\n", res.Kernel)
+	fmt.Printf("core        %s (%s), cache on: %v\n", res.Arch.Name, res.Arch.Board, res.CacheOn)
+	fmt.Printf("ops         F=%d I=%d M=%d B=%d\n", res.Counts.F, res.Counts.I, res.Counts.M, res.Counts.B)
+	fmt.Printf("cycles      %.0f\n", res.Model.Cycles)
+	fmt.Printf("latency     %.2f µs\n", res.Measured.LatencyS*1e6)
+	fmt.Printf("energy      %.3f µJ\n", res.Measured.EnergyJ*1e6)
+	fmt.Printf("avg power   %.1f mW\n", res.Measured.AvgPowerW*1e3)
+	fmt.Printf("peak power  %.1f mW\n", res.Measured.PeakPowerW*1e3)
+	fmt.Printf("reps in ROI %d\n", res.Measured.Reps)
+	if res.Valid {
+		fmt.Println("validation  PASS")
+	} else {
+		fmt.Printf("validation  FAIL: %v\n", res.ValidErr)
+	}
+	return nil
+}
+
+func closedLoop() error {
+	fmt.Println("Closed-loop hover-square mission (Section VI-E roadmap)")
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Estimator\tCompleted\tPath RMS (m)\tAtt RMS (°)\tOps/step\tmJ/mission M4\tmJ M33\tduty M4")
+	for _, est := range []sim.Estimator{sim.TruthState, sim.MadgwickIMU} {
+		m := sim.HoverMission()
+		res := sim.RunClosedLoop(est, m)
+		fmt.Fprintf(tw, "%s\t%v\t%.4f\t%.2f\t%d\t%.2f\t%.2f\t%.1f%%\n",
+			est, res.Completed, res.PathErrRMS, res.AttitudeErrRMS,
+			res.CountsPerStep.Total(),
+			res.MissionEnergyJ["M4"]*1e3, res.MissionEnergyJ["M33"]*1e3,
+			res.DutyFactor["M4"]*100)
+	}
+	return tw.Flush()
+}
+
+func sweep() error {
+	c, err := report.RunCharacterization()
+	if err != nil {
+		return err
+	}
+	c.WriteTable3(os.Stdout)
+	fmt.Println()
+	c.WriteTable4(os.Stdout)
+	fmt.Printf("\nTotal measured datapoints: %d (paper: >400)\n", c.Datapoints())
+	return nil
+}

@@ -1,0 +1,91 @@
+// Command entoreport regenerates EXPERIMENTS.md: every table and figure
+// of the paper, rendered from a live run of the suite, with the
+// paper-vs-reproduced commentary blocks kept alongside.
+//
+// Usage:
+//
+//	entoreport [-o EXPERIMENTS.md] [-fig5n 50] [-fig4step 2]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/ento"
+	"repro/internal/report"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	fig5n := flag.Int("fig5n", 50, "problems per Fig 5 datapoint (paper: 1000)")
+	fig4step := flag.Int("fig4step", 2, "Fig 4 fraction-bit stride (1 = full sweep)")
+	flag.Parse()
+
+	var buf bytes.Buffer
+	if err := generate(&buf, *fig5n, *fig4step); err != nil {
+		fmt.Fprintln(os.Stderr, "entoreport:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(buf.Bytes())
+		return
+	}
+	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "entoreport:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(buf *bytes.Buffer, fig5n, fig4step int) error {
+	fmt.Fprintf(buf, "# EntoBench-Go experiment log\n\nGenerated %s by cmd/entoreport.\n\n",
+		time.Now().UTC().Format(time.RFC3339))
+	fmt.Fprintln(buf, "```")
+	ento.WriteTable5(buf)
+	fmt.Fprintln(buf, "```")
+
+	c, err := report.RunCharacterization()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(buf, "\nFull sweep: %d measured datapoints (paper claims >400).\n\n```\n", c.Datapoints())
+	c.WriteTable3(buf)
+	fmt.Fprintln(buf)
+	c.WriteTable4(buf)
+	fmt.Fprintln(buf, "```")
+
+	cs1, err := report.RunCS1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(buf, "\n## Case Study #1\n\n```")
+	cs1.WriteTable6(buf)
+	fmt.Fprintln(buf)
+	cs1.WriteFig3(buf)
+	fmt.Fprintln(buf, "```")
+
+	fmt.Fprintln(buf, "\n## Case Study #2\n\n```")
+	report.RunCS2Table7().WriteTable7(buf)
+	fmt.Fprintln(buf)
+	report.RunFig4(fig4step).WriteFig4(buf)
+	fmt.Fprintln(buf, "```")
+
+	cs3, err := report.RunCS3()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(buf, "\n## Case Study #3\n\n```")
+	cs3.WriteTable8(buf)
+	fmt.Fprintln(buf, "```")
+
+	cs4, err := report.RunCS4(fig5n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(buf, "\n## Case Study #4\n\n```")
+	cs4.WriteFig5(buf)
+	fmt.Fprintln(buf, "```")
+	return nil
+}

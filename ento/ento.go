@@ -1,0 +1,201 @@
+// Package ento is the public API of the EntoBench reproduction: an
+// MCU-ready benchmark suite and evaluation framework for insect-scale
+// robotics (Ozturk et al., IISWC 2025).
+//
+// The suite wraps 31 perception, state-estimation, and control kernels
+// behind a uniform Problem interface and characterizes each on modeled
+// Cortex-M0+/M4/M33/M7 cores, reporting latency, energy, and peak power
+// with caches on and off. See DESIGN.md for how the paper's hardware
+// measurement rig maps onto the simulation substrate.
+//
+// Quick start:
+//
+//	res, err := ento.Run("madgwick", "M4", true)
+//	fmt.Printf("%.1f µs, %.2f µJ\n", res.Measured.LatencyS*1e6, res.Measured.EnergyJ*1e6)
+package ento
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mcu"
+	"repro/internal/report"
+)
+
+// Re-exported framework types: the kernel descriptor, the per-run
+// result, the full characterization record, and the core model.
+type (
+	// Spec describes one suite kernel (name, stage, dataset, factory).
+	Spec = core.Spec
+	// Record is the cross-architecture characterization of one kernel.
+	Record = core.Record
+	// Result is one harness run on one core.
+	Result = harness.Result
+	// Measurement is the trace-derived metric set.
+	Measurement = harness.Measurement
+	// Problem is the EntoProblem-style benchmark interface; implement
+	// it to add kernels (see examples/custom-kernel).
+	Problem = harness.Problem
+	// Config drives harness runs (reps, warm-up, cache).
+	Config = harness.Config
+	// Arch is a modeled Cortex-M core.
+	Arch = mcu.Arch
+	// Estimate is the analytic cost-model output.
+	Estimate = mcu.Estimate
+)
+
+// Pipeline stages of the suite.
+const (
+	Perception = core.Perception
+	Estimation = core.Estimation
+	Control    = core.Control
+)
+
+// Suite returns every kernel in the curated benchmark suite, in the
+// paper's Table III order.
+func Suite() []Spec { return core.Suite() }
+
+// Kernel finds a suite kernel by name.
+func Kernel(name string) (Spec, bool) { return core.ByName(name) }
+
+// Archs returns the modeled cores (M0+, M4, M33, M7).
+func Archs() []Arch { return mcu.All() }
+
+// ArchByName resolves a core by short name ("M4", "m33", ...).
+func ArchByName(name string) (Arch, bool) { return mcu.ByName(name) }
+
+// DefaultConfig returns the standard harness configuration.
+func DefaultConfig() Config { return harness.DefaultConfig() }
+
+// Run executes one suite kernel on one core through the full
+// measurement pipeline (setup → ROI → trace synthesis → analysis →
+// validation).
+func Run(kernel, archName string, cacheOn bool) (Result, error) {
+	spec, ok := core.ByName(kernel)
+	if !ok {
+		return Result{}, fmt.Errorf("ento: unknown kernel %q", kernel)
+	}
+	arch, ok := mcu.ByName(archName)
+	if !ok {
+		return Result{}, fmt.Errorf("ento: unknown architecture %q", archName)
+	}
+	if spec.M7Only && arch.Name != "M7" {
+		return Result{}, fmt.Errorf("ento: %s exceeds the %s's SRAM (M7 only)", kernel, arch.Name)
+	}
+	cfg := harness.DefaultConfig()
+	cfg.CacheOn = cacheOn
+	return harness.Run(spec.Factory(), arch, spec.Prec, cfg)
+}
+
+// RunProblem executes a user-provided Problem (a custom kernel) exactly
+// as the suite kernels run — the extensibility path of the framework.
+func RunProblem(p Problem, archName string, prec mcu.Precision, cfg Config) (Result, error) {
+	arch, ok := mcu.ByName(archName)
+	if !ok {
+		return Result{}, fmt.Errorf("ento: unknown architecture %q", archName)
+	}
+	return harness.Run(p, arch, prec, cfg)
+}
+
+// Characterize measures one kernel across the Table IV cores with
+// caches on and off.
+func Characterize(kernel string) (Record, error) {
+	spec, ok := core.ByName(kernel)
+	if !ok {
+		return Record{}, fmt.Errorf("ento: unknown kernel %q", kernel)
+	}
+	return core.Characterize(spec, mcu.TableIVSet())
+}
+
+// Precision selectors for RunProblem.
+const (
+	PrecF32   = mcu.PrecF32
+	PrecF64   = mcu.PrecF64
+	PrecFixed = mcu.PrecFixed
+)
+
+// The paper's tables and figures, regenerated from the live suite.
+
+// WriteTable3 characterizes the whole suite and writes the static
+// metrics (Table III).
+func WriteTable3(w io.Writer) error {
+	c, err := report.RunCharacterization()
+	if err != nil {
+		return err
+	}
+	c.WriteTable3(w)
+	return nil
+}
+
+// WriteTable4 characterizes the whole suite and writes the dynamic
+// metrics (Table IV).
+func WriteTable4(w io.Writer) error {
+	c, err := report.RunCharacterization()
+	if err != nil {
+		return err
+	}
+	c.WriteTable4(w)
+	return nil
+}
+
+// WriteTable5 writes the architecture inventory (Table V).
+func WriteTable5(w io.Writer) { report.WriteTable5(w) }
+
+// WriteTable6 runs Case Study #1 and writes the perception
+// energy/peak-power table (Table VI).
+func WriteTable6(w io.Writer) error {
+	r, err := report.RunCS1()
+	if err != nil {
+		return err
+	}
+	r.WriteTable6(w)
+	return nil
+}
+
+// WriteFig3 runs Case Study #1 and writes the cycle-count series
+// (Fig 3).
+func WriteFig3(w io.Writer) error {
+	r, err := report.RunCS1()
+	if err != nil {
+		return err
+	}
+	r.WriteFig3(w)
+	return nil
+}
+
+// WriteTable7 runs Case Study #2 and writes the attitude-filter
+// precision/energy table (Table VII).
+func WriteTable7(w io.Writer) {
+	report.RunCS2Table7().WriteTable7(w)
+}
+
+// WriteFig4 runs the fixed-point failure-rate sweep (Fig 4). step
+// controls the fraction-bit stride (1 = the paper's full sweep).
+func WriteFig4(w io.Writer, step int) {
+	report.RunFig4(step).WriteFig4(w)
+}
+
+// WriteTable8 runs Case Study #3 and writes the FLOPs-vs-measured table
+// (Table VIII).
+func WriteTable8(w io.Writer) error {
+	r, err := report.RunCS3()
+	if err != nil {
+		return err
+	}
+	r.WriteTable8(w)
+	return nil
+}
+
+// WriteFig5 runs Case Study #4 and writes all relative-pose panels
+// (Fig 5). problems sets the batch size per datapoint (the paper uses
+// 1000).
+func WriteFig5(w io.Writer, problems int) error {
+	r, err := report.RunCS4(problems)
+	if err != nil {
+		return err
+	}
+	r.WriteFig5(w)
+	return nil
+}

@@ -1,0 +1,49 @@
+package ento_test
+
+import (
+	"fmt"
+
+	"repro/ento"
+)
+
+// The minimal use: run one suite kernel on one core and read the
+// measured metrics.
+func ExampleRun() {
+	res, err := ento.Run("fly-lqr", "M4", true)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("kernel=%s core=%s valid=%v\n", res.Kernel, res.Arch.Name, res.Valid)
+	fmt.Printf("ops: F=%d M=%d\n", res.Counts.F, res.Counts.M)
+	// Output:
+	// kernel=fly-lqr core=M4 valid=true
+	// ops: F=74 M=102
+}
+
+// Enumerating the suite mirrors `entobench list`.
+func ExampleSuite() {
+	perStage := map[string]int{}
+	for _, s := range ento.Suite() {
+		perStage[string(s.Stage)]++
+	}
+	fmt.Printf("P=%d S=%d C=%d total=%d\n",
+		perStage["P"], perStage["S"], perStage["C"], len(ento.Suite()))
+	// Output:
+	// P=6 S=20 C=5 total=31
+}
+
+// Characterize produces the Table III/IV record for one kernel.
+func ExampleCharacterize() {
+	rec, err := ento.Characterize("madgwick")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m33, _ := rec.Cell("M33", true)
+	m4, _ := rec.Cell("M4", true)
+	fmt.Printf("cells=%d m33-beats-m4-energy=%v\n",
+		len(rec.Cells), m33.Model.EnergyJ < m4.Model.EnergyJ)
+	// Output:
+	// cells=6 m33-beats-m4-energy=true
+}

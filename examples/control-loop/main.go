@@ -1,0 +1,118 @@
+// control-loop: the closed-loop sketch of the paper's Section VI-E —
+// the same plant flown by three controllers of increasing cost
+// (fly-lqr, fly-tiny-mpc with input saturation, bee-mpc), logging both
+// task-level performance (settling, tracking error) and the compute
+// bill per control step. Kernel timing tells only part of the story;
+// this example shows the other part.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/control"
+	"repro/internal/mat"
+	"repro/internal/mcu"
+	"repro/internal/profile"
+	"repro/internal/scalar"
+)
+
+type F = scalar.F32
+
+const (
+	dt    = 0.002
+	steps = 2500
+)
+
+func main() {
+	a, b, q, r := control.FlyModel(dt)
+
+	lqr, err := control.NewLQR(F(0), a, b, q, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tiny, err := control.NewTinyMPC(F(0), a, b, q, r, tightBox())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bee := control.NewBeeMPC(F(0), a, b, q, r, control.DefaultBeeMPCConfig())
+
+	type ctrl struct {
+		name  string
+		every int // control period in plant steps (bee-mpc runs slower)
+		step  func(x mat.Vec[F]) mat.Vec[F]
+	}
+	xref := mat.VecFromFloats(F(0), []float64{0, 0, 0, 0})
+	ctrls := []ctrl{
+		{"fly-lqr", 1, func(x mat.Vec[F]) mat.Vec[F] { return lqr.Update(x, xref) }},
+		{"fly-tiny-mpc", 1, func(x mat.Vec[F]) mat.Vec[F] { u, _ := tiny.Solve(x, xref); return u }},
+		{"bee-mpc", 5, func(x mat.Vec[F]) mat.Vec[F] { u, _, err := bee.Solve(x, xref); must(err); return u }},
+	}
+
+	fmt.Println("Closed-loop hover recovery from a 0.3 rad pitch upset (5 s window)")
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Controller\tSettle (ms)\tIAE\tOps/step\tM4 µJ/step\tM4 duty @500Hz")
+	for _, c := range ctrls {
+		plant := control.NewLinearPlant(F(0), a, b, []float64{0.3, 0, 0.2, -0.4})
+		var iae float64
+		settle := -1
+		var u mat.Vec[F]
+		nCalls := 0
+		counts := profile.Collect(func() {
+			for i := 0; i < steps; i++ {
+				if i%c.every == 0 {
+					u = c.step(plant.X)
+					nCalls++
+				}
+				plant.Step(u)
+				e := normInf(plant.X.Floats())
+				iae += e * dt
+				if settle < 0 && e < 0.02 {
+					settle = i
+				}
+			}
+		})
+		per := counts.Scale(1 / float64(nCalls))
+		est := mcu.M4.Estimate(per, mcu.PrecF32, true)
+		duty := est.LatencyS * 500 * 100 // percent of a 500 Hz period
+		settleMs := float64(settle) * dt * 1e3
+		if settle < 0 {
+			settleMs = math.NaN()
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.4f\t%d\t%.2f\t%.1f%%\n",
+			c.name, settleMs, iae, per.Total(), est.EnergyJ*1e6, duty)
+	}
+	tw.Flush()
+	fmt.Println(`
+All three fit the same M4, yet the compute bill spans orders of
+magnitude while the trajectories barely differ on this benign upset —
+exactly why the paper argues closed-loop, task-level benchmarks must
+follow the kernel suite.`)
+}
+
+func tightBox() control.TinyMPCConfig {
+	cfg := control.DefaultTinyMPCConfig()
+	cfg.UMin = []float64{-1.5, -1.5}
+	cfg.UMax = []float64{1.5, 1.5}
+	return cfg
+}
+
+func normInf(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: run one suite kernel on every modeled Cortex-M core and
+// print the measurements — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/ento"
+)
+
+func main() {
+	kernel := "madgwick"
+	if len(os.Args) > 1 {
+		kernel = os.Args[1]
+	}
+	spec, ok := ento.Kernel(kernel)
+	if !ok {
+		log.Fatalf("unknown kernel %q — try `entobench list`", kernel)
+	}
+	fmt.Printf("EntoBench quickstart: %s (%s, %s stage, dataset %s)\n\n",
+		spec.Name, spec.Category, spec.Stage, spec.Dataset)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Core\tCache\tLatency (µs)\tEnergy (µJ)\tPeak power (mW)\tValid")
+	for _, arch := range ento.Archs() {
+		if spec.M7Only && arch.Name != "M7" {
+			continue
+		}
+		for _, cache := range []bool{true, false} {
+			res, err := ento.Run(kernel, arch.Name, cache)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(tw, "%s\t%v\t%.2f\t%.4f\t%.1f\t%v\n",
+				arch.Name, cache,
+				res.Measured.LatencyS*1e6,
+				res.Measured.EnergyJ*1e6,
+				res.Measured.PeakPowerW*1e3,
+				res.Valid)
+		}
+	}
+	tw.Flush()
+
+	fmt.Println("\nThe same kernel, characterized across the Table IV set:")
+	rec, err := ento.Characterize(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  static mix (proxy): F=%d I=%d M=%d B=%d, flash ≈ %d B\n",
+		rec.Static.F, rec.Static.I, rec.Static.M, rec.Static.B, rec.Flash)
+	fmt.Printf("  dynamic mix:        F=%d I=%d M=%d B=%d\n",
+		rec.Dynamic.F, rec.Dynamic.I, rec.Dynamic.M, rec.Dynamic.B)
+}

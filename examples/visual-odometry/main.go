@@ -1,0 +1,97 @@
+// visual-odometry: a frame-to-frame relative-pose front end of the kind
+// Case Study #4 motivates. For each synthetic frame pair the pipeline
+// detects FAST+BRIEF features, matches them by Hamming distance, and
+// estimates the relative pose with LO-RANSAC over the upright three-
+// point solver (the gravity prior comes "from the IMU"). The example
+// prints per-frame accuracy and the energy bill on each core.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/dataset"
+	"repro/internal/mcu"
+	"repro/internal/perception/feature"
+	"repro/internal/pose"
+	"repro/internal/profile"
+	"repro/internal/scalar"
+)
+
+type F = scalar.F32
+
+func main() {
+	fmt.Println("Visual odometry front end: FAST+BRIEF → match → LO-RANSAC(u3pt)")
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Frame\tMatches\tInliers\tRANSAC iters\tRot err (°)\tM4 µJ\tM33 µJ\tM7 µJ")
+
+	var total profile.Counts
+	frames := 5
+	for f := 0; f < frames; f++ {
+		// Geometry: an upright relative-pose problem (what the robot
+		// actually flies); imagery drives the 2D feature front end.
+		prob := dataset.GenRelProblem(dataset.PoseGenConfig{
+			N: 90, PixelNoise: 0.5, OutlierRatio: 0.2, Upright: true, Seed: int64(40 + f),
+		})
+		corrs := dataset.ConvertRel(F(0), prob)
+
+		// Feature front end on the matching synthetic scene pair.
+		pair := dataset.GenFlowPair(dataset.Midd, 160, 160, 3, 1, int64(80+f))
+		var matches int
+		counts := profile.Collect(func() {
+			ra := feature.FASTBrief(pair.A, 20, 60)
+			rb := feature.FASTBrief(pair.B, 20, 60)
+			for _, da := range ra.Descriptors {
+				best := 257
+				for _, db := range rb.Descriptors {
+					if d := feature.HammingDistance(da, db); d < best {
+						best = d
+					}
+				}
+				if best <= 50 {
+					matches++
+				}
+			}
+		})
+
+		// Robust pose on the geometric correspondences.
+		var est pose.Pose[F]
+		var inliers []int
+		var stats pose.RansacStats
+		var rerr float64
+		counts2 := profile.Collect(func() {
+			cfg := pose.DefaultRansacConfig()
+			cfg.Seed = int64(f + 1)
+			var err error
+			est, inliers, stats, err = pose.RelLoRansac(corrs, pose.U3PT[F], 3, cfg)
+			if err != nil {
+				panic(err)
+			}
+		})
+		rerr = dataset.RotationErr(est, prob.Truth)
+		counts.Add(counts2)
+		total.Add(counts)
+
+		e := func(a mcu.Arch) float64 {
+			return a.Estimate(counts, mcu.PrecF32, true).EnergyJ * 1e6
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.3f\t%.0f\t%.0f\t%.0f\n",
+			f, matches, len(inliers), stats.Iterations, rerr,
+			e(mcu.M4), e(mcu.M33), e(mcu.M7))
+	}
+	tw.Flush()
+
+	perFrame := total.Scale(1 / float64(frames))
+	fmt.Println("\nPer-frame budget at 10 Hz visual odometry:")
+	for _, a := range mcu.TableIVSet() {
+		est := a.Estimate(perFrame, mcu.PrecF32, true)
+		fmt.Printf("  %-4s %6.1f ms/frame, %7.0f µJ/frame → %5.1f mW average VO power\n",
+			a.Name, est.LatencyS*1e3, est.EnergyJ*1e6, est.EnergyJ*10*1e3)
+	}
+	fmt.Println(`
+The gravity prior (u3pt instead of 5pt) is what keeps the RANSAC loop
+affordable at the insect scale — rerun with the 5pt solver to watch the
+budget explode.`)
+}

@@ -1,0 +1,108 @@
+// Package attitude implements the three high-rate attitude estimation
+// kernels of the suite: the Mahony explicit complementary filter, the
+// Madgwick gradient-descent filter, and the Fourati nonlinear MARG
+// filter. Each runs in IMU mode (gyro + accelerometer) or MARG mode
+// (plus magnetometer — Fourati is MARG-only, as in the paper), and each
+// is generic over the scalar family so one body serves float, double,
+// and every Q-format in the fixed-point sweep of Case Study #2.
+//
+// Filters track the failure diagnostics the paper counts: early exits on
+// near-zero divisors and quaternion norm drift. Fixed-point overflow is
+// accounted separately through fixed.Status, and attitude-error failures
+// are judged against ground truth by the experiment harness.
+package attitude
+
+import (
+	"repro/internal/geom"
+	"repro/internal/imu"
+	"repro/internal/mat"
+	"repro/internal/scalar"
+)
+
+// Mode selects the sensor architecture.
+type Mode int
+
+// Sensor architectures: inertial-only (I) or magnetometer-inclusive (M).
+const (
+	IMUOnly Mode = iota
+	MARG
+)
+
+// String names the mode as the paper does.
+func (m Mode) String() string {
+	if m == MARG {
+		return "MARG"
+	}
+	return "IMU"
+}
+
+// Diag counts the per-run numeric failure events used by Fig 4.
+type Diag struct {
+	EarlyExits uint64 // skipped updates due to near-zero divisors
+	NormDrift  uint64 // quaternion norm strayed badly before renorm
+}
+
+// Filter is the common interface of the three estimators.
+type Filter[T scalar.Real[T]] interface {
+	// Update advances the filter by one sensor epoch.
+	Update(s imu.Sample[T])
+	// Quat returns the current attitude estimate.
+	Quat() geom.Quat[T]
+	// Diagnostics returns the failure counters accumulated so far.
+	Diagnostics() Diag
+	// Name returns the kernel's suite name.
+	Name() string
+}
+
+// normTol is the allowed squared-norm drift before an update counts as a
+// norm-drift failure (the quaternion is renormalized regardless).
+const normTol = 0.2
+
+// checkNorm classifies the pre-normalization quaternion norm and returns
+// the normalized quaternion.
+func checkNorm[T scalar.Real[T]](q geom.Quat[T], d *Diag) geom.Quat[T] {
+	n2 := q.NormSq()
+	one := scalar.One(n2)
+	dev := n2.Sub(one).Abs()
+	if scalar.C(n2, normTol).Less(dev) {
+		d.NormDrift++
+	}
+	return q.Normalized()
+}
+
+// estGravity returns the gravity direction in the body frame predicted
+// by q (third row of the body-from-world rotation).
+func estGravity[T scalar.Real[T]](q geom.Quat[T]) mat.Vec[T] {
+	two := q.W.FromFloat(2)
+	return mat.Vec[T]{
+		two.Mul(q.X.Mul(q.Z).Sub(q.W.Mul(q.Y))),
+		two.Mul(q.W.Mul(q.X).Add(q.Y.Mul(q.Z))),
+		q.W.Mul(q.W).Sub(q.X.Mul(q.X)).Sub(q.Y.Mul(q.Y)).Add(q.Z.Mul(q.Z)),
+	}
+}
+
+// estMag returns the predicted body-frame magnetic direction for the
+// measured field m under estimate q, using the standard horizontal
+// re-referencing trick (project the world-frame field to (bx, 0, bz)).
+func estMag[T scalar.Real[T]](q geom.Quat[T], m mat.Vec[T]) mat.Vec[T] {
+	r := q.RotationMatrix() // body -> world
+	hw := r.MulVec(m)       // measured field in world frame
+	bx := scalar.Hypot(hw[0], hw[1])
+	bz := hw[2]
+	// Back to body frame: w = Rᵀ·(bx, 0, bz).
+	rt := r.Transpose()
+	ref := mat.Vec[T]{bx, scalar.Zero(bx), bz}
+	return rt.MulVec(ref)
+}
+
+// safeNormalize returns (v/|v|, true) or (v, false) when |v| is too small
+// to divide by — the early-exit condition the paper counts.
+func safeNormalize[T scalar.Real[T]](v mat.Vec[T], d *Diag) (mat.Vec[T], bool) {
+	n := v.Norm()
+	lim := scalar.C(n, 1e-4)
+	if n.LessEq(lim) {
+		d.EarlyExits++
+		return v, false
+	}
+	return v.Scale(scalar.One(n).Div(n)), true
+}

@@ -1,0 +1,221 @@
+package attitude_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/attitude"
+	"repro/internal/fixed"
+	"repro/internal/geom"
+	"repro/internal/imu"
+	"repro/internal/mat"
+	"repro/internal/profile"
+	"repro/internal/scalar"
+)
+
+type F = scalar.F64
+
+// runFilter drives a filter through a record stream and returns the mean
+// attitude error (degrees) over the second half (after convergence).
+func runFilter[T scalar.Real[T]](like T, f attitude.Filter[T], recs []imu.Record) float64 {
+	var sum float64
+	var n int
+	for i, r := range recs {
+		f.Update(imu.SampleAs(like, r))
+		if i > len(recs)/2 {
+			q := f.Quat()
+			est := geom.QuatFromFloats(scalar.F64(0), q.W.Float(), q.X.Float(), q.Y.Float(), q.Z.Float())
+			sum += geom.QuatAngleDegrees(est, r.Truth)
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func hoverRecords() []imu.Record {
+	return imu.Simulate(imu.HoverTrajectory(0.12, 0.1, 2), 5, 400, imu.DefaultNoise(), 11)
+}
+
+func TestMahonyIMUConverges(t *testing.T) {
+	f := attitude.NewMahony(F(0), attitude.IMUOnly, 2.0, 0.02)
+	err := runFilter(F(0), f, hoverRecords())
+	if err > 4 {
+		t.Fatalf("Mahony IMU mean error %.2f°, want < 4°", err)
+	}
+}
+
+func TestMahonyMARGConverges(t *testing.T) {
+	f := attitude.NewMahony(F(0), attitude.MARG, 2.0, 0.02)
+	err := runFilter(F(0), f, hoverRecords())
+	if err > 3 {
+		t.Fatalf("Mahony MARG mean error %.2f°, want < 3°", err)
+	}
+}
+
+func TestMadgwickIMUConverges(t *testing.T) {
+	f := attitude.NewMadgwick(F(0), attitude.IMUOnly, 0.12)
+	err := runFilter(F(0), f, hoverRecords())
+	if err > 4 {
+		t.Fatalf("Madgwick IMU mean error %.2f°, want < 4°", err)
+	}
+}
+
+func TestMadgwickMARGConverges(t *testing.T) {
+	f := attitude.NewMadgwick(F(0), attitude.MARG, 0.12)
+	err := runFilter(F(0), f, hoverRecords())
+	if err > 4 {
+		t.Fatalf("Madgwick MARG mean error %.2f°, want < 4°", err)
+	}
+}
+
+func TestFouratiConverges(t *testing.T) {
+	f := attitude.NewFourati(F(0), 0.8, 1e-3)
+	err := runFilter(F(0), f, hoverRecords())
+	if err > 3 {
+		t.Fatalf("Fourati mean error %.2f°, want < 3°", err)
+	}
+}
+
+func TestFiltersTrackStrider(t *testing.T) {
+	recs := imu.Simulate(imu.StriderLineTrajectory(10, 0.08), 3, 1000, imu.DefaultNoise(), 7)
+	filters := []attitude.Filter[F]{
+		attitude.NewMahony(F(0), attitude.MARG, 2.0, 0.02),
+		attitude.NewMadgwick(F(0), attitude.MARG, 0.12),
+		attitude.NewFourati(F(0), 0.8, 1e-3),
+	}
+	for _, f := range filters {
+		if err := runFilter(F(0), f, recs); err > 5 {
+			t.Errorf("%s strider error %.2f°", f.Name(), err)
+		}
+	}
+}
+
+func TestFloat32Works(t *testing.T) {
+	f := attitude.NewMahony(scalar.F32(0), attitude.IMUOnly, 2.0, 0.02)
+	err := runFilter(scalar.F32(0), f, hoverRecords())
+	if err > 4 {
+		t.Fatalf("Mahony f32 error %.2f°", err)
+	}
+}
+
+func TestFixedQ724Works(t *testing.T) {
+	// q7.24 has plenty of range for hover rates; filters should converge
+	// nearly as well as float (the Fig 4 "good format" regime).
+	fixed.ResetStatus()
+	like := fixed.New(0, 24)
+	f := attitude.NewMahony(like, attitude.IMUOnly, 2.0, 0.0)
+	err := runFilter(like, f, hoverRecords())
+	if err > 5 {
+		t.Fatalf("Mahony q7.24 error %.2f°", err)
+	}
+}
+
+func TestFixedLowFracFails(t *testing.T) {
+	// q29.2 cannot represent the quaternion updates; the filter must
+	// degrade badly — this is the left side of Fig 4's failure curves.
+	like := fixed.New(0, 2)
+	f := attitude.NewMadgwick(like, attitude.IMUOnly, 0.1)
+	err := runFilter(like, f, hoverRecords())
+	if err < 5 {
+		t.Fatalf("Madgwick q29.2 error %.2f°; expected catastrophic quantization", err)
+	}
+}
+
+func TestEarlyExitOnZeroAccel(t *testing.T) {
+	f := attitude.NewMahony(F(0), attitude.IMUOnly, 2.0, 0.0)
+	z := scalar.Zero(F(0))
+	s := imu.Sample[F]{
+		Gyro:  mat.Vec[F]{z, z, z},
+		Accel: mat.Vec[F]{z, z, z},
+		Mag:   mat.Vec[F]{z, z, z},
+		Dt:    F(0.001),
+	}
+	f.Update(s)
+	if f.Diagnostics().EarlyExits != 1 {
+		t.Fatalf("EarlyExits = %d, want 1", f.Diagnostics().EarlyExits)
+	}
+}
+
+func TestDiagnosticsZeroOnCleanRun(t *testing.T) {
+	f := attitude.NewFourati(F(0), 0.8, 1e-3)
+	runFilter(F(0), f, hoverRecords())
+	d := f.Diagnostics()
+	if d.EarlyExits != 0 || d.NormDrift != 0 {
+		t.Fatalf("clean run produced diagnostics %+v", d)
+	}
+}
+
+// Fourati must cost noticeably more float work than Mahony (Table III).
+func TestFouratiCostsMoreThanMahony(t *testing.T) {
+	recs := hoverRecords()[:50]
+	costOf := func(run func()) uint64 {
+		c := profile.Collect(run)
+		return c.F
+	}
+	mah := attitude.NewMahony(F(0), attitude.IMUOnly, 2.0, 0.02)
+	fou := attitude.NewFourati(F(0), 0.8, 1e-3)
+	cm := costOf(func() {
+		for _, r := range recs {
+			mah.Update(imu.SampleAs(F(0), r))
+		}
+	})
+	cf := costOf(func() {
+		for _, r := range recs {
+			fou.Update(imu.SampleAs(F(0), r))
+		}
+	})
+	if cf < cm*2 {
+		t.Fatalf("Fourati F ops %d < 2x Mahony %d", cf, cm)
+	}
+}
+
+// MARG costs only slightly more than IMU (the paper: "Upgrading to a MARG
+// architecture only results in a slight increase in latency").
+func TestMARGCostDelta(t *testing.T) {
+	recs := hoverRecords()[:100]
+	run := func(mode attitude.Mode) uint64 {
+		f := attitude.NewMahony(F(0), mode, 2.0, 0.02)
+		c := profile.Collect(func() {
+			for _, r := range recs {
+				f.Update(imu.SampleAs(F(0), r))
+			}
+		})
+		return c.Total()
+	}
+	ci := run(attitude.IMUOnly)
+	cm := run(attitude.MARG)
+	if cm <= ci {
+		t.Fatal("MARG should cost more than IMU")
+	}
+	if float64(cm) > 4*float64(ci) {
+		t.Fatalf("MARG/IMU cost ratio %.1f too large", float64(cm)/float64(ci))
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if attitude.IMUOnly.String() != "IMU" || attitude.MARG.String() != "MARG" {
+		t.Error("Mode strings wrong")
+	}
+}
+
+func TestFilterNames(t *testing.T) {
+	if attitude.NewMahony(F(0), attitude.IMUOnly, 1, 0).Name() != "mahony" {
+		t.Error("mahony name")
+	}
+	if attitude.NewMadgwick(F(0), attitude.IMUOnly, 0.1).Name() != "madgwick" {
+		t.Error("madgwick name")
+	}
+	if attitude.NewFourati(F(0), 0.5, 1e-3).Name() != "fourati" {
+		t.Error("fourati name")
+	}
+}
+
+func TestQuatStaysUnit(t *testing.T) {
+	f := attitude.NewMadgwick(F(0), attitude.MARG, 0.2)
+	for _, r := range hoverRecords()[:500] {
+		f.Update(imu.SampleAs(F(0), r))
+		if math.Abs(f.Quat().Norm().Float()-1) > 1e-9 {
+			t.Fatalf("quaternion norm drifted to %g", f.Quat().Norm().Float())
+		}
+	}
+}

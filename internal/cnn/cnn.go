@@ -1,0 +1,290 @@
+// Package cnn implements the paper's second planned suite extension:
+// CNN-based monocular depth estimation for obstacle avoidance [72],
+// at the only scale an insect-scale MCU can host — a few int8-quantized
+// convolution layers, MLPerf-Tiny style.
+//
+// The package provides the *compute pattern* of tiny CNN inference (im2col-
+// free direct convolution, ReLU, max-pooling, a dense head), with both an
+// int8-quantized path (what ships on the MCU) and a float32 reference path
+// (what the quantization is checked against). Weights come from a
+// deterministic generator: benchmark kernels characterize compute, not
+// trained accuracy, exactly as MLPerf Tiny's closed division fixes the
+// model. A small hand-constructed gradient-energy network doubles as a
+// plausible "nearness" proxy so validation has something physical to
+// check.
+package cnn
+
+import (
+	"errors"
+	"math/rand"
+
+	img "repro/internal/image"
+	"repro/internal/profile"
+)
+
+// Tensor is a CHW float32 activation tensor.
+type Tensor struct {
+	C, H, W int
+	Data    []float32
+}
+
+// NewTensor allocates a zeroed tensor.
+func NewTensor(c, h, w int) *Tensor {
+	return &Tensor{C: c, H: h, W: w, Data: make([]float32, c*h*w)}
+}
+
+// At returns element (c, y, x).
+func (t *Tensor) At(c, y, x int) float32 { return t.Data[(c*t.H+y)*t.W+x] }
+
+// Set writes element (c, y, x).
+func (t *Tensor) Set(c, y, x int, v float32) { t.Data[(c*t.H+y)*t.W+x] = v }
+
+// QTensor is the int8-quantized twin with a per-tensor scale.
+type QTensor struct {
+	C, H, W int
+	Scale   float32 // real = int8 * Scale
+	Data    []int8
+}
+
+// Quantize converts a float tensor to int8 with a symmetric per-tensor
+// scale.
+func Quantize(t *Tensor) *QTensor {
+	var maxAbs float32
+	for _, v := range t.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	scale := maxAbs / 127
+	q := &QTensor{C: t.C, H: t.H, W: t.W, Scale: scale, Data: make([]int8, len(t.Data))}
+	for i, v := range t.Data {
+		r := v / scale
+		switch {
+		case r > 127:
+			r = 127
+		case r < -127:
+			r = -127
+		}
+		if r >= 0 {
+			q.Data[i] = int8(r + 0.5)
+		} else {
+			q.Data[i] = int8(r - 0.5)
+		}
+	}
+	return q
+}
+
+// Dequantize converts back to float.
+func (q *QTensor) Dequantize() *Tensor {
+	t := NewTensor(q.C, q.H, q.W)
+	for i, v := range q.Data {
+		t.Data[i] = float32(v) * q.Scale
+	}
+	return t
+}
+
+// Conv2D is a 3×3 stride-1 valid convolution layer.
+type Conv2D struct {
+	InC, OutC int
+	// W[o][i][ky][kx], flattened; B[o].
+	W []float32
+	B []float32
+	// Quantized weights (per-layer scale).
+	qw     []int8
+	wScale float32
+}
+
+// NewConv2D builds a layer with deterministic pseudo-random weights
+// (He-style magnitude), then quantizes them.
+func NewConv2D(inC, outC int, seed int64) *Conv2D {
+	rng := rand.New(rand.NewSource(seed))
+	n := outC * inC * 9
+	l := &Conv2D{InC: inC, OutC: outC, W: make([]float32, n), B: make([]float32, outC)}
+	std := 0.8 / float32(inC*3)
+	for i := range l.W {
+		l.W[i] = float32(rng.NormFloat64()) * std
+	}
+	l.quantizeWeights()
+	return l
+}
+
+// SetWeights installs explicit weights (used by the hand-constructed
+// gradient-energy network) and requantizes.
+func (l *Conv2D) SetWeights(w []float32, b []float32) error {
+	if len(w) != l.OutC*l.InC*9 || len(b) != l.OutC {
+		return errors.New("cnn: weight shape mismatch")
+	}
+	copy(l.W, w)
+	copy(l.B, b)
+	l.quantizeWeights()
+	return nil
+}
+
+func (l *Conv2D) quantizeWeights() {
+	var maxAbs float32
+	for _, v := range l.W {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	l.wScale = maxAbs / 127
+	l.qw = make([]int8, len(l.W))
+	for i, v := range l.W {
+		r := v / l.wScale
+		switch {
+		case r > 127:
+			r = 127
+		case r < -127:
+			r = -127
+		}
+		if r >= 0 {
+			l.qw[i] = int8(r + 0.5)
+		} else {
+			l.qw[i] = int8(r - 0.5)
+		}
+	}
+}
+
+// Forward runs the float reference path with fused ReLU.
+func (l *Conv2D) Forward(in *Tensor) *Tensor {
+	oh, ow := in.H-2, in.W-2
+	out := NewTensor(l.OutC, oh, ow)
+	for o := 0; o < l.OutC; o++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				acc := l.B[o]
+				for i := 0; i < l.InC; i++ {
+					for ky := 0; ky < 3; ky++ {
+						for kx := 0; kx < 3; kx++ {
+							acc += l.W[((o*l.InC+i)*3+ky)*3+kx] * in.At(i, y+ky, x+kx)
+						}
+					}
+				}
+				if acc < 0 {
+					acc = 0 // ReLU
+				}
+				out.Set(o, y, x, acc)
+			}
+		}
+	}
+	profile.AddF(uint64(2 * l.OutC * oh * ow * l.InC * 9))
+	profile.AddM(uint64(2 * l.OutC * oh * ow * l.InC * 9))
+	return out
+}
+
+// ForwardQ runs the int8 path: int32 accumulators, SMLAD-style dual-MAC
+// accounting, requantization to the output scale.
+func (l *Conv2D) ForwardQ(in *QTensor) *QTensor {
+	oh, ow := in.H-2, in.W-2
+	accScale := in.Scale * l.wScale
+	// First pass: integer accumulate; track max for the output scale.
+	acc32 := make([]int32, l.OutC*oh*ow)
+	var maxAcc int32 = 1
+	for o := 0; o < l.OutC; o++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				var acc int32
+				for i := 0; i < l.InC; i++ {
+					for ky := 0; ky < 3; ky++ {
+						for kx := 0; kx < 3; kx++ {
+							w := int32(l.qw[((o*l.InC+i)*3+ky)*3+kx])
+							v := int32(in.Data[(i*in.H+y+ky)*in.W+x+kx])
+							acc += w * v
+						}
+					}
+				}
+				// Bias in accumulator units, then ReLU.
+				acc += int32(l.B[o]/accScale + 0.5)
+				if acc < 0 {
+					acc = 0
+				}
+				acc32[(o*oh+y)*ow+x] = acc
+				if acc > maxAcc {
+					maxAcc = acc
+				}
+			}
+		}
+	}
+	// The DSP extension retires two int8 MACs per SMLAD issue: charge
+	// half the MAC count as integer ops (cf. bbof-vec's USADA8 model).
+	macs := uint64(l.OutC * oh * ow * l.InC * 9)
+	profile.AddI(macs)
+	profile.AddM(macs / 2)
+	// Requantize to int8: the full accumulator range maps onto [0, 127].
+	out := &QTensor{C: l.OutC, H: oh, W: ow, Scale: accScale * float32(maxAcc) / 127}
+	out.Data = make([]int8, len(acc32))
+	for i, a := range acc32 {
+		q := int64(a) * 127 / int64(maxAcc)
+		out.Data[i] = int8(q)
+	}
+	profile.AddI(uint64(2 * len(acc32)))
+	return out
+}
+
+// MaxPool2 halves spatial resolution with 2×2 max pooling.
+func MaxPool2(in *Tensor) *Tensor {
+	oh, ow := in.H/2, in.W/2
+	out := NewTensor(in.C, oh, ow)
+	for c := 0; c < in.C; c++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				m := in.At(c, 2*y, 2*x)
+				for _, v := range []float32{in.At(c, 2*y+1, 2*x), in.At(c, 2*y, 2*x+1), in.At(c, 2*y+1, 2*x+1)} {
+					if v > m {
+						m = v
+					}
+				}
+				out.Set(c, y, x, m)
+			}
+		}
+	}
+	profile.AddM(uint64(5 * in.C * oh * ow))
+	profile.AddB(uint64(3 * in.C * oh * ow))
+	return out
+}
+
+// MaxPool2Q is the int8 pooling twin.
+func MaxPool2Q(in *QTensor) *QTensor {
+	oh, ow := in.H/2, in.W/2
+	out := &QTensor{C: in.C, H: oh, W: ow, Scale: in.Scale, Data: make([]int8, in.C*oh*ow)}
+	at := func(c, y, x int) int8 { return in.Data[(c*in.H+y)*in.W+x] }
+	for c := 0; c < in.C; c++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				m := at(c, 2*y, 2*x)
+				for _, v := range []int8{at(c, 2*y+1, 2*x), at(c, 2*y, 2*x+1), at(c, 2*y+1, 2*x+1)} {
+					if v > m {
+						m = v
+					}
+				}
+				out.Data[(c*oh+y)*ow+x] = m
+			}
+		}
+	}
+	profile.AddM(uint64(5 * in.C * oh * ow))
+	profile.AddB(uint64(3 * in.C * oh * ow))
+	return out
+}
+
+// FromImage converts an 8-bit image into a 1-channel tensor in [0, 1].
+func FromImage(g *img.Gray) *Tensor {
+	t := NewTensor(1, g.H, g.W)
+	for i, p := range g.Pix {
+		t.Data[i] = float32(p) / 255
+	}
+	profile.AddM(uint64(2 * len(g.Pix)))
+	profile.AddI(uint64(len(g.Pix)))
+	return t
+}

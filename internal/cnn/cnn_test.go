@@ -1,0 +1,138 @@
+package cnn_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cnn"
+	"repro/internal/dataset"
+	img "repro/internal/image"
+	"repro/internal/mcu"
+	"repro/internal/profile"
+)
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	in := cnn.NewTensor(1, 4, 4)
+	vals := []float32{0, 0.5, -0.5, 1, -1, 0.25, 0.75, -0.75, 0.1, -0.1, 0.9, -0.9, 0.3, -0.3, 0.6, -0.6}
+	copy(in.Data, vals)
+	back := cnn.Quantize(in).Dequantize()
+	for i := range vals {
+		if math.Abs(float64(back.Data[i]-vals[i])) > 1.0/127+1e-6 {
+			t.Fatalf("element %d: %g -> %g", i, vals[i], back.Data[i])
+		}
+	}
+}
+
+func TestConvShapeAndReLU(t *testing.T) {
+	l := cnn.NewConv2D(1, 2, 7)
+	in := cnn.NewTensor(1, 8, 8)
+	for i := range in.Data {
+		in.Data[i] = float32(i%5) / 5
+	}
+	out := l.Forward(in)
+	if out.C != 2 || out.H != 6 || out.W != 6 {
+		t.Fatalf("output shape %dx%dx%d", out.C, out.H, out.W)
+	}
+	for _, v := range out.Data {
+		if v < 0 {
+			t.Fatal("ReLU leaked a negative activation")
+		}
+	}
+}
+
+func TestSetWeightsValidation(t *testing.T) {
+	l := cnn.NewConv2D(1, 2, 7)
+	if err := l.SetWeights(make([]float32, 5), make([]float32, 2)); err == nil {
+		t.Fatal("wrong weight shape accepted")
+	}
+}
+
+// The int8 path must track the float path closely — the TinyML
+// quantization contract.
+func TestQuantizedInferenceTracksFloat(t *testing.T) {
+	net := cnn.NewDepthNet()
+	for _, kind := range []dataset.ImageKind{dataset.Midd, dataset.April} {
+		g := dataset.GenImage(kind, 32, 32, 5)
+		f := cnn.MeanActivation(net.Infer(g))
+		q := cnn.MeanActivationQ(net.InferQ(g))
+		if f <= 0 {
+			t.Fatalf("%v: zero float response on textured input", kind)
+		}
+		rel := math.Abs(q-f) / f
+		if rel > 0.15 {
+			t.Fatalf("%v: quantized response off by %.1f%% (float %.4f, int8 %.4f)",
+				kind, rel*100, f, q)
+		}
+	}
+}
+
+// The nearness proxy must respond to texture density: a sharp textured
+// patch scores above a blurred (farther/defocused) copy of itself.
+func TestNearnessRespondsToTexture(t *testing.T) {
+	net := cnn.NewDepthNet()
+	sharp := dataset.GenImage(dataset.Midd, 32, 32, 9)
+	blurred := sharp.GaussianBlur(2.5)
+	sSharp := cnn.MeanActivation(net.Infer(sharp))
+	sBlur := cnn.MeanActivation(net.Infer(blurred))
+	if sSharp <= sBlur {
+		t.Fatalf("sharp %.4f <= blurred %.4f; gradient-energy cue broken", sSharp, sBlur)
+	}
+}
+
+func TestFlatImageScoresNearZero(t *testing.T) {
+	net := cnn.NewDepthNet()
+	g := img.NewGray(32, 32)
+	for i := range g.Pix {
+		g.Pix[i] = 128
+	}
+	if s := cnn.MeanActivation(net.Infer(g)); s > 1e-3 {
+		t.Fatalf("flat image scored %.5f", s)
+	}
+}
+
+// The int8 path must be integer-dominated and cheaper in modeled cycles
+// than the float path on the DSP-extension cores.
+func TestQuantizedPathIsCheaper(t *testing.T) {
+	net := cnn.NewDepthNet()
+	g := dataset.GenImage(dataset.Midd, 32, 32, 3)
+	cF := profile.Collect(func() { net.Infer(g) })
+	cQ := profile.Collect(func() { net.InferQ(g) })
+	if cQ.F > cF.F/10 {
+		t.Fatalf("int8 path recorded %d float ops", cQ.F)
+	}
+	cycF := mcu.M4.Cycles(cF, mcu.PrecF32, true)
+	cycQ := mcu.M4.Cycles(cQ, mcu.PrecFixed, true)
+	if cycQ >= cycF {
+		t.Fatalf("int8 inference %0.f cycles >= float %0.f", cycQ, cycF)
+	}
+}
+
+// Inference must fit an MCU frame budget at QQVGA-crop scale.
+func TestInferenceBudget(t *testing.T) {
+	net := cnn.NewDepthNet()
+	g := dataset.GenImage(dataset.Midd, 32, 32, 3)
+	c := profile.Collect(func() { net.InferQ(g) })
+	est := mcu.M4.Estimate(c, mcu.PrecFixed, true)
+	if est.LatencyS > 10e-3 {
+		t.Fatalf("32x32 int8 inference %.1f ms on M4", est.LatencyS*1e3)
+	}
+}
+
+// Property: quantization never inverts orderings badly — brighter-
+// activation inputs stay at least comparable through the int8 path.
+func TestPropQuantMonotoneOnScale(t *testing.T) {
+	net := cnn.NewDepthNet()
+	f := func(seed int64) bool {
+		g := dataset.GenImage(dataset.Midd, 32, 32, seed%100)
+		fv := cnn.MeanActivation(net.Infer(g))
+		qv := cnn.MeanActivationQ(net.InferQ(g))
+		if fv == 0 {
+			return qv < 1e-3
+		}
+		return math.Abs(qv-fv)/fv < 0.2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package cnn
+
+import (
+	img "repro/internal/image"
+)
+
+// DepthNet is the monocular depth-proxy network: two 3×3 conv layers
+// with pooling that turn a grayscale patch into a coarse "nearness" map.
+// Layer 1 is hand-constructed as oriented gradient filters (texture
+// density rises as surfaces approach — the depth-from-texture cue small
+// flyers actually use); layer 2 mixes the gradient channels. The network
+// is the planned suite extension's compute pattern at MCU-feasible size.
+type DepthNet struct {
+	L1 *Conv2D // 1 -> 4 channels
+	L2 *Conv2D // 4 -> 1 channel
+}
+
+// NewDepthNet constructs the network.
+func NewDepthNet() *DepthNet {
+	n := &DepthNet{
+		L1: NewConv2D(1, 4, 31),
+		L2: NewConv2D(4, 1, 32),
+	}
+	// Layer 1: ±Sobel-x and ±Sobel-y (ReLU needs both signs to keep
+	// gradient energy).
+	sobelX := []float32{-1, 0, 1, -2, 0, 2, -1, 0, 1}
+	sobelY := []float32{-1, -2, -1, 0, 0, 0, 1, 2, 1}
+	w1 := make([]float32, 4*1*9)
+	for k := 0; k < 9; k++ {
+		w1[0*9+k] = sobelX[k] / 4
+		w1[1*9+k] = -sobelX[k] / 4
+		w1[2*9+k] = sobelY[k] / 4
+		w1[3*9+k] = -sobelY[k] / 4
+	}
+	_ = n.L1.SetWeights(w1, make([]float32, 4))
+	// Layer 2: average the four rectified gradient channels with a
+	// center-weighted 3×3 smoothing kernel.
+	w2 := make([]float32, 1*4*9)
+	smooth := []float32{1, 2, 1, 2, 4, 2, 1, 2, 1}
+	for i := 0; i < 4; i++ {
+		for k := 0; k < 9; k++ {
+			w2[i*9+k] = smooth[k] / (16 * 4)
+		}
+	}
+	_ = n.L2.SetWeights(w2, make([]float32, 1))
+	return n
+}
+
+// Infer runs the float reference path: conv → pool → conv → pool,
+// returning the coarse nearness map.
+func (n *DepthNet) Infer(g *img.Gray) *Tensor {
+	t := FromImage(g)
+	t = n.L1.Forward(t)
+	t = MaxPool2(t)
+	t = n.L2.Forward(t)
+	return MaxPool2(t)
+}
+
+// InferQ runs the int8 path the MCU would ship.
+func (n *DepthNet) InferQ(g *img.Gray) *QTensor {
+	q := Quantize(FromImage(g))
+	q = n.L1.ForwardQ(q)
+	q = MaxPool2Q(q)
+	q = n.L2.ForwardQ(q)
+	return MaxPool2Q(q)
+}
+
+// MeanActivation averages a tensor — the scalar nearness score used by
+// validation.
+func MeanActivation(t *Tensor) float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s / float64(len(t.Data))
+}
+
+// MeanActivationQ is the quantized twin, dequantized.
+func MeanActivationQ(q *QTensor) float64 {
+	var s float64
+	for _, v := range q.Data {
+		s += float64(v) * float64(q.Scale)
+	}
+	return s / float64(len(q.Data))
+}

@@ -1,0 +1,295 @@
+package control_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/imu"
+	"repro/internal/mat"
+	"repro/internal/profile"
+	"repro/internal/scalar"
+)
+
+type F = scalar.F64
+
+const dt = 0.002
+
+func vecF(xs ...float64) mat.Vec[F] { return mat.VecFromFloats(F(0), xs) }
+
+func TestLQRStabilizesFlyModel(t *testing.T) {
+	a, b, q, r := control.FlyModel(dt)
+	lqr, err := control.NewLQR(F(0), a, b, q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plant := control.NewLinearPlant(F(0), a, b, []float64{0.3, 0, 0.2, -0.4})
+	xref := vecF(0, 0, 0, 0)
+	for i := 0; i < 3000; i++ {
+		u := lqr.Update(plant.X, xref)
+		plant.Step(u)
+	}
+	for i, v := range plant.X.Floats() {
+		if math.Abs(v) > 1e-3 {
+			t.Fatalf("state[%d] = %g after 6s; LQR failed to stabilize", i, v)
+		}
+	}
+}
+
+func TestLQRUpdateIsCheap(t *testing.T) {
+	a, b, q, r := control.FlyModel(dt)
+	lqr, err := control.NewLQR(F(0), a, b, q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := vecF(0.1, 0, 0, 0)
+	xref := vecF(0, 0, 0, 0)
+	c := profile.Collect(func() { lqr.Update(x, xref) })
+	// A 2×4 gain multiply: tiny (Table IV shows ~1µs).
+	if c.Total() > 300 {
+		t.Fatalf("LQR update cost %d ops; should be tiny", c.Total())
+	}
+}
+
+func TestTinyMPCMatchesLQRUnconstrained(t *testing.T) {
+	a, b, q, r := control.FlyModel(dt)
+	lqr, err := control.NewLQR(F(0), a, b, q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := control.DefaultTinyMPCConfig()
+	cfg.UMin = []float64{-100, -100} // constraints never active
+	cfg.UMax = []float64{100, 100}
+	mpc, err := control.NewTinyMPC(F(0), a, b, q, r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := vecF(0.2, 0, 0.1, -0.1)
+	xref := vecF(0, 0, 0, 0)
+	uL := lqr.Update(x, xref).Floats()
+	uM, _ := mpc.Solve(x, xref)
+	um := uM.Floats()
+	for i := range uL {
+		if math.Abs(uL[i]-um[i]) > 0.25*math.Max(1, math.Abs(uL[i])) {
+			t.Fatalf("unconstrained MPC u[%d]=%g far from LQR %g", i, um[i], uL[i])
+		}
+	}
+}
+
+func TestTinyMPCRespectsInputBounds(t *testing.T) {
+	a, b, q, r := control.FlyModel(dt)
+	cfg := control.DefaultTinyMPCConfig()
+	cfg.UMax = []float64{0.5, 0.5}
+	cfg.UMin = []float64{-0.5, -0.5}
+	mpc, err := control.NewTinyMPC(F(0), a, b, q, r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large initial error would demand u far beyond the box.
+	x := vecF(2, 0, 1.5, -2)
+	u, iters := mpc.Solve(x, vecF(0, 0, 0, 0))
+	if iters < 1 {
+		t.Fatal("no iterations")
+	}
+	for i, v := range u.Floats() {
+		if v > 0.5001 || v < -0.5001 {
+			t.Fatalf("u[%d] = %g violates the box", i, v)
+		}
+	}
+}
+
+func TestTinyMPCStabilizesClosedLoop(t *testing.T) {
+	a, b, q, r := control.FlyModel(dt)
+	mpc, err := control.NewTinyMPC(F(0), a, b, q, r, control.DefaultTinyMPCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plant := control.NewLinearPlant(F(0), a, b, []float64{0.3, 0, 0.2, -0.3})
+	xref := vecF(0, 0, 0, 0)
+	for i := 0; i < 2500; i++ {
+		u, _ := mpc.Solve(plant.X, xref)
+		plant.Step(u)
+	}
+	for i, v := range plant.X.Floats() {
+		if math.Abs(v) > 5e-3 {
+			t.Fatalf("state[%d] = %g; TinyMPC failed to stabilize", i, v)
+		}
+	}
+}
+
+func TestQPSolvesBoxConstrainedProblem(t *testing.T) {
+	// min ½(z1² + z2²) - z1 - 2·z2 s.t. 0 <= z <= 0.8
+	// Unconstrained optimum (1, 2) clips to (0.8, 0.8).
+	p := mat.FromFloats(F(0), [][]float64{{1, 0}, {0, 1}})
+	q := vecF(-1, -2)
+	a := mat.FromFloats(F(0), [][]float64{{1, 0}, {0, 1}})
+	l := vecF(0, 0)
+	u := vecF(0.8, 0.8)
+	qp := control.NewQP(p, q, a, l, u)
+	res, err := qp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := res.Z.Floats()
+	if math.Abs(z[0]-0.8) > 0.02 || math.Abs(z[1]-0.8) > 0.02 {
+		t.Fatalf("QP solution %v, want (0.8, 0.8)", z)
+	}
+}
+
+func TestQPEqualityConstraint(t *testing.T) {
+	// min ½|z|² s.t. z1 + z2 = 1 -> (0.5, 0.5).
+	p := mat.FromFloats(F(0), [][]float64{{1, 0}, {0, 1}})
+	q := vecF(0, 0)
+	a := mat.FromFloats(F(0), [][]float64{{1, 1}})
+	l := vecF(1)
+	u := vecF(1)
+	qp := control.NewQP(p, q, a, l, u)
+	res, err := qp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := res.Z.Floats()
+	if math.Abs(z[0]-0.5) > 0.02 || math.Abs(z[1]-0.5) > 0.02 {
+		t.Fatalf("QP solution %v, want (0.5, 0.5)", z)
+	}
+}
+
+func TestBeeMPCStabilizes(t *testing.T) {
+	a, b, q, r := control.FlyModel(dt)
+	mpc := control.NewBeeMPC(F(0), a, b, q, r, control.DefaultBeeMPCConfig())
+	plant := control.NewLinearPlant(F(0), a, b, []float64{0.3, 0, 0.1, -0.2})
+	xref := vecF(0, 0, 0, 0)
+	// bee-mpc is expensive; run at a lower control rate.
+	for i := 0; i < 300; i++ {
+		u, _, err := mpc.Solve(plant.X, xref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 5; k++ {
+			plant.Step(u)
+		}
+	}
+	for i, v := range plant.X.Floats() {
+		if math.Abs(v) > 0.05 {
+			t.Fatalf("state[%d] = %g; bee-mpc failed to stabilize", i, v)
+		}
+	}
+}
+
+// bee-mpc must dwarf fly-tiny-mpc in per-solve cost (Table IV: 8K µs vs
+// 168 µs on the M4).
+func TestBeeMPCCostsFarMoreThanTinyMPC(t *testing.T) {
+	a, b, q, r := control.FlyModel(dt)
+	tiny, err := control.NewTinyMPC(F(0), a, b, q, r, control.DefaultTinyMPCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bee := control.NewBeeMPC(F(0), a, b, q, r, control.DefaultBeeMPCConfig())
+	x := vecF(0.5, 0, 0.3, -0.2)
+	xref := vecF(0, 0, 0, 0)
+	ct := profile.Collect(func() { tiny.Solve(x, xref) })
+	cb := profile.Collect(func() {
+		if _, _, err := bee.Solve(x, xref); err != nil {
+			t.Error(err)
+		}
+	})
+	if cb.Total() < 10*ct.Total() {
+		t.Fatalf("bee-mpc ops %d < 10x tiny-mpc ops %d", cb.Total(), ct.Total())
+	}
+}
+
+func TestGeomCtrlHoldsHover(t *testing.T) {
+	mass := 0.0008 // 0.8 g — insect scale
+	inertia := [3]float64{1.5e-9, 1.5e-9, 0.5e-9}
+	ctrl := control.NewGeomCtrl(F(0), mass, inertia)
+	body := control.NewRigidBody(F(0), mass, inertia)
+	// Start displaced and tilted.
+	body.P = vecF(0.05, -0.03, 0.02)
+	ref := control.GeomRef[F]{
+		P: vecF(0, 0, 0), V: vecF(0, 0, 0), A: vecF(0, 0, 0), Yaw: F(0),
+	}
+	h := F(0.0005)
+	for i := 0; i < 20000; i++ {
+		thrust, moment := ctrl.Update(body.State(), ref)
+		body.Step(thrust, moment, h)
+	}
+	if d := body.P.Norm().Float(); d > 0.01 {
+		t.Fatalf("position error %g m after 10 s of geometric control", d)
+	}
+	if w := body.W.Norm().Float(); w > 0.5 {
+		t.Fatalf("residual body rate %g rad/s", w)
+	}
+}
+
+func TestGeomCtrlThrustNearWeightAtHover(t *testing.T) {
+	mass := 0.0008
+	ctrl := control.NewGeomCtrl(F(0), mass, [3]float64{1.5e-9, 1.5e-9, 0.5e-9})
+	body := control.NewRigidBody(F(0), mass, [3]float64{1.5e-9, 1.5e-9, 0.5e-9})
+	ref := control.GeomRef[F]{P: vecF(0, 0, 0), V: vecF(0, 0, 0), A: vecF(0, 0, 0), Yaw: F(0)}
+	thrust, _ := ctrl.Update(body.State(), ref)
+	want := mass * imu.Gravity
+	if math.Abs(thrust.Float()-want) > 0.1*want {
+		t.Fatalf("hover thrust %g, want ~%g", thrust.Float(), want)
+	}
+}
+
+func TestSMACConvergesWithUnknownOffset(t *testing.T) {
+	// Altitude plant with an unknown lift deficit the adaptation must
+	// learn: z̈ = u_norm + d, d = -0.8 (units of normalized accel).
+	ctrl := control.NewSMAC(F(0), 0.0008)
+	z, vz := 0.2, 0.0
+	d := -0.8
+	hdt := 0.002
+	ref := control.SMACRef[F]{}
+	var lateErr float64
+	n := 0
+	for i := 0; i < 15000; i++ {
+		st := control.SMACState[F]{Z: F(z), VZ: F(vz)}
+		out := ctrl.Update(st, ref, F(hdt))
+		// Normalized vertical acceleration from the thrust command.
+		uNorm := out.Thrust.Float()/(0.0008) - imu.Gravity
+		vz += (uNorm + d) * hdt
+		z += vz * hdt
+		if i > 10000 {
+			lateErr += math.Abs(z)
+			n++
+		}
+	}
+	if avg := lateErr / float64(n); avg > 0.02 {
+		t.Fatalf("altitude error %g m with constant disturbance; adaptation failed", avg)
+	}
+	// The adaptive parameter should have learned roughly the deficit.
+	if th := ctrl.Theta[0].Float(); math.Abs(th-0.8) > 0.4 {
+		t.Fatalf("adapted θ[0] = %g, want ≈ 0.8", th)
+	}
+}
+
+func TestSMACRespondsToAttitudeError(t *testing.T) {
+	ctrl := control.NewSMAC(F(0), 0.0008)
+	st := control.SMACState[F]{Roll: F(0.2), Pitch: F(-0.1)}
+	out := ctrl.Update(st, control.SMACRef[F]{}, F(0.002))
+	if out.RollMoment.Float() >= 0 {
+		t.Error("positive roll error should command negative roll moment")
+	}
+	if out.PitchMom.Float() <= 0 {
+		t.Error("negative pitch error should command positive pitch moment")
+	}
+}
+
+func TestControlKernelsFloat32(t *testing.T) {
+	a, b, q, r := control.FlyModel(dt)
+	lqr, err := control.NewLQR(scalar.F32(0), a, b, q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plant := control.NewLinearPlant(scalar.F32(0), a, b, []float64{0.2, 0, 0.1, -0.2})
+	xref := mat.VecFromFloats(scalar.F32(0), []float64{0, 0, 0, 0})
+	for i := 0; i < 3000; i++ {
+		plant.Step(lqr.Update(plant.X, xref))
+	}
+	for i, v := range plant.X.Floats() {
+		if math.Abs(v) > 5e-3 {
+			t.Fatalf("f32 LQR state[%d] = %g", i, v)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package control
+
+import (
+	"repro/internal/geom"
+	"repro/internal/imu"
+	"repro/internal/mat"
+	"repro/internal/scalar"
+)
+
+// LinearPlant simulates a discrete linear system x' = A·x + B·u (+ w),
+// the closed-loop substrate for the fly-lqr and MPC tests and examples.
+type LinearPlant[T scalar.Real[T]] struct {
+	A, B mat.Mat[T]
+	X    mat.Vec[T]
+	// W is an optional constant disturbance added each step.
+	W mat.Vec[T]
+}
+
+// NewLinearPlant builds a plant from float64 model rows.
+func NewLinearPlant[T scalar.Real[T]](like T, a, b [][]float64, x0 []float64) *LinearPlant[T] {
+	return &LinearPlant[T]{
+		A: mat.FromFloats(like, a),
+		B: mat.FromFloats(like, b),
+		X: mat.VecFromFloats(like, x0),
+	}
+}
+
+// Step advances the plant by one control period.
+func (p *LinearPlant[T]) Step(u mat.Vec[T]) {
+	p.X = p.A.MulVec(p.X).Add(p.B.MulVec(u))
+	if p.W != nil {
+		p.X = p.X.Add(p.W)
+	}
+}
+
+// RigidBody simulates a small flapping-wing rigid body under thrust
+// along body z and body moments — the bee-geom test substrate.
+type RigidBody[T scalar.Real[T]] struct {
+	Mass T
+	J    mat.Mat[T]
+	Q    geom.Quat[T] // attitude body->world
+	W    mat.Vec[T]   // body rates
+	P    mat.Vec[T]   // world position
+	V    mat.Vec[T]   // world velocity
+}
+
+// NewRigidBody builds a hovering body at the origin.
+func NewRigidBody[T scalar.Real[T]](like T, mass float64, inertia [3]float64) *RigidBody[T] {
+	j := mat.Zeros[T](3, 3)
+	for i := 0; i < 3; i++ {
+		j.Set(i, i, like.FromFloat(inertia[i]))
+	}
+	zero := scalar.Zero(like.FromFloat(0))
+	return &RigidBody[T]{
+		Mass: like.FromFloat(mass),
+		J:    j,
+		Q:    geom.IdentityQuat(like.FromFloat(1)),
+		W:    mat.Vec[T]{zero, zero, zero},
+		P:    mat.Vec[T]{zero, zero, zero},
+		V:    mat.Vec[T]{zero, zero, zero},
+	}
+}
+
+// State exposes the body as the geometric controller's input.
+func (b *RigidBody[T]) State() GeomState[T] {
+	return GeomState[T]{R: b.Q.RotationMatrix(), Omega: b.W, P: b.P, V: b.V}
+}
+
+// Step integrates the dynamics for dt under (thrust, moment).
+func (b *RigidBody[T]) Step(thrust T, moment mat.Vec[T], dt T) {
+	like := b.Mass
+	g := like.FromFloat(imu.Gravity)
+	zero := scalar.Zero(like)
+
+	r := b.Q.RotationMatrix()
+	// Translational: a = (thrust·R·e3)/m − g·e3.
+	fz := r.Col(2).Scale(thrust)
+	acc := fz.Scale(scalar.One(like).Div(b.Mass))
+	acc[2] = acc[2].Sub(g)
+	b.V = b.V.Add(acc.Scale(dt))
+	b.P = b.P.Add(b.V.Scale(dt))
+
+	// Rotational: J·ω̇ = M − ω × J·ω.
+	jw := b.J.MulVec(b.W)
+	wdot := moment.Sub(b.W.Cross(jw))
+	jinv, err := mat.Inverse(b.J)
+	if err == nil {
+		wdot = jinv.MulVec(wdot)
+	}
+	b.W = b.W.Add(wdot.Scale(dt))
+	b.Q = b.Q.Integrate(b.W, dt)
+	_ = zero
+}

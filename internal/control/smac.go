@@ -1,0 +1,92 @@
+package control
+
+import (
+	"repro/internal/imu"
+	"repro/internal/mat"
+	"repro/internal/scalar"
+)
+
+// SMAC is the bee-smac kernel: the sliding-mode adaptive controller of
+// Chirarattananon et al. [11, 12] for flapping-wing takeoff/hover. Each
+// controlled axis (altitude, roll, pitch) runs a sliding surface
+// s = ė + λ·e with a saturated switching term and an adaptive
+// feedforward that learns slowly varying model errors (lift offsets,
+// torque biases) online.
+type SMAC[T scalar.Real[T]] struct {
+	Lambda T // surface slope
+	Eta    T // switching gain
+	Phi    T // boundary-layer width
+	Gamma  T // adaptation rate
+	Mass   T
+
+	// Adaptive parameter estimates, one per axis: [altitude, roll,
+	// pitch] feedforward corrections.
+	Theta mat.Vec[T]
+}
+
+// SMACState is the reduced hover state the controller consumes.
+type SMACState[T scalar.Real[T]] struct {
+	Z, VZ         T // altitude and climb rate
+	Roll, RollD   T // roll angle and rate
+	Pitch, PitchD T // pitch angle and rate
+}
+
+// SMACRef is the reference (hover setpoint or slow trajectory).
+type SMACRef[T scalar.Real[T]] struct {
+	Z, VZ         T
+	Roll, RollD   T
+	Pitch, PitchD T
+}
+
+// SMACOutput is the command triple.
+type SMACOutput[T scalar.Real[T]] struct {
+	Thrust     T
+	RollMoment T
+	PitchMom   T
+}
+
+// NewSMAC builds the controller with gains in like's format.
+func NewSMAC[T scalar.Real[T]](like T, mass float64) *SMAC[T] {
+	zero := scalar.Zero(like.FromFloat(0))
+	return &SMAC[T]{
+		Lambda: like.FromFloat(6),
+		Eta:    like.FromFloat(2.5),
+		Phi:    like.FromFloat(0.3),
+		Gamma:  like.FromFloat(0.8),
+		Mass:   like.FromFloat(mass),
+		Theta:  mat.Vec[T]{zero, zero, zero},
+	}
+}
+
+// sat is the boundary-layer saturation of the switching term.
+func sat[T scalar.Real[T]](s, phi T) T {
+	r := s.Div(phi)
+	one := scalar.One(phi)
+	return scalar.Clamp(r, one.Neg(), one)
+}
+
+// Update advances the adaptation by dt and returns the commands — the
+// measured kernel.
+func (c *SMAC[T]) Update(st SMACState[T], ref SMACRef[T], dt T) SMACOutput[T] {
+	g := c.Mass.FromFloat(imu.Gravity)
+
+	axis := func(e, ed T, idx int) (u T) {
+		// Sliding surface and control law:
+		// u = θ̂ − η·sat(s/φ) − λ·ė  (per-axis normalized form)
+		s := ed.Add(c.Lambda.Mul(e))
+		u = c.Theta[idx].Sub(c.Eta.Mul(sat(s, c.Phi))).Sub(c.Lambda.Mul(ed))
+		// Adaptation: θ̂̇ = −γ·s (inside the boundary layer only, to
+		// avoid winding up on the switching term).
+		if s.Abs().Less(c.Phi) {
+			c.Theta[idx] = c.Theta[idx].Sub(c.Gamma.Mul(s).Mul(dt))
+		}
+		return u
+	}
+
+	out := SMACOutput[T]{}
+	uz := axis(st.Z.Sub(ref.Z), st.VZ.Sub(ref.VZ), 0)
+	out.Thrust = c.Mass.Mul(g.Add(uz))
+	out.RollMoment = axis(st.Roll.Sub(ref.Roll), st.RollD.Sub(ref.RollD), 1)
+	out.PitchMom = axis(st.Pitch.Sub(ref.Pitch), st.PitchD.Sub(ref.PitchD), 2)
+	return out
+}

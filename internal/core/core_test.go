@@ -1,0 +1,128 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mcu"
+)
+
+func TestSuiteHasAll31Kernels(t *testing.T) {
+	suite := core.Suite()
+	// 30 curated kernels in Table III; bbof-vec (the 31st of the
+	// abstract) is exposed as a Table VI variant through
+	// NewFlowProblem, not a separate row.
+	if len(suite) != 24 {
+		t.Logf("suite size %d", len(suite))
+	}
+	want := []string{
+		"fastbrief", "orb", "sift", "lkof", "iiof", "bbof",
+		"mahony", "madgwick", "fourati",
+		"fly-ekf (sync)", "fly-ekf (seq)", "fly-ekf (trunc)", "bee-ceekf",
+		"p3p", "up2p", "dlt", "absgoldstd",
+		"up2pt", "up3pt", "u3pt", "5pt", "8pt", "relgoldstd", "homography",
+		"abs-lo-ransac", "rel-lo-ransac",
+		"fly-tiny-mpc", "fly-lqr", "bee-mpc", "bee-geom", "bee-smac",
+	}
+	names := map[string]bool{}
+	for _, s := range suite {
+		names[s.Name] = true
+	}
+	for _, w := range want {
+		if !names[w] {
+			t.Errorf("suite missing kernel %q", w)
+		}
+	}
+	if len(suite) != len(want) {
+		t.Errorf("suite has %d kernels, want %d", len(suite), len(want))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := core.ByName("p3p"); !ok {
+		t.Error("ByName(p3p) failed")
+	}
+	if _, ok := core.ByName("nope"); ok {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+// Every kernel must run end-to-end through the harness and validate.
+func TestEveryKernelRunsAndValidates(t *testing.T) {
+	for _, spec := range core.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			arch := mcu.M4
+			if spec.M7Only {
+				arch = mcu.M7
+			}
+			cfg := harness.DefaultConfig()
+			res, err := harness.Run(spec.Factory(), arch, spec.Prec, cfg)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !res.Valid {
+				t.Fatalf("validation: %v", res.ValidErr)
+			}
+			if res.Counts.Total() == 0 {
+				t.Fatal("kernel recorded no operations")
+			}
+			if res.Model.LatencyS <= 0 {
+				t.Fatal("non-positive modeled latency")
+			}
+		})
+	}
+}
+
+// Characterize must populate every (arch, cache) cell and the static
+// proxy, for a representative cheap kernel.
+func TestCharacterize(t *testing.T) {
+	spec, _ := core.ByName("mahony")
+	rec, err := core.Characterize(spec, mcu.TableIVSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(rec.Cells))
+	}
+	if rec.Static.Total() == 0 {
+		t.Error("no static mix")
+	}
+	if rec.Flash <= 1024 {
+		t.Error("implausible flash size")
+	}
+	if _, ok := rec.Cell("M33", true); !ok {
+		t.Error("missing M33 cache-on cell")
+	}
+	// Cross-arch ordering: M33 energy lowest, M7 fastest (cache on).
+	m4, _ := rec.Cell("M4", true)
+	m33, _ := rec.Cell("M33", true)
+	m7, _ := rec.Cell("M7", true)
+	if !(m33.Model.EnergyJ < m4.Model.EnergyJ && m33.Model.EnergyJ < m7.Model.EnergyJ) {
+		t.Error("M33 should be the energy champion")
+	}
+	if !(m7.Model.LatencyS < m4.Model.LatencyS) {
+		t.Error("M7 should be faster than M4")
+	}
+}
+
+func TestM7OnlyKernelSkipsSmallCores(t *testing.T) {
+	spec, _ := core.ByName("sift")
+	if !spec.M7Only {
+		t.Fatal("sift should be M7-only")
+	}
+}
+
+func TestFLOPClaimsPresent(t *testing.T) {
+	// Table VIII rows carry claimed FLOP counts.
+	for _, name := range []string{"fly-ekf (sync)", "fly-ekf (trunc)", "bee-ceekf", "fly-lqr", "fly-tiny-mpc"} {
+		spec, ok := core.ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if spec.FLOPs == 0 {
+			t.Errorf("%s has no claimed FLOPs", name)
+		}
+	}
+}

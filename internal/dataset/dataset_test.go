@@ -1,0 +1,189 @@
+package dataset_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/pose"
+	"repro/internal/scalar"
+)
+
+type F = scalar.F64
+
+func TestImageKindsDifferInCharacter(t *testing.T) {
+	midd := dataset.GenImage(dataset.Midd, 160, 160, 1)
+	lights := dataset.GenImage(dataset.Lights, 160, 160, 1)
+	april := dataset.GenImage(dataset.April, 160, 160, 1)
+
+	// Lights is overwhelmingly dark; midd is mid-brightness textured.
+	dark := 0
+	for _, p := range lights.Pix {
+		if p < 30 {
+			dark++
+		}
+	}
+	if frac := float64(dark) / float64(len(lights.Pix)); frac < 0.8 {
+		t.Errorf("lights dark fraction %.2f, want sparse bright blobs", frac)
+	}
+	if m := midd.Mean(); m < 60 || m > 200 {
+		t.Errorf("midd mean %.1f, want mid-range texture", m)
+	}
+	// April has strong bimodal contrast (tags).
+	var lo, hi int
+	for _, p := range april.Pix {
+		if p < 60 {
+			lo++
+		}
+		if p > 200 {
+			hi++
+		}
+	}
+	if lo == 0 || hi == 0 {
+		t.Error("april lacks the dark/bright tag structure")
+	}
+}
+
+func TestGenImageDeterministic(t *testing.T) {
+	a := dataset.GenImage(dataset.Midd, 64, 64, 9)
+	b := dataset.GenImage(dataset.Midd, 64, 64, 9)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("GenImage not deterministic")
+		}
+	}
+	c := dataset.GenImage(dataset.Midd, 64, 64, 10)
+	same := 0
+	for i := range a.Pix {
+		if a.Pix[i] == c.Pix[i] {
+			same++
+		}
+	}
+	if same == len(a.Pix) {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestFlowPairShiftConvention(t *testing.T) {
+	// A(x) ≈ B(x + d): correlate a central patch directly.
+	p := dataset.GenFlowPair(dataset.Midd, 80, 80, 3, -2, 5)
+	var sad0, sadD int
+	for y := 20; y < 60; y++ {
+		for x := 20; x < 60; x++ {
+			a := int(p.A.Pix[y*80+x])
+			sad0 += iabs(a - int(p.B.Pix[y*80+x]))
+			sadD += iabs(a - int(p.B.Pix[(y-2)*80+x+3]))
+		}
+	}
+	if sadD >= sad0 {
+		t.Fatalf("shifted SAD %d >= unshifted %d; convention broken", sadD, sad0)
+	}
+}
+
+func TestStereoPair(t *testing.T) {
+	l, r := dataset.StereoPair(dataset.Midd, 100, 100, 4, 3)
+	if l.W != 100 || r.W != 100 {
+		t.Fatal("wrong dimensions")
+	}
+}
+
+func TestAbsProblemGroundTruthConsistent(t *testing.T) {
+	p := dataset.GenAbsProblem(dataset.PoseGenConfig{N: 20, Seed: 4})
+	for i, c := range p.Corrs {
+		xc := p.Truth.Apply(c.X)
+		if xc[2].Float() <= 0 {
+			t.Fatalf("point %d behind camera", i)
+		}
+		u := xc[0].Float() / xc[2].Float()
+		v := xc[1].Float() / xc[2].Float()
+		if math.Abs(u-c.U[0].Float()) > 1e-9 || math.Abs(v-c.U[1].Float()) > 1e-9 {
+			t.Fatalf("point %d projection mismatch", i)
+		}
+	}
+}
+
+func TestRelProblemEpipolarConsistent(t *testing.T) {
+	p := dataset.GenRelProblem(dataset.PoseGenConfig{N: 20, Seed: 4})
+	e := pose.EssentialFromPose(p.Truth)
+	for i, c := range p.Corrs {
+		if r := pose.EpipolarResidual(e, c).Float(); r > 1e-12 {
+			t.Fatalf("corr %d epipolar residual %g on clean data", i, r)
+		}
+	}
+}
+
+func TestOutlierRatioHonored(t *testing.T) {
+	p := dataset.GenRelProblem(dataset.PoseGenConfig{N: 400, PixelNoise: 0, OutlierRatio: 0.25, Seed: 8})
+	e := pose.EssentialFromPose(p.Truth)
+	bad := 0
+	for _, c := range p.Corrs {
+		if pose.SampsonErr(e, c).Float() > 1e-3 {
+			bad++
+		}
+	}
+	frac := float64(bad) / float64(len(p.Corrs))
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("outlier fraction %.2f, want ~0.25", frac)
+	}
+}
+
+func TestUprightProblemHasYawOnlyRotation(t *testing.T) {
+	p := dataset.GenRelProblem(dataset.PoseGenConfig{N: 5, Upright: true, Seed: 6})
+	r := p.Truth.R.Floats()
+	// R_y(θ): row/col 1 must be the unit y vector.
+	if math.Abs(r[1][1]-1) > 1e-12 || math.Abs(r[0][1]) > 1e-12 || math.Abs(r[1][0]) > 1e-12 {
+		t.Fatalf("upright rotation not yaw-only: %v", r)
+	}
+}
+
+func TestPlanarProblemHasZeroYTranslation(t *testing.T) {
+	p := dataset.GenRelProblem(dataset.PoseGenConfig{N: 5, Upright: true, Planar: true, Seed: 6})
+	if ty := p.Truth.T[1].Float(); math.Abs(ty) > 1e-12 {
+		t.Fatalf("planar translation has t_y = %g", ty)
+	}
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	p := dataset.GenAbsProblem(dataset.PoseGenConfig{N: 4, Seed: 2})
+	c32 := dataset.ConvertAbs(scalar.F32(0), p)
+	if len(c32) != 4 {
+		t.Fatal("wrong length")
+	}
+	if math.Abs(c32[0].X[0].Float()-p.Corrs[0].X[0].Float()) > 1e-6 {
+		t.Fatal("conversion lost precision beyond f32")
+	}
+	rp := dataset.GenRelProblem(dataset.PoseGenConfig{N: 4, Seed: 2})
+	r32 := dataset.ConvertRel(scalar.F32(0), rp)
+	if len(r32) != 4 {
+		t.Fatal("wrong rel length")
+	}
+	truth32 := dataset.TruthAs(scalar.F32(0), rp.Truth)
+	if e := dataset.RotationErr(truth32, rp.Truth); e > 1e-4 {
+		t.Fatalf("TruthAs drifted %g°", e)
+	}
+}
+
+// Property: generated problems are always solvable by their matching
+// solver on clean data.
+func TestPropCleanProblemsSolvable(t *testing.T) {
+	f := func(seed int64) bool {
+		p := dataset.GenRelProblem(dataset.PoseGenConfig{N: 10, Upright: true, Seed: seed})
+		cands, err := pose.U3PT(p.Corrs[:3])
+		if err != nil {
+			return false
+		}
+		best, ok := pose.BestRelPose(cands, p.Corrs)
+		return ok && dataset.RotationErr(best, p.Truth) < 0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func iabs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	img "repro/internal/image"
+)
+
+// ImageKind selects the synthetic scene family standing in for the
+// paper's NanEyeC captures.
+type ImageKind int
+
+// Scene families used by Case Study #1.
+const (
+	// Midd is a richly textured surface (the Middlebury-crop analogue):
+	// multi-octave value noise plus speckle.
+	Midd ImageKind = iota
+	// Lights is the sparse LED-illuminated scene of [51]: a dark field
+	// with a handful of bright blobs.
+	Lights
+	// April is the tag-grid scene: high-contrast square fiducials on a
+	// mid-gray background.
+	April
+)
+
+// String names the dataset as the paper's tables do.
+func (k ImageKind) String() string {
+	switch k {
+	case Midd:
+		return "midd"
+	case Lights:
+		return "lights"
+	default:
+		return "april"
+	}
+}
+
+// GenImage synthesizes a w×h scene of the given kind, deterministically
+// for a seed.
+func GenImage(kind ImageKind, w, h int, seed int64) *img.Gray {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case Lights:
+		return genLights(w, h, rng)
+	case April:
+		return genApril(w, h, rng)
+	default:
+		return genTexture(w, h, rng)
+	}
+}
+
+// genTexture layers value noise at several octaves — dense gradients
+// everywhere, the "highly textured surface" condition.
+func genTexture(w, h int, rng *rand.Rand) *img.Gray {
+	out := img.NewGray(w, h)
+	// Random lattice per octave, bilinearly interpolated.
+	octaves := []struct {
+		cell int
+		amp  float64
+	}{{32, 70}, {16, 50}, {8, 35}, {4, 20}}
+	type lattice struct {
+		cw, ch int
+		v      []float64
+	}
+	lats := make([]lattice, len(octaves))
+	for i, o := range octaves {
+		cw := w/o.cell + 2
+		ch := h/o.cell + 2
+		v := make([]float64, cw*ch)
+		for j := range v {
+			v[j] = rng.Float64()*2 - 1
+		}
+		lats[i] = lattice{cw: cw, ch: ch, v: v}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			val := 128.0
+			for i, o := range octaves {
+				fx := float64(x) / float64(o.cell)
+				fy := float64(y) / float64(o.cell)
+				x0, y0 := int(fx), int(fy)
+				tx, ty := fx-float64(x0), fy-float64(y0)
+				l := lats[i]
+				v00 := l.v[y0*l.cw+x0]
+				v10 := l.v[y0*l.cw+x0+1]
+				v01 := l.v[(y0+1)*l.cw+x0]
+				v11 := l.v[(y0+1)*l.cw+x0+1]
+				top := v00 + tx*(v10-v00)
+				bot := v01 + tx*(v11-v01)
+				val += (top + ty*(bot-top)) * o.amp
+			}
+			out.Pix[y*w+x] = clamp8(val)
+		}
+	}
+	return out
+}
+
+// genLights renders a near-black field with a few bright Gaussian blobs
+// (LEDs seen with reduced exposure), the sparse condition of [51].
+func genLights(w, h int, rng *rand.Rand) *img.Gray {
+	out := img.NewGray(w, h)
+	for i := range out.Pix {
+		out.Pix[i] = uint8(2 + rng.Intn(6)) // sensor floor noise
+	}
+	nBlobs := 6 + rng.Intn(5)
+	for b := 0; b < nBlobs; b++ {
+		cx := 10 + rng.Float64()*float64(w-20)
+		cy := 10 + rng.Float64()*float64(h-20)
+		sigma := 1.2 + rng.Float64()*1.6
+		amp := 180 + rng.Float64()*75
+		r := int(3 * sigma)
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				x, y := int(cx)+dx, int(cy)+dy
+				if x < 0 || y < 0 || x >= w || y >= h {
+					continue
+				}
+				fx := float64(x) - cx
+				fy := float64(y) - cy
+				v := float64(out.Pix[y*w+x]) + amp*math.Exp(-(fx*fx+fy*fy)/(2*sigma*sigma))
+				out.Pix[y*w+x] = clamp8(v)
+			}
+		}
+	}
+	return out
+}
+
+// genApril tiles high-contrast square fiducials (AprilTag-like blocks)
+// over a mid-gray background.
+func genApril(w, h int, rng *rand.Rand) *img.Gray {
+	out := img.NewGray(w, h)
+	for i := range out.Pix {
+		out.Pix[i] = uint8(150 + rng.Intn(8))
+	}
+	tag := 36           // tag size in pixels
+	cells := 6          // payload grid
+	step := tag + tag/2 // spacing
+	cell := tag / cells
+	for ty := 8; ty+tag < h; ty += step {
+		for tx := 8; tx+tag < w; tx += step {
+			// Black border ring.
+			for y := ty; y < ty+tag; y++ {
+				for x := tx; x < tx+tag; x++ {
+					out.Pix[y*w+x] = 20
+				}
+			}
+			// Random payload cells (white or black).
+			for cy := 1; cy < cells-1; cy++ {
+				for cx := 1; cx < cells-1; cx++ {
+					v := uint8(20)
+					if rng.Intn(2) == 1 {
+						v = 235
+					}
+					for y := ty + cy*cell; y < ty+(cy+1)*cell; y++ {
+						for x := tx + cx*cell; x < tx+(cx+1)*cell; x++ {
+							out.Pix[y*w+x] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func clamp8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// FlowPair is two frames related by a known dense translation (plus
+// optional noise): ground truth for the optical-flow kernels. The
+// convention is A(x) ≈ B(x + (DX, DY)): scene content found at x in
+// frame A appears displaced by (DX, DY) in frame B, which is exactly
+// what the flow kernels report.
+type FlowPair struct {
+	A, B   *img.Gray
+	DX, DY float64
+}
+
+// GenFlowPair renders a scene and a shifted copy with subpixel motion
+// (bilinear resampling) and mild intensity noise.
+func GenFlowPair(kind ImageKind, w, h int, dx, dy float64, seed int64) FlowPair {
+	// Render a larger scene and crop two windows displaced by (dx, dy).
+	margin := int(math.Max(math.Abs(dx), math.Abs(dy))) + 4
+	big := GenImage(kind, w+2*margin, h+2*margin, seed)
+	rng := rand.New(rand.NewSource(seed + 7))
+	a := img.NewGray(w, h)
+	b := img.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			a.Pix[y*w+x] = big.Pix[(y+margin)*big.W+x+margin]
+			v := big.Bilinear(float64(x+margin)-dx, float64(y+margin)-dy)
+			b.Pix[y*w+x] = clamp8(v + rng.NormFloat64()*1.0)
+		}
+	}
+	return FlowPair{A: a, B: b, DX: dx, DY: dy}
+}
+
+// StereoPair returns two views of a textured scene with horizontal
+// disparity — the midd-stereo analogue used by the feature-extraction
+// kernels.
+func StereoPair(kind ImageKind, w, h int, disparity float64, seed int64) (*img.Gray, *img.Gray) {
+	p := GenFlowPair(kind, w, h, disparity, 0, seed)
+	return p.A, p.B
+}

@@ -1,0 +1,223 @@
+// Package dataset provides the deterministic synthetic data generators
+// that stand in for the paper's recorded datasets: pose-estimation
+// problem sets (this file), NanEyeC-like camera imagery, IMU trajectory
+// streams, and control reference trajectories. See DESIGN.md for the
+// substitution rationale: the case studies depend on controlled dataset
+// character (noise, outlier ratio, motion priors, texture), which these
+// generators expose as parameters.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/mat"
+	"repro/internal/pose"
+	"repro/internal/scalar"
+)
+
+// FocalPx is the nominal focal length used to convert the paper's
+// pixel-noise levels into normalized image coordinates (a NanEyeC-class
+// sensor behind a miniature lens).
+const FocalPx = 320.0
+
+// F64 is the generation precision.
+type F64 = scalar.F64
+
+// PoseGenConfig parameterizes synthetic pose problems, mirroring the
+// RANSAC/noise parameter rows of Table II.
+type PoseGenConfig struct {
+	N            int     // correspondences per problem
+	PixelNoise   float64 // Gaussian pixel noise std
+	OutlierRatio float64 // fraction of correspondences replaced
+	Upright      bool    // yaw-only rotation (gravity known)
+	Planar       bool    // translation restricted to the y=0 plane
+	Seed         int64
+}
+
+// AbsProblem is one synthetic absolute-pose instance with ground truth.
+type AbsProblem struct {
+	Corrs []pose.AbsCorrespondence[F64]
+	Truth pose.Pose[F64]
+}
+
+// RelProblem is one synthetic relative-pose instance with ground truth.
+type RelProblem struct {
+	Corrs []pose.RelCorrespondence[F64]
+	Truth pose.Pose[F64] // pose of view 2 relative to view 1 (unit t)
+}
+
+// randRotation draws a camera rotation. Magnitudes are bounded to ~30°,
+// matching the consecutive-frame motion of the pose-estimation
+// literature's synthetic benchmarks (and keeping the shared field of
+// view non-empty).
+func randRotation(rng *rand.Rand, upright bool) mat.Mat[F64] {
+	if upright {
+		return geom.RotY(F64(rng.Float64() - 0.5))
+	}
+	axis := mat.VecFromFloats(F64(0), []float64{
+		rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(),
+	})
+	angle := F64(rng.Float64() * 0.5)
+	return geom.QuatFromAxisAngle(axis, angle).RotationMatrix()
+}
+
+// GenAbsProblem synthesizes an absolute-pose problem: world points seen
+// by a camera at a random (optionally upright) pose, with pixel noise
+// and uniform outliers.
+func GenAbsProblem(cfg PoseGenConfig) AbsProblem {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	r := randRotation(rng, cfg.Upright)
+	t := mat.VecFromFloats(F64(0), []float64{
+		rng.NormFloat64() * 0.5, rng.NormFloat64() * 0.5, rng.NormFloat64() * 0.5,
+	})
+	if cfg.Planar {
+		t[1] = F64(0)
+	}
+	truth := pose.Pose[F64]{R: r, T: t}
+	rinv := r.Transpose()
+
+	noise := cfg.PixelNoise / FocalPx
+	corrs := make([]pose.AbsCorrespondence[F64], 0, cfg.N)
+	for len(corrs) < cfg.N {
+		// Point in the camera frame, comfortably in front.
+		xc := mat.VecFromFloats(F64(0), []float64{
+			rng.Float64()*2 - 1, rng.Float64()*2 - 1, 2 + rng.Float64()*4,
+		})
+		// Back to world coordinates.
+		xw := rinv.MulVec(xc.Sub(t))
+		u := xc[0].Float() / xc[2].Float()
+		v := xc[1].Float() / xc[2].Float()
+		if rng.Float64() < cfg.OutlierRatio {
+			u = rng.Float64()*2 - 1
+			v = rng.Float64()*2 - 1
+		} else {
+			u += rng.NormFloat64() * noise
+			v += rng.NormFloat64() * noise
+		}
+		corrs = append(corrs, pose.AbsCorrespondence[F64]{
+			X: xw,
+			U: mat.VecFromFloats(F64(0), []float64{u, v}),
+		})
+	}
+	return AbsProblem{Corrs: corrs, Truth: truth}
+}
+
+// GenRelProblem synthesizes a relative-pose problem: 3D points seen from
+// two views with the configured motion prior, noise, and outliers. The
+// ground-truth translation is unit length (relative pose is defined up
+// to scale).
+func GenRelProblem(cfg PoseGenConfig) RelProblem {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	r := randRotation(rng, cfg.Upright)
+	tdir := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	if cfg.Planar {
+		tdir[1] = 0
+	}
+	t := mat.VecFromFloats(F64(0), tdir).Normalized()
+	truth := pose.Pose[F64]{R: r, T: t}
+	// Baseline scale for generating observations (does not affect the
+	// up-to-scale ground truth).
+	baseline := 0.3
+
+	noise := cfg.PixelNoise / FocalPx
+	corrs := make([]pose.RelCorrespondence[F64], 0, cfg.N)
+	attempts := 0
+	for len(corrs) < cfg.N {
+		attempts++
+		if attempts > 100*cfg.N+1000 {
+			panic("dataset: GenRelProblem could not place points in both frusta")
+		}
+		// Point in view 1's frame.
+		x1 := mat.VecFromFloats(F64(0), []float64{
+			rng.Float64()*2 - 1, rng.Float64()*2 - 1, 2 + rng.Float64()*4,
+		})
+		// View 2: x2 = R·x1 + baseline·t.
+		x2 := r.MulVec(x1).Add(t.Scale(F64(baseline)))
+		if x2[2].Float() < 0.2 {
+			continue
+		}
+		u1 := x1[0].Float() / x1[2].Float()
+		v1 := x1[1].Float() / x1[2].Float()
+		u2 := x2[0].Float() / x2[2].Float()
+		v2 := x2[1].Float() / x2[2].Float()
+		if rng.Float64() < cfg.OutlierRatio {
+			u2 = rng.Float64()*2 - 1
+			v2 = rng.Float64()*2 - 1
+		} else {
+			u1 += rng.NormFloat64() * noise
+			v1 += rng.NormFloat64() * noise
+			u2 += rng.NormFloat64() * noise
+			v2 += rng.NormFloat64() * noise
+		}
+		corrs = append(corrs, pose.RelCorrespondence[F64]{
+			U1: mat.VecFromFloats(F64(0), []float64{u1, v1}),
+			U2: mat.VecFromFloats(F64(0), []float64{u2, v2}),
+		})
+	}
+	return RelProblem{Corrs: corrs, Truth: truth}
+}
+
+// ConvertAbs converts a problem's correspondences into like's scalar
+// format.
+func ConvertAbs[T scalar.Real[T]](like T, p AbsProblem) []pose.AbsCorrespondence[T] {
+	out := make([]pose.AbsCorrespondence[T], len(p.Corrs))
+	for i, c := range p.Corrs {
+		out[i] = pose.AbsCorrespondence[T]{
+			X: mat.VecFromFloats(like, c.X.Floats()),
+			U: mat.VecFromFloats(like, c.U.Floats()),
+		}
+	}
+	return out
+}
+
+// ConvertRel converts a problem's correspondences into like's scalar
+// format.
+func ConvertRel[T scalar.Real[T]](like T, p RelProblem) []pose.RelCorrespondence[T] {
+	out := make([]pose.RelCorrespondence[T], len(p.Corrs))
+	for i, c := range p.Corrs {
+		out[i] = pose.RelCorrespondence[T]{
+			U1: mat.VecFromFloats(like, c.U1.Floats()),
+			U2: mat.VecFromFloats(like, c.U2.Floats()),
+		}
+	}
+	return out
+}
+
+// TruthAs converts the ground-truth pose into like's scalar format.
+func TruthAs[T scalar.Real[T]](like T, p pose.Pose[F64]) pose.Pose[T] {
+	r := mat.Zeros[T](3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r.Set(i, j, like.FromFloat(p.R.At(i, j).Float()))
+		}
+	}
+	return pose.Pose[T]{R: r, T: mat.VecFromFloats(like, p.T.Floats())}
+}
+
+// RotationErr returns the rotation error (degrees) of an estimate in any
+// scalar format against the float64 ground truth.
+func RotationErr[T scalar.Real[T]](est pose.Pose[T], truth pose.Pose[F64]) float64 {
+	ef := mat.FromFloats(F64(0), est.R.Floats())
+	return geom.RotationAngleDeg(ef, truth.R)
+}
+
+// TranslationDirErr returns the translation direction error (degrees).
+func TranslationDirErr[T scalar.Real[T]](est pose.Pose[T], truth pose.Pose[F64]) float64 {
+	tf := est.T.Floats()
+	ef := pose.Pose[F64]{R: truth.R, T: mat.VecFromFloats(F64(0), tf)}
+	return ef.TranslationDirErrDeg(truth)
+}
+
+// TranslationAbsErr returns |t_est − t_truth| for absolute pose.
+func TranslationAbsErr[T scalar.Real[T]](est pose.Pose[T], truth pose.Pose[F64]) float64 {
+	te := est.T.Floats()
+	tt := truth.T.Floats()
+	var s float64
+	for i := 0; i < 3; i++ {
+		d := te[i] - tt[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

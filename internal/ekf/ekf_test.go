@@ -1,0 +1,252 @@
+package ekf_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ekf"
+	"repro/internal/mat"
+	"repro/internal/mcu"
+	"repro/internal/profile"
+	"repro/internal/scalar"
+)
+
+type F = scalar.F64
+
+// flySim generates a ground-truth RoboFly-style hover trajectory with
+// noisy sensor readings for the filter.
+type flySim struct {
+	rng *rand.Rand
+	t   float64
+	// truth
+	theta, vx, z, vz float64
+}
+
+func newFlySim(seed int64) *flySim {
+	return &flySim{rng: rand.New(rand.NewSource(seed)), z: 0.5}
+}
+
+const g0 = 9.80665
+
+func (s *flySim) step(dt float64) (omega, az float64) {
+	// Gentle commanded pitch oscillation and altitude bob.
+	omega = 0.4 * math.Cos(2*math.Pi*1.5*s.t)
+	az = g0 + 0.3*math.Sin(2*math.Pi*0.8*s.t)
+	s.theta += omega * dt
+	s.vx += (g0*s.theta - 0.5*s.vx) * dt
+	s.z += s.vz * dt
+	s.vz += (az - g0) * dt
+	s.t += dt
+	return omega, az
+}
+
+func (s *flySim) tof() float64  { return s.z/math.Cos(s.theta) + s.rng.NormFloat64()*0.005 }
+func (s *flySim) flow() float64 { return s.vx/s.z + s.rng.NormFloat64()*0.02 }
+func (s *flySim) acc() float64  { return g0*s.theta + s.rng.NormFloat64()*0.1 }
+
+func runFly(t *testing.T, strategy ekf.Strategy) (zErr, thErr float64) {
+	t.Helper()
+	sim := newFlySim(42)
+	f := ekf.NewFlyEKF(F(0), strategy, ekf.DefaultFlyEKFConfig(), 0.45)
+	dt := 0.002 // 500 Hz
+	var sumZ, sumTh float64
+	n := 0
+	for i := 0; i < 2500; i++ {
+		omega, az := sim.step(dt)
+		var tof, flow, acc *F
+		// Asynchronous sensors: ToF at 50 Hz, flow at 100 Hz, accel at
+		// 250 Hz — the RoboFly cadence.
+		if i%10 == 0 {
+			v := F(sim.tof())
+			tof = &v
+		}
+		if i%5 == 0 {
+			v := F(sim.flow())
+			flow = &v
+		}
+		if i%2 == 0 {
+			v := F(sim.acc())
+			acc = &v
+		}
+		if err := f.Step(F(omega+sim.rng.NormFloat64()*0.002), F(az+sim.rng.NormFloat64()*0.05), F(dt), tof, flow, acc); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if i > 1250 {
+			th, _, z, _ := f.State()
+			sumZ += math.Abs(z - sim.z)
+			sumTh += math.Abs(th - sim.theta)
+			n++
+		}
+	}
+	return sumZ / float64(n), sumTh / float64(n)
+}
+
+func TestFlyEKFSyncConverges(t *testing.T) {
+	zErr, thErr := runFly(t, ekf.Sync)
+	if zErr > 0.02 {
+		t.Errorf("sync altitude error %.4f m", zErr)
+	}
+	if thErr > 0.05 {
+		t.Errorf("sync pitch error %.4f rad", thErr)
+	}
+}
+
+func TestFlyEKFSequentialConverges(t *testing.T) {
+	zErr, thErr := runFly(t, ekf.Sequential)
+	if zErr > 0.02 {
+		t.Errorf("seq altitude error %.4f m", zErr)
+	}
+	if thErr > 0.05 {
+		t.Errorf("seq pitch error %.4f rad", thErr)
+	}
+}
+
+func TestFlyEKFTruncatedConverges(t *testing.T) {
+	zErr, thErr := runFly(t, ekf.Truncated)
+	// Truncation trades optimality for cycles; allow a looser bound.
+	if zErr > 0.04 {
+		t.Errorf("trunc altitude error %.4f m", zErr)
+	}
+	if thErr > 0.08 {
+		t.Errorf("trunc pitch error %.4f rad", thErr)
+	}
+}
+
+// The truncated update must be cheaper than the sequential one — that is
+// its entire reason to exist [65].
+func TestTruncatedIsCheaperThanSequential(t *testing.T) {
+	cost := func(strategy ekf.Strategy) uint64 {
+		sim := newFlySim(7)
+		f := ekf.NewFlyEKF(F(0), strategy, ekf.DefaultFlyEKFConfig(), 0.5)
+		c := profile.Collect(func() {
+			for i := 0; i < 200; i++ {
+				omega, az := sim.step(0.002)
+				tof, flow, acc := F(sim.tof()), F(sim.flow()), F(sim.acc())
+				_ = f.Step(F(omega), F(az), F(0.002), &tof, &flow, &acc)
+			}
+		})
+		return c.Total()
+	}
+	seq := cost(ekf.Sequential)
+	trunc := cost(ekf.Truncated)
+	if trunc >= seq {
+		t.Fatalf("truncated cost %d >= sequential %d", trunc, seq)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if ekf.Sync.String() != "sync" || ekf.Sequential.String() != "seq" || ekf.Truncated.String() != "trunc" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestBeeCEEKFTracksHover(t *testing.T) {
+	// Truth: gentle vertical bob at fixed attitude; ToF measures
+	// altitude, accelerometer attitude reference reads ~0.
+	rng := rand.New(rand.NewSource(3))
+	f := ekf.NewBeeCEEKF(F(0), ekf.Sync, ekf.DefaultBeeCEEKFConfig())
+	dt := 0.004
+	z, vz := 0.0, 0.0
+	var sumErr float64
+	n := 0
+	for i := 0; i < 1500; i++ {
+		tTime := float64(i) * dt
+		azCmd := g0 + 0.5*math.Sin(2*math.Pi*0.7*tTime)
+		vz += (azCmd - g0) * dt
+		z += vz * dt
+
+		accel := mat.VecFromFloats(F(0), []float64{
+			rng.NormFloat64() * 0.05,
+			rng.NormFloat64() * 0.05,
+			azCmd + rng.NormFloat64()*0.05,
+		})
+		gyro := mat.VecFromFloats(F(0), []float64{
+			rng.NormFloat64() * 0.01, rng.NormFloat64() * 0.01, rng.NormFloat64() * 0.01,
+		})
+		var tof *F
+		if i%5 == 0 {
+			v := F(z + rng.NormFloat64()*0.004)
+			tof = &v
+		}
+		attRef := mat.VecFromFloats(F(0), []float64{
+			rng.NormFloat64() * 0.02, rng.NormFloat64() * 0.02,
+		})
+		if err := f.Step(accel, gyro, F(dt), tof, attRef); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if i > 750 {
+			sumErr += math.Abs(f.Position()[2] - z)
+			n++
+		}
+	}
+	if avg := sumErr / float64(n); avg > 0.02 {
+		t.Fatalf("bee-ceekf altitude error %.4f m", avg)
+	}
+}
+
+// bee-ceekf (10 states) must cost far more than fly-ekf (4 states) per
+// update — the N³ covariance scaling behind Table IV's 100x gap.
+func TestBeeCostDwarfsFly(t *testing.T) {
+	flyCost := profile.Collect(func() {
+		f := ekf.NewFlyEKF(F(0), ekf.Sync, ekf.DefaultFlyEKFConfig(), 0.5)
+		tof, flow, acc := F(0.5), F(0.0), F(0.0)
+		for i := 0; i < 50; i++ {
+			_ = f.Step(F(0.1), F(g0), F(0.002), &tof, &flow, &acc)
+		}
+	})
+	beeCost := profile.Collect(func() {
+		f := ekf.NewBeeCEEKF(F(0), ekf.Sync, ekf.DefaultBeeCEEKFConfig())
+		accel := mat.VecFromFloats(F(0), []float64{0, 0, g0})
+		gyro := mat.VecFromFloats(F(0), []float64{0, 0, 0})
+		attRef := mat.VecFromFloats(F(0), []float64{0, 0})
+		tof := F(0.5)
+		for i := 0; i < 50; i++ {
+			_ = f.Step(accel, gyro, F(0.002), &tof, attRef)
+		}
+	})
+	if beeCost.Total() < 5*flyCost.Total() {
+		t.Fatalf("bee %d < 5x fly %d total ops", beeCost.Total(), flyCost.Total())
+	}
+}
+
+// FLOP-count reality check (Case Study #3): the modeled cycle count of
+// the generic implementation must exceed the static FLOP tally, because
+// memory traffic and control flow are invisible to FLOP counting.
+func TestMeasuredCyclesExceedClaimedFLOPs(t *testing.T) {
+	f := ekf.NewFlyEKF(F(0), ekf.Sequential, ekf.DefaultFlyEKFConfig(), 0.5)
+	tof, flow, acc := F(0.5), F(0.0), F(0.0)
+	c := profile.Collect(func() {
+		_ = f.Step(F(0.1), F(g0), F(0.002), &tof, &flow, &acc)
+	})
+	cycles := mcu.M4.Cycles(c, mcu.PrecF32, true)
+	if cycles <= ekf.FlyEKFFLOPs {
+		t.Fatalf("modeled cycles %.0f <= claimed FLOPs %d; the FLOP gap should be visible", cycles, ekf.FlyEKFFLOPs)
+	}
+}
+
+func TestUpdateAllLengthMismatch(t *testing.T) {
+	f := ekf.NewFlyEKF(F(0), ekf.Sync, ekf.DefaultFlyEKFConfig(), 0.5)
+	if err := f.UpdateAll([]ekf.Measurement[F]{}, []mat.Vec[F]{{F(1)}}); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestFlyEKFFloat32(t *testing.T) {
+	sim := newFlySim(99)
+	f := ekf.NewFlyEKF(scalar.F32(0), ekf.Sync, ekf.DefaultFlyEKFConfig(), 0.5)
+	dt := 0.002
+	for i := 0; i < 500; i++ {
+		omega, az := sim.step(dt)
+		tof := scalar.F32(sim.tof())
+		flow := scalar.F32(sim.flow())
+		acc := scalar.F32(sim.acc())
+		if err := f.Step(scalar.F32(omega), scalar.F32(az), scalar.F32(dt), &tof, &flow, &acc); err != nil {
+			t.Fatalf("f32 step %d: %v", i, err)
+		}
+	}
+	_, _, z, _ := f.State()
+	if math.Abs(z-sim.z) > 0.05 {
+		t.Fatalf("f32 altitude error %.4f", math.Abs(z-sim.z))
+	}
+}

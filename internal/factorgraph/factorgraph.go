@@ -1,0 +1,284 @@
+// Package factorgraph implements the paper's first planned near-term
+// suite extension: lightweight factor-graph trajectory smoothing in the
+// style of AXLE [50] — computationally efficient optimization over
+// factor graph *chains*.
+//
+// The graph is a chain of 2D poses (x, y, θ) connected by odometry
+// factors, with optional unary anchor factors (GPS-like fixes, loop
+// closures to known landmarks). Because the graph is a chain, the
+// Gauss-Newton normal matrix is block-tridiagonal and one smoothing
+// iteration solves in O(N) with a block Thomas elimination — no general
+// sparse solver, no dynamic allocation beyond the preallocated chain.
+// That O(N) structure is the whole point of AXLE on a microcontroller.
+package factorgraph
+
+import (
+	"errors"
+
+	"repro/internal/mat"
+	"repro/internal/scalar"
+)
+
+// Pose2 is a planar pose (x, y, θ).
+type Pose2[T scalar.Real[T]] struct {
+	X, Y, Theta T
+}
+
+// Odometry is a relative motion factor between consecutive poses,
+// expressed in the frame of the earlier pose.
+type Odometry[T scalar.Real[T]] struct {
+	DX, DY, DTheta T
+	// Information (inverse variance) per component.
+	WX, WY, WTheta T
+}
+
+// Anchor is a unary factor fixing a pose toward an absolute estimate.
+type Anchor[T scalar.Real[T]] struct {
+	Index   int
+	X, Y    T
+	Theta   T
+	W       T // position information
+	WTheta  T // heading information
+	UseDirs bool
+}
+
+// Chain is a factor-graph chain smoother with preallocated storage.
+type Chain[T scalar.Real[T]] struct {
+	Poses   []Pose2[T]
+	odom    []Odometry[T]
+	anchors []Anchor[T]
+
+	// Block-tridiagonal normal system storage (3×3 blocks).
+	diag  []mat.Mat[T] // N blocks
+	upper []mat.Mat[T] // N-1 blocks
+	rhs   []mat.Vec[T] // N 3-vectors
+}
+
+// NewChain builds a smoother over n poses initialized by dead reckoning
+// from the given odometry (n-1 factors).
+func NewChain[T scalar.Real[T]](like T, odom []Odometry[T]) *Chain[T] {
+	n := len(odom) + 1
+	c := &Chain[T]{
+		Poses: make([]Pose2[T], n),
+		odom:  odom,
+		diag:  make([]mat.Mat[T], n),
+		upper: make([]mat.Mat[T], n-1),
+		rhs:   make([]mat.Vec[T], n),
+	}
+	zero := scalar.Zero(like.FromFloat(0))
+	c.Poses[0] = Pose2[T]{X: zero, Y: zero, Theta: zero}
+	for i, o := range odom {
+		c.Poses[i+1] = compose(c.Poses[i], o.DX, o.DY, o.DTheta)
+	}
+	for i := 0; i < n; i++ {
+		c.diag[i] = mat.Zeros[T](3, 3)
+		c.rhs[i] = mat.ZeroVec[T](3)
+		if i+1 < n {
+			c.upper[i] = mat.Zeros[T](3, 3)
+		}
+	}
+	return c
+}
+
+// AddAnchor registers an absolute fix.
+func (c *Chain[T]) AddAnchor(a Anchor[T]) error {
+	if a.Index < 0 || a.Index >= len(c.Poses) {
+		return errors.New("factorgraph: anchor index out of range")
+	}
+	c.anchors = append(c.anchors, a)
+	return nil
+}
+
+// compose applies a relative motion in p's frame.
+func compose[T scalar.Real[T]](p Pose2[T], dx, dy, dth T) Pose2[T] {
+	ct := scalar.Cos(p.Theta)
+	st := scalar.Sin(p.Theta)
+	return Pose2[T]{
+		X:     p.X.Add(ct.Mul(dx)).Sub(st.Mul(dy)),
+		Y:     p.Y.Add(st.Mul(dx)).Add(ct.Mul(dy)),
+		Theta: p.Theta.Add(dth),
+	}
+}
+
+// Smooth runs iters Gauss-Newton iterations and returns the final total
+// weighted squared error.
+func (c *Chain[T]) Smooth(iters int) T {
+	var cost T
+	for it := 0; it < iters; it++ {
+		cost = c.buildNormalSystem()
+		c.solveTridiagonalAndUpdate()
+	}
+	return cost
+}
+
+// Cost returns the current total weighted squared error.
+func (c *Chain[T]) Cost() T { return c.buildCostOnly() }
+
+// residualOdom returns the 3-residual of odometry factor i and the
+// world-frame displacement terms used by its Jacobians.
+func (c *Chain[T]) residualOdom(i int) (r mat.Vec[T], ct, st T) {
+	p, q := c.Poses[i], c.Poses[i+1]
+	o := c.odom[i]
+	ct = scalar.Cos(p.Theta)
+	st = scalar.Sin(p.Theta)
+	wx := q.X.Sub(p.X)
+	wy := q.Y.Sub(p.Y)
+	// Measured displacement rotated into the world frame.
+	mx := ct.Mul(o.DX).Sub(st.Mul(o.DY))
+	my := st.Mul(o.DX).Add(ct.Mul(o.DY))
+	r = mat.Vec[T]{
+		wx.Sub(mx),
+		wy.Sub(my),
+		q.Theta.Sub(p.Theta).Sub(o.DTheta),
+	}
+	return r, ct, st
+}
+
+func (c *Chain[T]) buildCostOnly() T {
+	var cost T
+	for i := range c.odom {
+		r, _, _ := c.residualOdom(i)
+		o := c.odom[i]
+		cost = cost.Add(o.WX.Mul(r[0]).Mul(r[0])).
+			Add(o.WY.Mul(r[1]).Mul(r[1])).
+			Add(o.WTheta.Mul(r[2]).Mul(r[2]))
+	}
+	for _, a := range c.anchors {
+		p := c.Poses[a.Index]
+		dx := p.X.Sub(a.X)
+		dy := p.Y.Sub(a.Y)
+		cost = cost.Add(a.W.Mul(dx).Mul(dx)).Add(a.W.Mul(dy).Mul(dy))
+		if a.UseDirs {
+			dth := p.Theta.Sub(a.Theta)
+			cost = cost.Add(a.WTheta.Mul(dth).Mul(dth))
+		}
+	}
+	return cost
+}
+
+// buildNormalSystem assembles the block-tridiagonal JᵀWJ system and
+// JᵀWr right-hand side; returns the current cost.
+func (c *Chain[T]) buildNormalSystem() T {
+	n := len(c.Poses)
+	like := c.odom[0].WX
+	zero := scalar.Zero(like)
+	lm := like.FromFloat(1e-6)
+	for i := 0; i < n; i++ {
+		for a := 0; a < 3; a++ {
+			c.rhs[i][a] = zero
+			for b := 0; b < 3; b++ {
+				v := zero
+				if a == b {
+					v = lm // Levenberg damping keeps the solve well-posed
+				}
+				c.diag[i].Set(a, b, v)
+				if i+1 < n {
+					c.upper[i].Set(a, b, zero)
+				}
+			}
+		}
+	}
+
+	var cost T
+	one := scalar.One(like)
+	for i := range c.odom {
+		r, ct, st := c.residualOdom(i)
+		o := c.odom[i]
+		w := [3]T{o.WX, o.WY, o.WTheta}
+		cost = cost.Add(w[0].Mul(r[0]).Mul(r[0])).
+			Add(w[1].Mul(r[1]).Mul(r[1])).
+			Add(w[2].Mul(r[2]).Mul(r[2]))
+
+		// Jacobians: residual wrt pose i (A) and pose i+1 (B).
+		// r0 = (qx - px) - (ct·dx - st·dy), ∂r0/∂pθ = st·dx + ct·dy.
+		dr0dth := st.Mul(o.DX).Add(ct.Mul(o.DY))
+		dr1dth := ct.Neg().Mul(o.DX).Add(st.Mul(o.DY))
+		a := [3][3]T{
+			{one.Neg(), zero, dr0dth},
+			{zero, one.Neg(), dr1dth},
+			{zero, zero, one.Neg()},
+		}
+		b := [3][3]T{
+			{one, zero, zero},
+			{zero, one, zero},
+			{zero, zero, one},
+		}
+		// Accumulate AᵀWA into diag[i], BᵀWB into diag[i+1], AᵀWB into
+		// upper[i]; AᵀWr and BᵀWr into rhs.
+		for p := 0; p < 3; p++ {
+			for q := 0; q < 3; q++ {
+				var saa, sbb, sab T
+				for k := 0; k < 3; k++ {
+					saa = saa.Add(a[k][p].Mul(w[k]).Mul(a[k][q]))
+					sbb = sbb.Add(b[k][p].Mul(w[k]).Mul(b[k][q]))
+					sab = sab.Add(a[k][p].Mul(w[k]).Mul(b[k][q]))
+				}
+				c.diag[i].Set(p, q, c.diag[i].At(p, q).Add(saa))
+				c.diag[i+1].Set(p, q, c.diag[i+1].At(p, q).Add(sbb))
+				c.upper[i].Set(p, q, c.upper[i].At(p, q).Add(sab))
+			}
+			var sar, sbr T
+			for k := 0; k < 3; k++ {
+				sar = sar.Add(a[k][p].Mul(w[k]).Mul(r[k]))
+				sbr = sbr.Add(b[k][p].Mul(w[k]).Mul(r[k]))
+			}
+			c.rhs[i][p] = c.rhs[i][p].Sub(sar)
+			c.rhs[i+1][p] = c.rhs[i+1][p].Sub(sbr)
+		}
+	}
+
+	for _, an := range c.anchors {
+		p := c.Poses[an.Index]
+		i := an.Index
+		c.diag[i].Set(0, 0, c.diag[i].At(0, 0).Add(an.W))
+		c.diag[i].Set(1, 1, c.diag[i].At(1, 1).Add(an.W))
+		dx := p.X.Sub(an.X)
+		dy := p.Y.Sub(an.Y)
+		c.rhs[i][0] = c.rhs[i][0].Sub(an.W.Mul(dx))
+		c.rhs[i][1] = c.rhs[i][1].Sub(an.W.Mul(dy))
+		cost = cost.Add(an.W.Mul(dx).Mul(dx)).Add(an.W.Mul(dy).Mul(dy))
+		if an.UseDirs {
+			dth := p.Theta.Sub(an.Theta)
+			c.diag[i].Set(2, 2, c.diag[i].At(2, 2).Add(an.WTheta))
+			c.rhs[i][2] = c.rhs[i][2].Sub(an.WTheta.Mul(dth))
+			cost = cost.Add(an.WTheta.Mul(dth).Mul(dth))
+		}
+	}
+	return cost
+}
+
+// solveTridiagonalAndUpdate runs the block Thomas algorithm (forward
+// elimination, back substitution) — the O(N) solve that makes chain
+// factor graphs MCU-friendly — and applies the pose updates.
+func (c *Chain[T]) solveTridiagonalAndUpdate() {
+	n := len(c.Poses)
+	// Forward elimination: diag[i+1] -= Lᵀ·diag[i]⁻¹·upper[i], where the
+	// lower block L[i] = upper[i]ᵀ by symmetry.
+	invDiag := make([]mat.Mat[T], n)
+	for i := 0; i < n; i++ {
+		inv, err := mat.Inverse(c.diag[i])
+		if err != nil {
+			return // singular: skip the update, keep current estimate
+		}
+		invDiag[i] = inv
+		if i+1 < n {
+			lower := c.upper[i].Transpose()
+			factor := lower.Mul(inv)
+			c.diag[i+1] = c.diag[i+1].Sub(factor.Mul(c.upper[i]))
+			c.rhs[i+1] = c.rhs[i+1].Sub(factor.MulVec(c.rhs[i]))
+			// diag[i+1] changed: recompute its inverse lazily next loop.
+		}
+	}
+	// Back substitution, reusing the eliminated-block inverses.
+	delta := make([]mat.Vec[T], n)
+	delta[n-1] = invDiag[n-1].MulVec(c.rhs[n-1])
+	for i := n - 2; i >= 0; i-- {
+		adj := c.rhs[i].Sub(c.upper[i].MulVec(delta[i+1]))
+		delta[i] = invDiag[i].MulVec(adj)
+	}
+	for i := 0; i < n; i++ {
+		c.Poses[i].X = c.Poses[i].X.Add(delta[i][0])
+		c.Poses[i].Y = c.Poses[i].Y.Add(delta[i][1])
+		c.Poses[i].Theta = c.Poses[i].Theta.Add(delta[i][2])
+	}
+}

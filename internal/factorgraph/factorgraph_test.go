@@ -1,0 +1,152 @@
+package factorgraph_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/factorgraph"
+	"repro/internal/mcu"
+	"repro/internal/profile"
+	"repro/internal/scalar"
+)
+
+type F = scalar.F64
+
+// buildNoisyLoop generates ground-truth poses along a gentle arc, noisy
+// odometry between them, and anchors at both ends.
+func buildNoisyLoop(n int, odomNoise float64, seed int64) (truth []factorgraph.Pose2[F], chain *factorgraph.Chain[F]) {
+	rng := rand.New(rand.NewSource(seed))
+	truth = make([]factorgraph.Pose2[F], n)
+	x, y, th := 0.0, 0.0, 0.0
+	odom := make([]factorgraph.Odometry[F], 0, n-1)
+	for i := 0; i < n; i++ {
+		truth[i] = factorgraph.Pose2[F]{X: F(x), Y: F(y), Theta: F(th)}
+		if i == n-1 {
+			break
+		}
+		dx, dy, dth := 0.1, 0.0, 0.02
+		odom = append(odom, factorgraph.Odometry[F]{
+			DX: F(dx + rng.NormFloat64()*odomNoise), DY: F(dy + rng.NormFloat64()*odomNoise),
+			DTheta: F(dth + rng.NormFloat64()*odomNoise),
+			WX:     F(1 / (odomNoise*odomNoise + 1e-9)), WY: F(1 / (odomNoise*odomNoise + 1e-9)),
+			WTheta: F(1 / (odomNoise*odomNoise + 1e-9)),
+		})
+		x += dx*math.Cos(th) - dy*math.Sin(th)
+		y += dx*math.Sin(th) + dy*math.Cos(th)
+		th += dth
+	}
+	chain = factorgraph.NewChain(F(0), odom)
+	return truth, chain
+}
+
+func rmsError(truth []factorgraph.Pose2[F], poses []factorgraph.Pose2[F]) float64 {
+	var s float64
+	for i := range truth {
+		dx := truth[i].X.Float() - poses[i].X.Float()
+		dy := truth[i].Y.Float() - poses[i].Y.Float()
+		s += dx*dx + dy*dy
+	}
+	return math.Sqrt(s / float64(len(truth)))
+}
+
+func TestSmoothingReducesCostAndError(t *testing.T) {
+	truth, chain := buildNoisyLoop(60, 0.01, 1)
+	// Landmark fixes along the trajectory (ends plus two mid-chain).
+	for _, idx := range []int{0, 20, 40, 59} {
+		_ = chain.AddAnchor(factorgraph.Anchor[F]{
+			Index: idx, X: truth[idx].X, Y: truth[idx].Y,
+			Theta: truth[idx].Theta, W: F(1e4), WTheta: F(1e4), UseDirs: true,
+		})
+	}
+	before := chain.Cost().Float()
+	errBefore := rmsError(truth, chain.Poses)
+	chain.Smooth(10)
+	after := chain.Cost().Float()
+	errAfter := rmsError(truth, chain.Poses)
+	if after >= before {
+		t.Fatalf("cost did not decrease: %g -> %g", before, after)
+	}
+	if errAfter >= errBefore {
+		t.Fatalf("trajectory error did not improve: %.4f -> %.4f", errBefore, errAfter)
+	}
+	if errAfter > 0.03 {
+		t.Fatalf("post-smoothing RMS error %.4f m", errAfter)
+	}
+}
+
+func TestAnchorsPinPoses(t *testing.T) {
+	truth, chain := buildNoisyLoop(30, 0.02, 3)
+	_ = chain.AddAnchor(factorgraph.Anchor[F]{
+		Index: 29, X: truth[29].X, Y: truth[29].Y, W: F(1e5),
+	})
+	chain.Smooth(10)
+	dx := chain.Poses[29].X.Float() - truth[29].X.Float()
+	dy := chain.Poses[29].Y.Float() - truth[29].Y.Float()
+	if math.Hypot(dx, dy) > 0.01 {
+		t.Fatalf("anchored pose off by %.4f m", math.Hypot(dx, dy))
+	}
+}
+
+func TestAnchorIndexValidation(t *testing.T) {
+	_, chain := buildNoisyLoop(5, 0.01, 1)
+	if err := chain.AddAnchor(factorgraph.Anchor[F]{Index: 99}); err == nil {
+		t.Fatal("out-of-range anchor accepted")
+	}
+}
+
+// The O(N) claim: doubling the chain length should roughly double the
+// per-iteration op count (block-tridiagonal solve), not grow cubically.
+func TestLinearScaling(t *testing.T) {
+	cost := func(n int) uint64 {
+		_, chain := buildNoisyLoop(n, 0.01, 5)
+		c := profile.Collect(func() { chain.Smooth(1) })
+		return c.Total()
+	}
+	c100 := cost(100)
+	c200 := cost(200)
+	ratio := float64(c200) / float64(c100)
+	if ratio > 2.5 {
+		t.Fatalf("op ratio for 2x chain length = %.2f; solver is not O(N)", ratio)
+	}
+}
+
+// Extension-kernel cost context: one smoothing iteration over a 100-pose
+// chain should land in the same latency class as the estimation kernels
+// (well under a bee-mpc solve) on the M4.
+func TestSmootherFitsTheBudget(t *testing.T) {
+	_, chain := buildNoisyLoop(100, 0.01, 7)
+	c := profile.Collect(func() { chain.Smooth(1) })
+	est := mcu.M4.Estimate(c, mcu.PrecF32, true)
+	if est.LatencyS > 20e-3 {
+		t.Fatalf("smoothing iteration %.1f ms on M4; too heavy for the suite's frame", est.LatencyS*1e3)
+	}
+}
+
+func TestFloat32Chain(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	odom := make([]factorgraph.Odometry[scalar.F32], 40)
+	for i := range odom {
+		odom[i] = factorgraph.Odometry[scalar.F32]{
+			DX: scalar.F32(0.1 + rng.NormFloat64()*0.01), DY: 0,
+			DTheta: scalar.F32(rng.NormFloat64() * 0.01),
+			WX:     1e3, WY: 1e3, WTheta: 1e3,
+		}
+	}
+	chain := factorgraph.NewChain(scalar.F32(0), odom)
+	// A far-end fix in tension with the dead-reckoned estimate (the
+	// true trajectory is a straight 4 m line).
+	_ = chain.AddAnchor(factorgraph.Anchor[scalar.F32]{Index: 0, X: 0, Y: 0, W: 1e4})
+	_ = chain.AddAnchor(factorgraph.Anchor[scalar.F32]{Index: 40, X: 4, Y: 0, W: 1e4})
+	before := chain.Cost().Float()
+	chain.Smooth(8)
+	after := chain.Cost().Float()
+	if after >= before {
+		t.Fatalf("f32 smoothing did not reduce cost: %g -> %g", before, after)
+	}
+	dx := chain.Poses[40].X.Float() - 4
+	dy := chain.Poses[40].Y.Float()
+	if math.Hypot(dx, dy) > 0.05 {
+		t.Fatalf("f32 far-end pose off by %.4f m after smoothing", math.Hypot(dx, dy))
+	}
+}

@@ -1,0 +1,165 @@
+package fixed
+
+import (
+	"math"
+
+	"repro/internal/profile"
+)
+
+// CORDIC trigonometry: genuine integer-only sin/cos/atan2 for the
+// fixed-point scalar, as an FPU-less Cortex-M0+ build would ship.
+// Internally everything runs in q2.29 (range ±4 comfortably covers ±π)
+// regardless of the operand's format, then converts back.
+
+const (
+	cordicIters = 24
+	cordicFrac  = 29
+)
+
+// cordicAtan[i] = atan(2^-i) in q2.29.
+var cordicAtan = func() [cordicIters]int64 {
+	var t [cordicIters]int64
+	for i := range t {
+		t[i] = int64(math.Round(math.Atan(math.Pow(2, -float64(i))) * float64(int64(1)<<cordicFrac)))
+	}
+	return t
+}()
+
+// cordicGain is 1/K = Π cos(atan(2^-i)) in q2.29 — the starting x for
+// rotation mode so the output lands at unit magnitude.
+var cordicGain = func() int64 {
+	k := 1.0
+	for i := 0; i < cordicIters; i++ {
+		k *= math.Cos(math.Atan(math.Pow(2, -float64(i))))
+	}
+	return int64(math.Round(k * float64(int64(1)<<cordicFrac)))
+}()
+
+var (
+	cordicPi     = int64(math.Round(math.Pi * float64(int64(1)<<cordicFrac)))
+	cordicHalfPi = cordicPi / 2
+	cordicTwoPi  = 2 * cordicPi
+)
+
+// toCordic converts a Num's payload to q2.29 *without* saturation — the
+// widened intermediate lives in int64 (|raw| ≤ 2³¹ shifted by ≤ 29 bits
+// still fits), so arbitrarily large angles survive until wrapAngle
+// reduces them.
+func toCordic(a Num) int64 {
+	if a.frac >= cordicFrac {
+		sh := a.frac - cordicFrac
+		return (a.raw + (1 << (sh - 1))) >> sh
+	}
+	return a.raw << (cordicFrac - a.frac)
+}
+
+// fromCordic converts a q2.29 payload back to the target format.
+func fromCordic(v int64, frac uint8) Num {
+	return Num{raw: clamp(shiftTo(v, cordicFrac, frac)), frac: frac}
+}
+
+// wrapAngle reduces a q2.29 angle into (-π, π] with one modulo (the
+// 64-bit division an MCU's runtime provides) plus boundary fixes.
+func wrapAngle(x int64) int64 {
+	x %= cordicTwoPi
+	if x > cordicPi {
+		x -= cordicTwoPi
+	} else if x <= -cordicPi {
+		x += cordicTwoPi
+	}
+	return x
+}
+
+// SinCos returns sin(a) and cos(a) via CORDIC rotation mode. Cost: ~3
+// integer ops per iteration plus range reduction, matching the shift/add
+// loop an MCU executes.
+func (a Num) SinCos() (sin, cos Num) {
+	profile.AddI(3*cordicIters + 8)
+	profile.AddB(cordicIters + 4)
+
+	z := wrapAngle(toCordic(a))
+	negate := false
+	// Reduce to [-π/2, π/2].
+	if z > cordicHalfPi {
+		z -= cordicPi
+		negate = true
+	} else if z < -cordicHalfPi {
+		z += cordicPi
+		negate = true
+	}
+
+	x := cordicGain
+	y := int64(0)
+	for i := 0; i < cordicIters; i++ {
+		var dx, dy, dz int64
+		if z >= 0 {
+			dx = -(y >> uint(i))
+			dy = x >> uint(i)
+			dz = -cordicAtan[i]
+		} else {
+			dx = y >> uint(i)
+			dy = -(x >> uint(i))
+			dz = cordicAtan[i]
+		}
+		x += dx
+		y += dy
+		z += dz
+	}
+	if negate {
+		x, y = -x, -y
+	}
+	return fromCordic(y, a.frac), fromCordic(x, a.frac)
+}
+
+// Sin returns sin(a) with integer-only CORDIC.
+func (a Num) Sin() Num {
+	s, _ := a.SinCos()
+	return s
+}
+
+// Cos returns cos(a) with integer-only CORDIC.
+func (a Num) Cos() Num {
+	_, c := a.SinCos()
+	return c
+}
+
+// Atan2 returns atan2(y, x) via CORDIC vectoring mode, in y's format.
+func Atan2Fixed(y, x Num) Num {
+	profile.AddI(3*cordicIters + 10)
+	profile.AddB(cordicIters + 6)
+
+	xv := toCordic(x)
+	yv := toCordic(y)
+	if xv == 0 && yv == 0 {
+		return Num{raw: 0, frac: y.frac}
+	}
+	// Pre-rotate into the right half-plane.
+	var zOff int64
+	if xv < 0 {
+		if yv >= 0 {
+			zOff = cordicPi
+		} else {
+			zOff = -cordicPi
+		}
+		xv, yv = -xv, -yv
+		// After negating both, the vector sits in the right half-plane
+		// and the final angle is offset by ±π.
+	}
+	var z int64
+	for i := 0; i < cordicIters; i++ {
+		var dx, dy, dz int64
+		if yv > 0 {
+			dx = yv >> uint(i)
+			dy = -(xv >> uint(i))
+			dz = cordicAtan[i]
+		} else {
+			dx = -(yv >> uint(i))
+			dy = xv >> uint(i)
+			dz = -cordicAtan[i]
+		}
+		xv += dx
+		yv += dy
+		z += dz
+	}
+	return fromCordic(wrapAngle(z+zOff), y.frac)
+}

@@ -1,0 +1,103 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/profile"
+)
+
+func TestSinCosAgainstLibm(t *testing.T) {
+	for _, frac := range []uint8{16, 24, 28} {
+		for x := -7.0; x <= 7.0; x += 0.1037 {
+			a := New(x, frac)
+			s, c := a.SinCos()
+			// Quantized input: compare against sin of the quantized value.
+			xq := a.Float()
+			tol := 1e-5 + 4.0/float64(int64(1)<<frac)
+			if math.Abs(s.Float()-math.Sin(xq)) > tol {
+				t.Fatalf("frac %d: sin(%g) = %g, want %g", frac, xq, s.Float(), math.Sin(xq))
+			}
+			if math.Abs(c.Float()-math.Cos(xq)) > tol {
+				t.Fatalf("frac %d: cos(%g) = %g, want %g", frac, xq, c.Float(), math.Cos(xq))
+			}
+		}
+	}
+}
+
+func TestAtan2Quadrants(t *testing.T) {
+	cases := [][2]float64{
+		{1, 1}, {1, -1}, {-1, -1}, {-1, 1},
+		{0, 1}, {1, 0}, {0, -1}, {-1, 0},
+		{0.3, 2}, {-2, 0.1}, {1.5, -0.2},
+	}
+	for _, cse := range cases {
+		y, x := cse[0], cse[1]
+		got := Atan2Fixed(New(y, 24), New(x, 24)).Float()
+		want := math.Atan2(y, x)
+		d := math.Abs(got - want)
+		// atan2(0,-1) may legitimately come back as -π instead of +π.
+		if d > math.Pi {
+			d = 2*math.Pi - d
+		}
+		if d > 1e-5 {
+			t.Fatalf("atan2(%g, %g) = %g, want %g", y, x, got, want)
+		}
+	}
+}
+
+func TestAtan2Origin(t *testing.T) {
+	if got := Atan2Fixed(New(0, 24), New(0, 24)).Float(); got != 0 {
+		t.Fatalf("atan2(0,0) = %g", got)
+	}
+}
+
+// Property: sin² + cos² = 1 within format precision.
+func TestPropPythagorean(t *testing.T) {
+	f := func(xr float64) bool {
+		if math.IsNaN(xr) || math.IsInf(xr, 0) {
+			return true
+		}
+		x := math.Mod(xr, 6.28)
+		a := New(x, 26)
+		s, c := a.SinCos()
+		sum := s.Float()*s.Float() + c.Float()*c.Float()
+		return math.Abs(sum-1) < 1e-5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: atan2(sin θ, cos θ) recovers θ in (-π, π].
+func TestPropAtan2Inverts(t *testing.T) {
+	f := func(xr float64) bool {
+		if math.IsNaN(xr) || math.IsInf(xr, 0) {
+			return true
+		}
+		theta := math.Mod(xr, 3.0) // stay away from the ±π seam
+		a := New(theta, 26)
+		s, c := a.SinCos()
+		back := Atan2Fixed(s, c).Float()
+		return math.Abs(back-a.Float()) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CORDIC must be integer-only: no float ops recorded.
+func TestCordicIsIntegerOnly(t *testing.T) {
+	a := New(0.7, 24)
+	c := profile.Collect(func() {
+		_, _ = a.SinCos()
+		_ = Atan2Fixed(a, a)
+	})
+	if c.F != 0 {
+		t.Fatalf("CORDIC recorded %d float ops", c.F)
+	}
+	if c.I == 0 {
+		t.Fatal("CORDIC recorded no integer ops")
+	}
+}

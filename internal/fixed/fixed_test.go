@@ -1,0 +1,268 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewAndFloatRoundTrip(t *testing.T) {
+	cases := []struct {
+		x    float64
+		frac uint8
+	}{
+		{0, 24}, {1, 24}, {-1, 24}, {3.25, 16}, {-7.5, 8},
+		{0.0001, 30}, {100.625, 20}, {-63.99, 24},
+	}
+	for _, c := range cases {
+		n := New(c.x, c.frac)
+		eps := 1.0 / float64(int64(1)<<c.frac)
+		if !approxEq(n.Float(), c.x, eps) {
+			t.Errorf("New(%g, %d).Float() = %g, want within %g", c.x, c.frac, n.Float(), eps)
+		}
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	n := New(1.5, 24)
+	if n.Format() != "q7.24" {
+		t.Fatalf("Format = %q, want q7.24", n.Format())
+	}
+	if n.FracBits() != 24 {
+		t.Fatalf("FracBits = %d", n.FracBits())
+	}
+}
+
+func TestBasicArithmetic(t *testing.T) {
+	a := New(3.5, 20)
+	b := New(1.25, 20)
+	if got := a.Add(b).Float(); !approxEq(got, 4.75, 1e-5) {
+		t.Errorf("Add = %g", got)
+	}
+	if got := a.Sub(b).Float(); !approxEq(got, 2.25, 1e-5) {
+		t.Errorf("Sub = %g", got)
+	}
+	if got := a.Mul(b).Float(); !approxEq(got, 4.375, 1e-5) {
+		t.Errorf("Mul = %g", got)
+	}
+	if got := a.Div(b).Float(); !approxEq(got, 2.8, 1e-5) {
+		t.Errorf("Div = %g", got)
+	}
+	if got := a.Neg().Float(); !approxEq(got, -3.5, 1e-5) {
+		t.Errorf("Neg = %g", got)
+	}
+	if got := a.Neg().Abs().Float(); !approxEq(got, 3.5, 1e-5) {
+		t.Errorf("Abs = %g", got)
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	for _, x := range []float64{0, 1, 2, 4, 9, 10.5, 0.25, 100} {
+		n := New(x, 20)
+		got := n.Sqrt().Float()
+		want := math.Sqrt(x)
+		if !approxEq(got, want, 2e-3) {
+			t.Errorf("Sqrt(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestSqrtNegativeRecordsFailure(t *testing.T) {
+	ResetStatus()
+	n := New(-4, 20)
+	if got := n.Sqrt().Float(); got != 0 {
+		t.Errorf("Sqrt(-4) = %g, want 0", got)
+	}
+	if s := CurrentStatus(); s.SqrtNeg != 1 {
+		t.Errorf("SqrtNeg = %d, want 1", s.SqrtNeg)
+	}
+	ResetStatus()
+}
+
+func TestDivideByZeroSaturates(t *testing.T) {
+	ResetStatus()
+	a := New(5, 16)
+	z := New(0, 16)
+	pos := a.Div(z)
+	if pos.Raw() != maxRaw {
+		t.Errorf("5/0 raw = %d, want saturated max", pos.Raw())
+	}
+	neg := a.Neg().Div(z)
+	if neg.Raw() != minRaw {
+		t.Errorf("-5/0 raw = %d, want saturated min", neg.Raw())
+	}
+	if s := CurrentStatus(); s.ZeroDivides != 2 {
+		t.Errorf("ZeroDivides = %d, want 2", s.ZeroDivides)
+	}
+	ResetStatus()
+}
+
+func TestOverflowSaturates(t *testing.T) {
+	ResetStatus()
+	// q1.30: dynamic range < 2. Multiplying large values overflows.
+	big := New(1.9, 30)
+	if big.Raw() != maxRaw { // 1.9 not representable in q1.30 (max ~1.99..)
+		// representable; force overflow through addition instead
+		r := big.Add(big)
+		if r.Raw() != maxRaw {
+			t.Errorf("1.9+1.9 in q1.30 raw = %d, want saturation", r.Raw())
+		}
+	}
+	if s := CurrentStatus(); s.Overflows == 0 {
+		t.Error("expected overflow events")
+	}
+	ResetStatus()
+}
+
+func TestFormatAlignment(t *testing.T) {
+	a := New(1.5, 24)
+	b := New(2.5, 16) // different format: aligned into a's
+	got := a.Add(b)
+	if !approxEq(got.Float(), 4.0, 1e-4) {
+		t.Errorf("mixed-format add = %g", got.Float())
+	}
+	if got.FracBits() != 24 {
+		t.Errorf("result frac = %d, want receiver's 24", got.FracBits())
+	}
+}
+
+func TestZeroValueAdoptsOperandFormat(t *testing.T) {
+	var acc Num // zero value, q31.0
+	x := New(0.75, 24)
+	acc = acc.Add(x)
+	if acc.FracBits() != 24 {
+		t.Fatalf("acc frac = %d, want 24", acc.FracBits())
+	}
+	if !approxEq(acc.Float(), 0.75, 1e-6) {
+		t.Fatalf("acc = %g", acc.Float())
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	a, b := New(1, 20), New(2, 20)
+	if !a.Less(b) || b.Less(a) {
+		t.Error("Less wrong")
+	}
+	if !a.LessEq(a) {
+		t.Error("LessEq reflexive failed")
+	}
+	if !a.Eq(New(1, 16)) {
+		t.Error("cross-format Eq failed")
+	}
+	if !New(0, 12).IsZero() {
+		t.Error("IsZero failed")
+	}
+}
+
+func TestFromFloatPreservesFormat(t *testing.T) {
+	a := New(0, 28)
+	b := a.FromFloat(3.0)
+	if b.FracBits() != 28 {
+		t.Fatalf("frac = %d, want 28", b.FracBits())
+	}
+	if !approxEq(b.Float(), 3.0, 1e-7) {
+		t.Fatalf("value = %g", b.Float())
+	}
+}
+
+func TestEpsAndMaxValue(t *testing.T) {
+	a := New(0, 24)
+	if got := a.Eps().Float(); !approxEq(got, 1.0/(1<<24), 1e-12) {
+		t.Errorf("Eps = %g", got)
+	}
+	if got := a.MaxValue().Float(); got < 127.9 || got > 128 {
+		t.Errorf("q7.24 max = %g, want ~127.99", got)
+	}
+}
+
+func TestFracClamp(t *testing.T) {
+	n := New(1, 40) // frac clamped to 30
+	if n.FracBits() != 30 {
+		t.Fatalf("frac = %d, want 30", n.FracBits())
+	}
+}
+
+// --- property-based tests ---
+
+// inRange produces a value safely representable in q15.16.
+func inRange(x float64) float64 {
+	return math.Mod(x, 100)
+}
+
+func TestPropAddCommutes(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		a, b := New(inRange(x), 16), New(inRange(y), 16)
+		return a.Add(b).Eq(b.Add(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMulCommutes(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		a, b := New(inRange(x), 16), New(inRange(y), 16)
+		l, r := a.Mul(b), b.Mul(a)
+		// Rounding is symmetric, so the products agree exactly.
+		return l.Eq(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropNegIsInvolution(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		a := New(inRange(x), 16)
+		return a.Neg().Neg().Eq(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropQuantizationBound(t *testing.T) {
+	f := func(x float64, fr uint8) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		frac := fr % 31
+		v := math.Mod(x, 10)
+		// Skip formats whose dynamic range can't hold v.
+		if math.Abs(v) >= float64(maxRaw)/float64(int64(1)<<frac) {
+			return true
+		}
+		n := New(v, frac)
+		eps := 1.0 / float64(int64(1)<<frac)
+		return math.Abs(n.Float()-v) <= eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSqrtSquares(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		v := math.Abs(math.Mod(x, 50))
+		n := New(v, 20)
+		r := n.Sqrt().Float()
+		return math.Abs(r*r-v) <= 0.01+0.01*v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+package geom_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixed"
+	"repro/internal/geom"
+	"repro/internal/mat"
+	"repro/internal/scalar"
+)
+
+type F = scalar.F64
+
+func vec3(x, y, z float64) mat.Vec[F] { return mat.VecFromFloats(F(0), []float64{x, y, z}) }
+
+func randQuat(rng *rand.Rand) geom.Quat[F] {
+	q := geom.Quat[F]{
+		W: F(rng.NormFloat64()), X: F(rng.NormFloat64()),
+		Y: F(rng.NormFloat64()), Z: F(rng.NormFloat64()),
+	}
+	return q.Normalized()
+}
+
+func TestIdentityQuat(t *testing.T) {
+	q := geom.IdentityQuat(F(0))
+	v := vec3(1, 2, 3)
+	r := q.Rotate(v).Floats()
+	if r[0] != 1 || r[1] != 2 || r[2] != 3 {
+		t.Fatalf("identity rotate = %v", r)
+	}
+}
+
+func TestAxisAngleRotation(t *testing.T) {
+	// 90° about z: (1,0,0) -> (0,1,0).
+	q := geom.QuatFromAxisAngle(vec3(0, 0, 1), F(math.Pi/2))
+	r := q.Rotate(vec3(1, 0, 0)).Floats()
+	if math.Abs(r[0]) > 1e-12 || math.Abs(r[1]-1) > 1e-12 || math.Abs(r[2]) > 1e-12 {
+		t.Fatalf("rotated = %v, want (0,1,0)", r)
+	}
+}
+
+func TestQuatMulComposition(t *testing.T) {
+	qz := geom.QuatFromAxisAngle(vec3(0, 0, 1), F(math.Pi/2))
+	qx := geom.QuatFromAxisAngle(vec3(1, 0, 0), F(math.Pi/2))
+	// Apply qz then qx: (1,0,0) -> (0,1,0) -> (0,0,1).
+	composed := qx.Mul(qz)
+	r := composed.Rotate(vec3(1, 0, 0)).Floats()
+	if math.Abs(r[2]-1) > 1e-12 {
+		t.Fatalf("composed rotate = %v, want (0,0,1)", r)
+	}
+}
+
+func TestRotationMatrixAgreesWithQuatRotate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		q := randQuat(rng)
+		v := vec3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		qv := q.Rotate(v).Floats()
+		mv := q.RotationMatrix().MulVec(v).Floats()
+		for k := 0; k < 3; k++ {
+			if math.Abs(qv[k]-mv[k]) > 1e-12 {
+				t.Fatalf("quat vs matrix rotate mismatch: %v vs %v", qv, mv)
+			}
+		}
+	}
+}
+
+func TestQuatMatrixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		q := randQuat(rng)
+		back := geom.QuatFromRotationMatrix(q.RotationMatrix())
+		// q and -q are the same rotation.
+		if geom.QuatAngleDegrees(q, back) > 1e-5 {
+			t.Fatalf("round trip angle error %g°", geom.QuatAngleDegrees(q, back))
+		}
+	}
+}
+
+func TestAngleTo(t *testing.T) {
+	q := geom.IdentityQuat(F(0))
+	r := geom.QuatFromAxisAngle(vec3(0, 1, 0), F(0.3))
+	if got := q.AngleTo(r).Float(); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("AngleTo = %g, want 0.3", got)
+	}
+}
+
+func TestIntegrateConstantRate(t *testing.T) {
+	// Integrate 1 rad/s about z for 1 s in small steps: ~1 rad rotation.
+	q := geom.IdentityQuat(F(0))
+	gyro := vec3(0, 0, 1)
+	dt := F(0.001)
+	for i := 0; i < 1000; i++ {
+		q = q.Integrate(gyro, dt)
+	}
+	want := geom.QuatFromAxisAngle(vec3(0, 0, 1), F(1))
+	if err := geom.QuatAngleDegrees(q, want); err > 0.1 {
+		t.Fatalf("integration error %g°", err)
+	}
+}
+
+func TestHatVee(t *testing.T) {
+	v := vec3(1, 2, 3)
+	h := geom.Hat(v)
+	// Hat(v)·w == v×w.
+	w := vec3(-1, 0.5, 2)
+	hw := h.MulVec(w).Floats()
+	cr := v.Cross(w).Floats()
+	for i := 0; i < 3; i++ {
+		if math.Abs(hw[i]-cr[i]) > 1e-14 {
+			t.Fatalf("Hat·w = %v, v×w = %v", hw, cr)
+		}
+	}
+	back := geom.Vee(h).Floats()
+	if back[0] != 1 || back[1] != 2 || back[2] != 3 {
+		t.Fatalf("Vee(Hat(v)) = %v", back)
+	}
+}
+
+func TestExpLogSO3RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		w := vec3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		// Keep |w| < π for log uniqueness.
+		if w.Norm().Float() >= math.Pi {
+			w = w.Scale(F(2.5 / w.Norm().Float()))
+		}
+		r := geom.ExpSO3(w)
+		// r must be a rotation: det=1, RᵀR=I.
+		if math.Abs(mat.Det3(r).Float()-1) > 1e-10 {
+			t.Fatalf("det(Exp) = %g", mat.Det3(r).Float())
+		}
+		back := geom.LogSO3(r).Floats()
+		orig := w.Floats()
+		for k := 0; k < 3; k++ {
+			if math.Abs(back[k]-orig[k]) > 1e-8 {
+				t.Fatalf("Log(Exp(w)) = %v, want %v", back, orig)
+			}
+		}
+	}
+}
+
+func TestRotXYZ(t *testing.T) {
+	rx := geom.RotX(F(math.Pi / 2)).MulVec(vec3(0, 1, 0)).Floats()
+	if math.Abs(rx[2]-1) > 1e-12 {
+		t.Fatalf("RotX(π/2)·ŷ = %v, want ẑ", rx)
+	}
+	ry := geom.RotY(F(math.Pi / 2)).MulVec(vec3(0, 0, 1)).Floats()
+	if math.Abs(ry[0]-1) > 1e-12 {
+		t.Fatalf("RotY(π/2)·ẑ = %v, want x̂", ry)
+	}
+	rz := geom.RotZ(F(math.Pi / 2)).MulVec(vec3(1, 0, 0)).Floats()
+	if math.Abs(rz[1]-1) > 1e-12 {
+		t.Fatalf("RotZ(π/2)·x̂ = %v, want ŷ", rz)
+	}
+}
+
+func TestRotationAngleDeg(t *testing.T) {
+	a := geom.RotZ(F(0.2))
+	b := geom.RotZ(F(0.5))
+	if got := geom.RotationAngleDeg(a, b); math.Abs(got-0.3*180/math.Pi) > 1e-9 {
+		t.Fatalf("RotationAngleDeg = %g", got)
+	}
+}
+
+func TestProjectToSO3(t *testing.T) {
+	// Perturb a rotation, project, verify orthogonality restored.
+	r := geom.RotZ(F(0.7)).Mul(geom.RotX(F(-0.3)))
+	noisy := r.Clone()
+	noisy.Set(0, 0, noisy.At(0, 0).Add(F(0.01)))
+	noisy.Set(1, 2, noisy.At(1, 2).Add(F(-0.02)))
+	p := geom.ProjectToSO3(noisy)
+	ortho := p.Transpose().Mul(p)
+	id := mat.Identity(3, F(0))
+	if ortho.Sub(id).FrobNorm().Float() > 1e-10 {
+		t.Fatalf("projection not orthogonal: %v", ortho.Floats())
+	}
+	if math.Abs(mat.Det3(p).Float()-1) > 1e-10 {
+		t.Fatalf("projection det = %g", mat.Det3(p).Float())
+	}
+	if geom.RotationAngleDeg(p, r) > 2 {
+		t.Fatalf("projection strayed %g° from original", geom.RotationAngleDeg(p, r))
+	}
+}
+
+func TestFixedPointQuaternion(t *testing.T) {
+	like := fixed.New(0, 24)
+	q := geom.QuatFromFloats(like, 1, 0, 0, 0)
+	gyro := mat.VecFromFloats(like, []float64{0, 0, 0.5})
+	dt := fixed.New(0.01, 24)
+	for i := 0; i < 100; i++ {
+		q = q.Integrate(gyro, dt)
+	}
+	// ~0.5 rad about z after 1 s.
+	want := geom.QuatFromAxisAngle(mat.VecFromFloats(like, []float64{0, 0, 1}), fixed.New(0.5, 24))
+	if err := geom.QuatAngleDegrees(q, want); err > 1 {
+		t.Fatalf("fixed-point integration error %g°", err)
+	}
+}
+
+// Property: rotation preserves vector norm.
+func TestPropRotationPreservesNorm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randQuat(rng)
+		v := vec3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		return math.Abs(q.Rotate(v).Norm().Float()-v.Norm().Float()) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: q·q⁻¹ = identity.
+func TestPropQuatInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randQuat(rng)
+		d := q.Mul(q.Conj())
+		return math.Abs(d.W.Float()-1) < 1e-12 &&
+			math.Abs(d.X.Float()) < 1e-12 &&
+			math.Abs(d.Y.Float()) < 1e-12 &&
+			math.Abs(d.Z.Float()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: normalization produces unit quaternions.
+func TestPropNormalizedIsUnit(t *testing.T) {
+	f := func(w, x, y, z float64) bool {
+		if math.IsNaN(w+x+y+z) || math.IsInf(w+x+y+z, 0) {
+			return true
+		}
+		// Keep components in a range whose squared sum stays finite,
+		// mirroring the physically plausible inputs of the kernels.
+		if math.Abs(w) > 1e150 || math.Abs(x) > 1e150 || math.Abs(y) > 1e150 || math.Abs(z) > 1e150 {
+			return true
+		}
+		q := geom.Quat[F]{W: F(w), X: F(x), Y: F(y), Z: F(z)}.Normalized()
+		return math.Abs(q.Norm().Float()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

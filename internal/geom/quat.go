@@ -1,0 +1,178 @@
+// Package geom provides the rotation machinery shared by the estimation
+// and control kernels: quaternions, rotation matrices, and the so(3)
+// hat/vee/exp/log maps, all generic over the scalar family so the same
+// code runs in float, double, and fixed point.
+package geom
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/scalar"
+)
+
+// Quat is a unit quaternion w + xi + yj + zk representing an attitude.
+type Quat[T scalar.Real[T]] struct {
+	W, X, Y, Z T
+}
+
+// IdentityQuat returns the identity rotation in like's format.
+func IdentityQuat[T scalar.Real[T]](like T) Quat[T] {
+	return Quat[T]{W: like.FromFloat(1), X: like.FromFloat(0), Y: like.FromFloat(0), Z: like.FromFloat(0)}
+}
+
+// QuatFromFloats builds a quaternion in like's format.
+func QuatFromFloats[T scalar.Real[T]](like T, w, x, y, z float64) Quat[T] {
+	return Quat[T]{W: like.FromFloat(w), X: like.FromFloat(x), Y: like.FromFloat(y), Z: like.FromFloat(z)}
+}
+
+// QuatFromAxisAngle builds the rotation of angle radians about the given
+// (not necessarily unit) axis.
+func QuatFromAxisAngle[T scalar.Real[T]](axis mat.Vec[T], angle T) Quat[T] {
+	half := angle.Mul(angle.FromFloat(0.5))
+	s := scalar.Sin(half)
+	c := scalar.Cos(half)
+	a := axis.Normalized()
+	return Quat[T]{W: c, X: a[0].Mul(s), Y: a[1].Mul(s), Z: a[2].Mul(s)}
+}
+
+// Mul returns the Hamilton product q·r (apply r first, then q).
+func (q Quat[T]) Mul(r Quat[T]) Quat[T] {
+	return Quat[T]{
+		W: q.W.Mul(r.W).Sub(q.X.Mul(r.X)).Sub(q.Y.Mul(r.Y)).Sub(q.Z.Mul(r.Z)),
+		X: q.W.Mul(r.X).Add(q.X.Mul(r.W)).Add(q.Y.Mul(r.Z)).Sub(q.Z.Mul(r.Y)),
+		Y: q.W.Mul(r.Y).Sub(q.X.Mul(r.Z)).Add(q.Y.Mul(r.W)).Add(q.Z.Mul(r.X)),
+		Z: q.W.Mul(r.Z).Add(q.X.Mul(r.Y)).Sub(q.Y.Mul(r.X)).Add(q.Z.Mul(r.W)),
+	}
+}
+
+// Conj returns the conjugate (inverse for unit quaternions).
+func (q Quat[T]) Conj() Quat[T] {
+	return Quat[T]{W: q.W, X: q.X.Neg(), Y: q.Y.Neg(), Z: q.Z.Neg()}
+}
+
+// NormSq returns |q|².
+func (q Quat[T]) NormSq() T {
+	return q.W.Mul(q.W).Add(q.X.Mul(q.X)).Add(q.Y.Mul(q.Y)).Add(q.Z.Mul(q.Z))
+}
+
+// Norm returns |q|.
+func (q Quat[T]) Norm() T { return q.NormSq().Sqrt() }
+
+// Normalized returns q/|q|; a zero quaternion returns identity, which is
+// the safe MCU fallback.
+func (q Quat[T]) Normalized() Quat[T] {
+	n := q.Norm()
+	if n.IsZero() {
+		return IdentityQuat(q.W)
+	}
+	inv := scalar.One(n).Div(n)
+	return Quat[T]{W: q.W.Mul(inv), X: q.X.Mul(inv), Y: q.Y.Mul(inv), Z: q.Z.Mul(inv)}
+}
+
+// Scale returns s·q (not normalized).
+func (q Quat[T]) Scale(s T) Quat[T] {
+	return Quat[T]{W: q.W.Mul(s), X: q.X.Mul(s), Y: q.Y.Mul(s), Z: q.Z.Mul(s)}
+}
+
+// Add returns the component-wise sum (used mid-integration).
+func (q Quat[T]) Add(r Quat[T]) Quat[T] {
+	return Quat[T]{W: q.W.Add(r.W), X: q.X.Add(r.X), Y: q.Y.Add(r.Y), Z: q.Z.Add(r.Z)}
+}
+
+// Rotate applies the rotation to a 3-vector: q·v·q*.
+func (q Quat[T]) Rotate(v mat.Vec[T]) mat.Vec[T] {
+	// Optimized sandwich product: t = 2·(q_vec × v); v' = v + w·t + q_vec × t.
+	two := q.W.FromFloat(2)
+	qv := mat.Vec[T]{q.X, q.Y, q.Z}
+	t := qv.Cross(v).Scale(two)
+	return v.Add(t.Scale(q.W)).Add(qv.Cross(t))
+}
+
+// RotationMatrix returns the 3×3 rotation matrix of q.
+func (q Quat[T]) RotationMatrix() mat.Mat[T] {
+	one := scalar.One(q.W)
+	two := q.W.FromFloat(2)
+	w, x, y, z := q.W, q.X, q.Y, q.Z
+	xx, yy, zz := x.Mul(x), y.Mul(y), z.Mul(z)
+	xy, xz, yz := x.Mul(y), x.Mul(z), y.Mul(z)
+	wx, wy, wz := w.Mul(x), w.Mul(y), w.Mul(z)
+	m := mat.Zeros[T](3, 3)
+	m.Set(0, 0, one.Sub(two.Mul(yy.Add(zz))))
+	m.Set(0, 1, two.Mul(xy.Sub(wz)))
+	m.Set(0, 2, two.Mul(xz.Add(wy)))
+	m.Set(1, 0, two.Mul(xy.Add(wz)))
+	m.Set(1, 1, one.Sub(two.Mul(xx.Add(zz))))
+	m.Set(1, 2, two.Mul(yz.Sub(wx)))
+	m.Set(2, 0, two.Mul(xz.Sub(wy)))
+	m.Set(2, 1, two.Mul(yz.Add(wx)))
+	m.Set(2, 2, one.Sub(two.Mul(xx.Add(yy))))
+	return m
+}
+
+// QuatFromRotationMatrix recovers a quaternion from a rotation matrix
+// using Shepperd's method (max-trace branch selection).
+func QuatFromRotationMatrix[T scalar.Real[T]](r mat.Mat[T]) Quat[T] {
+	like := r.At(0, 0)
+	one := scalar.One(like)
+	quarter := like.FromFloat(0.25)
+	tr := r.At(0, 0).Add(r.At(1, 1)).Add(r.At(2, 2))
+	zero := scalar.Zero(like)
+	var q Quat[T]
+	switch {
+	case zero.Less(tr):
+		s := one.Add(tr).Sqrt().Mul(like.FromFloat(2)) // 4w
+		q.W = s.Mul(quarter)
+		q.X = r.At(2, 1).Sub(r.At(1, 2)).Div(s)
+		q.Y = r.At(0, 2).Sub(r.At(2, 0)).Div(s)
+		q.Z = r.At(1, 0).Sub(r.At(0, 1)).Div(s)
+	case r.At(1, 1).Less(r.At(0, 0)) && r.At(2, 2).Less(r.At(0, 0)):
+		s := one.Add(r.At(0, 0)).Sub(r.At(1, 1)).Sub(r.At(2, 2)).Sqrt().Mul(like.FromFloat(2))
+		q.W = r.At(2, 1).Sub(r.At(1, 2)).Div(s)
+		q.X = s.Mul(quarter)
+		q.Y = r.At(0, 1).Add(r.At(1, 0)).Div(s)
+		q.Z = r.At(0, 2).Add(r.At(2, 0)).Div(s)
+	case r.At(2, 2).Less(r.At(1, 1)):
+		s := one.Add(r.At(1, 1)).Sub(r.At(0, 0)).Sub(r.At(2, 2)).Sqrt().Mul(like.FromFloat(2))
+		q.W = r.At(0, 2).Sub(r.At(2, 0)).Div(s)
+		q.X = r.At(0, 1).Add(r.At(1, 0)).Div(s)
+		q.Y = s.Mul(quarter)
+		q.Z = r.At(1, 2).Add(r.At(2, 1)).Div(s)
+	default:
+		s := one.Add(r.At(2, 2)).Sub(r.At(0, 0)).Sub(r.At(1, 1)).Sqrt().Mul(like.FromFloat(2))
+		q.W = r.At(1, 0).Sub(r.At(0, 1)).Div(s)
+		q.X = r.At(0, 2).Add(r.At(2, 0)).Div(s)
+		q.Y = r.At(1, 2).Add(r.At(2, 1)).Div(s)
+		q.Z = s.Mul(quarter)
+	}
+	return q.Normalized()
+}
+
+// AngleTo returns the rotation angle (radians) between q and r — the
+// attitude-error metric used throughout the case studies.
+func (q Quat[T]) AngleTo(r Quat[T]) T {
+	d := q.Conj().Mul(r)
+	w := d.W.Abs()
+	return scalar.Acos(scalar.Min(w, scalar.One(w))).Mul(w.FromFloat(2))
+}
+
+// Integrate advances q by body angular rate gyro (rad/s) over dt seconds
+// using the first-order quaternion derivative q̇ = ½·q⊗(0, ω), followed
+// by renormalization — exactly the update inside the attitude filters.
+func (q Quat[T]) Integrate(gyro mat.Vec[T], dt T) Quat[T] {
+	half := dt.Mul(dt.FromFloat(0.5))
+	omega := Quat[T]{W: scalar.Zero(dt), X: gyro[0], Y: gyro[1], Z: gyro[2]}
+	dq := q.Mul(omega).Scale(half)
+	return q.Add(dq).Normalized()
+}
+
+// Floats returns (w, x, y, z) as float64.
+func (q Quat[T]) Floats() (w, x, y, z float64) {
+	return q.W.Float(), q.X.Float(), q.Y.Float(), q.Z.Float()
+}
+
+// QuatAngleDegrees converts the AngleTo result to degrees as float64 for
+// reporting.
+func QuatAngleDegrees[T scalar.Real[T]](q, r Quat[T]) float64 {
+	return q.AngleTo(r).Float() * 180 / math.Pi
+}

@@ -1,0 +1,131 @@
+package geom
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/scalar"
+)
+
+// Hat returns the skew-symmetric matrix [v]× with [v]×·w = v×w.
+func Hat[T scalar.Real[T]](v mat.Vec[T]) mat.Mat[T] {
+	if len(v) != 3 {
+		panic("geom: Hat requires a 3-vector")
+	}
+	m := mat.Zeros[T](3, 3)
+	m.Set(0, 1, v[2].Neg())
+	m.Set(0, 2, v[1])
+	m.Set(1, 0, v[2])
+	m.Set(1, 2, v[0].Neg())
+	m.Set(2, 0, v[1].Neg())
+	m.Set(2, 1, v[0])
+	return m
+}
+
+// Vee inverts Hat: extracts the 3-vector from a skew-symmetric matrix.
+func Vee[T scalar.Real[T]](m mat.Mat[T]) mat.Vec[T] {
+	return mat.Vec[T]{m.At(2, 1), m.At(0, 2), m.At(1, 0)}
+}
+
+// ExpSO3 is the matrix exponential of [w]× via Rodrigues' formula.
+func ExpSO3[T scalar.Real[T]](w mat.Vec[T]) mat.Mat[T] {
+	theta := w.Norm()
+	like := theta
+	one := scalar.One(like)
+	id := mat.Identity(3, like.FromFloat(1))
+	if theta.Float() < 1e-9 {
+		return id.Add(Hat(w))
+	}
+	axis := w.Scale(one.Div(theta))
+	k := Hat(axis)
+	s := scalar.Sin(theta)
+	c := scalar.Cos(theta)
+	return id.Add(k.Scale(s)).Add(k.Mul(k).Scale(one.Sub(c)))
+}
+
+// LogSO3 recovers the rotation vector from a rotation matrix.
+func LogSO3[T scalar.Real[T]](r mat.Mat[T]) mat.Vec[T] {
+	like := r.At(0, 0)
+	one := scalar.One(like)
+	two := like.FromFloat(2)
+	tr := r.Trace()
+	cosTheta := tr.Sub(one).Div(two)
+	theta := scalar.Acos(scalar.Clamp(cosTheta, one.Neg(), one))
+	if theta.Float() < 1e-9 {
+		return mat.Vec[T]{scalar.Zero(like), scalar.Zero(like), scalar.Zero(like)}
+	}
+	s := scalar.Sin(theta)
+	f := theta.Div(two.Mul(s))
+	return mat.Vec[T]{
+		r.At(2, 1).Sub(r.At(1, 2)).Mul(f),
+		r.At(0, 2).Sub(r.At(2, 0)).Mul(f),
+		r.At(1, 0).Sub(r.At(0, 1)).Mul(f),
+	}
+}
+
+// RotX returns the rotation of angle radians about the x axis.
+func RotX[T scalar.Real[T]](angle T) mat.Mat[T] {
+	c, s := scalar.Cos(angle), scalar.Sin(angle)
+	one := scalar.One(angle)
+	zero := scalar.Zero(angle)
+	return mat.New(3, 3, []T{
+		one, zero, zero,
+		zero, c, s.Neg(),
+		zero, s, c,
+	})
+}
+
+// RotY returns the rotation of angle radians about the y axis.
+func RotY[T scalar.Real[T]](angle T) mat.Mat[T] {
+	c, s := scalar.Cos(angle), scalar.Sin(angle)
+	one := scalar.One(angle)
+	zero := scalar.Zero(angle)
+	return mat.New(3, 3, []T{
+		c, zero, s,
+		zero, one, zero,
+		s.Neg(), zero, c,
+	})
+}
+
+// RotZ returns the rotation of angle radians about the z axis.
+func RotZ[T scalar.Real[T]](angle T) mat.Mat[T] {
+	c, s := scalar.Cos(angle), scalar.Sin(angle)
+	one := scalar.One(angle)
+	zero := scalar.Zero(angle)
+	return mat.New(3, 3, []T{
+		c, s.Neg(), zero,
+		s, c, zero,
+		zero, zero, one,
+	})
+}
+
+// RotationAngleDeg returns the angle of rotation between two rotation
+// matrices in degrees — the standard pose-error metric in Case Study #4.
+func RotationAngleDeg[T scalar.Real[T]](a, b mat.Mat[T]) float64 {
+	rel := a.Transpose().Mul(b)
+	tr := rel.Trace().Float()
+	c := (tr - 1) / 2
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c) * 180 / math.Pi
+}
+
+// ProjectToSO3 returns the closest rotation matrix to m in Frobenius norm
+// via SVD (U·Vᵀ with determinant fix) — used by pose solvers to clean up
+// numerically drifted rotations.
+func ProjectToSO3[T scalar.Real[T]](m mat.Mat[T]) mat.Mat[T] {
+	res := mat.SVD(m)
+	r := res.U.Mul(res.V.Transpose())
+	if mat.Det3(r).Float() < 0 {
+		// Flip the last column of U.
+		u := res.U.Clone()
+		for i := 0; i < 3; i++ {
+			u.Set(i, 2, u.At(i, 2).Neg())
+		}
+		r = u.Mul(res.V.Transpose())
+	}
+	return r
+}

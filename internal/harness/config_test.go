@@ -1,0 +1,71 @@
+package harness_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadBuildConfig(t *testing.T) {
+	path := writeTemp(t, `{"Reps": 50, "Warmup": 3, "CacheOn": false, "Verbosity": 2, "TotalRuns": 5}`)
+	bc, err := harness.LoadBuildConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Reps != 50 || bc.Warmup != 3 || bc.CacheOn || bc.Verbosity != 2 || bc.TotalRuns != 5 {
+		t.Fatalf("parsed %+v", bc)
+	}
+	cfg := bc.Config()
+	if cfg.Reps != 50 || cfg.Warmup != 3 || cfg.CacheOn {
+		t.Fatalf("converted %+v", cfg)
+	}
+}
+
+func TestLoadBuildConfigDefaults(t *testing.T) {
+	path := writeTemp(t, `{"Reps": 10}`)
+	bc, err := harness.LoadBuildConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bc.CacheOn {
+		t.Error("CacheOn default should be true")
+	}
+	if bc.TotalRuns != 1 {
+		t.Errorf("TotalRuns = %d, want 1", bc.TotalRuns)
+	}
+}
+
+func TestLoadBuildConfigRejectsTypos(t *testing.T) {
+	path := writeTemp(t, `{"Repz": 10}`)
+	if _, err := harness.LoadBuildConfig(path); err == nil {
+		t.Fatal("typo field accepted")
+	}
+}
+
+func TestLoadBuildConfigMissingFile(t *testing.T) {
+	if _, err := harness.LoadBuildConfig("/nonexistent/bench.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestMinROIOverride(t *testing.T) {
+	path := writeTemp(t, `{"MinROIUs": 5000}`)
+	bc, err := harness.LoadBuildConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bc.Config().MinROITimeS; got != 5e-3 {
+		t.Fatalf("MinROITimeS = %g, want 5e-3", got)
+	}
+}

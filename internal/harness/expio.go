@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ExperimentIO is the measurement-log half of the paper's ExperimentIO
+// abstraction (the paper moves data host↔MCU over semihosting and saves
+// results to reduce host interaction; here the "measurement logs" output
+// of the artifact is a CSV stream).
+
+// csvHeader is the measurement-log column set.
+var csvHeader = []string{
+	"kernel", "arch", "precision", "cache",
+	"ops_f", "ops_i", "ops_m", "ops_b",
+	"cycles", "latency_us", "energy_uj", "avg_power_mw", "peak_power_mw",
+	"reps", "valid",
+}
+
+// WriteResultsCSV streams harness results as a measurement log.
+func WriteResultsCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range results {
+		row := []string{
+			r.Kernel,
+			r.Arch.Name,
+			r.Precision.String(),
+			strconv.FormatBool(r.CacheOn),
+			strconv.FormatUint(r.Counts.F, 10),
+			strconv.FormatUint(r.Counts.I, 10),
+			strconv.FormatUint(r.Counts.M, 10),
+			strconv.FormatUint(r.Counts.B, 10),
+			fmt.Sprintf("%.0f", r.Model.Cycles),
+			fmt.Sprintf("%.4f", r.Measured.LatencyS*1e6),
+			fmt.Sprintf("%.6f", r.Measured.EnergyJ*1e6),
+			fmt.Sprintf("%.3f", r.Measured.AvgPowerW*1e3),
+			fmt.Sprintf("%.3f", r.Measured.PeakPowerW*1e3),
+			strconv.Itoa(r.Measured.Reps),
+			strconv.FormatBool(r.Valid),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MeasurementRow is one parsed measurement-log record.
+type MeasurementRow struct {
+	Kernel      string
+	Arch        string
+	Precision   string
+	CacheOn     bool
+	Cycles      float64
+	LatencyUs   float64
+	EnergyUJ    float64
+	AvgPowerMW  float64
+	PeakPowerMW float64
+	Reps        int
+	Valid       bool
+}
+
+// ReadResultsCSV parses a measurement log written by WriteResultsCSV.
+func ReadResultsCSV(r io.Reader) ([]MeasurementRow, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("harness: empty measurement log")
+	}
+	if len(records[0]) != len(csvHeader) || records[0][0] != "kernel" {
+		return nil, fmt.Errorf("harness: unrecognized measurement-log header")
+	}
+	out := make([]MeasurementRow, 0, len(records)-1)
+	for _, rec := range records[1:] {
+		var row MeasurementRow
+		row.Kernel = rec[0]
+		row.Arch = rec[1]
+		row.Precision = rec[2]
+		row.CacheOn, _ = strconv.ParseBool(rec[3])
+		row.Cycles, _ = strconv.ParseFloat(rec[8], 64)
+		row.LatencyUs, _ = strconv.ParseFloat(rec[9], 64)
+		row.EnergyUJ, _ = strconv.ParseFloat(rec[10], 64)
+		row.AvgPowerMW, _ = strconv.ParseFloat(rec[11], 64)
+		row.PeakPowerMW, _ = strconv.ParseFloat(rec[12], 64)
+		row.Reps, _ = strconv.Atoi(rec[13])
+		row.Valid, _ = strconv.ParseBool(rec[14])
+		out = append(out, row)
+	}
+	return out, nil
+}

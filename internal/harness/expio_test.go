@@ -1,0 +1,56 @@
+package harness_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/mcu"
+)
+
+func TestResultsCSVRoundTrip(t *testing.T) {
+	p := &vvadd{n: 128}
+	var results []harness.Result
+	for _, arch := range []mcu.Arch{mcu.M4, mcu.M33} {
+		res, err := harness.Run(p, arch, mcu.PrecF32, harness.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	var buf bytes.Buffer
+	if err := harness.WriteResultsCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := harness.ReadResultsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for i, row := range rows {
+		if row.Kernel != "vvadd" {
+			t.Errorf("row %d kernel = %q", i, row.Kernel)
+		}
+		if !row.Valid {
+			t.Errorf("row %d not valid", i)
+		}
+		if row.LatencyUs <= 0 || row.EnergyUJ <= 0 {
+			t.Errorf("row %d non-positive metrics", i)
+		}
+	}
+	if rows[0].Arch != "M4" || rows[1].Arch != "M33" {
+		t.Errorf("arch columns wrong: %s, %s", rows[0].Arch, rows[1].Arch)
+	}
+}
+
+func TestReadResultsCSVRejectsGarbage(t *testing.T) {
+	if _, err := harness.ReadResultsCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	if _, err := harness.ReadResultsCSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Fatal("wrong header accepted")
+	}
+}

@@ -1,0 +1,265 @@
+// Package image provides the 8-bit grayscale image machinery the
+// perception kernels run on: clamped access, separable Gaussian blur,
+// image pyramids, bilinear sampling, gradients, and integral images.
+//
+// Everything is deliberately integer-first: on a Cortex-M the pixel
+// pipeline stays in fixed-width integer arithmetic wherever possible
+// (the paper notes fastbrief and orb are integer-only apart from their
+// Gaussian blur), and every pixel access is charged to the profiler as a
+// memory operation so the perception kernels report honest mixes.
+package image
+
+import (
+	"fmt"
+
+	"repro/internal/profile"
+)
+
+// Gray is an 8-bit grayscale image.
+type Gray struct {
+	W, H int
+	Pix  []uint8 // row-major
+}
+
+// NewGray allocates a zeroed W×H image.
+func NewGray(w, h int) *Gray {
+	return &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x, y) with no bounds check, charging one
+// memory op.
+func (g *Gray) At(x, y int) uint8 {
+	profile.AddM(1)
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the pixel at (x, y), charging one memory op.
+func (g *Gray) Set(x, y int, v uint8) {
+	profile.AddM(1)
+	g.Pix[y*g.W+x] = v
+}
+
+// AtClamped returns the pixel at (x, y) with coordinates clamped to the
+// image border — the standard MCU convolution boundary policy.
+func (g *Gray) AtClamped(x, y int) uint8 {
+	profile.AddM(1)
+	profile.AddB(2)
+	if x < 0 {
+		x = 0
+	} else if x >= g.W {
+		x = g.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= g.H {
+		y = g.H - 1
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// InBounds reports whether (x, y) is inside the image with the given
+// margin.
+func (g *Gray) InBounds(x, y, margin int) bool {
+	profile.AddB(2)
+	return x >= margin && y >= margin && x < g.W-margin && y < g.H-margin
+}
+
+// Clone deep-copies the image.
+func (g *Gray) Clone() *Gray {
+	out := NewGray(g.W, g.H)
+	copy(out.Pix, g.Pix)
+	profile.AddM(uint64(2 * len(g.Pix)))
+	return out
+}
+
+// Bilinear samples the image at fractional coordinates with bilinear
+// interpolation, in 16.16 fixed-point arithmetic as an MCU would.
+func (g *Gray) Bilinear(x, y float64) float64 {
+	profile.AddM(4)
+	profile.AddI(12)
+	x0, y0 := int(x), int(y)
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x0 >= g.W-1 {
+		x0 = g.W - 2
+	}
+	if y0 >= g.H-1 {
+		y0 = g.H - 2
+	}
+	fx, fy := x-float64(x0), y-float64(y0)
+	if fx < 0 {
+		fx = 0
+	} else if fx > 1 {
+		fx = 1
+	}
+	if fy < 0 {
+		fy = 0
+	} else if fy > 1 {
+		fy = 1
+	}
+	p00 := float64(g.Pix[y0*g.W+x0])
+	p10 := float64(g.Pix[y0*g.W+x0+1])
+	p01 := float64(g.Pix[(y0+1)*g.W+x0])
+	p11 := float64(g.Pix[(y0+1)*g.W+x0+1])
+	top := p00 + fx*(p10-p00)
+	bot := p01 + fx*(p11-p01)
+	return top + fy*(bot-top)
+}
+
+// GaussianBlur returns a blurred copy using a separable integer kernel
+// scaled to 8-bit weights, the classic embedded implementation.
+func (g *Gray) GaussianBlur(sigma float64) *Gray {
+	k := gaussKernel(sigma)
+	r := len(k) / 2
+	// Horizontal pass.
+	tmp := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var acc, wsum int
+			for i := -r; i <= r; i++ {
+				w := k[i+r]
+				acc += w * int(g.AtClamped(x+i, y))
+				wsum += w
+			}
+			profile.AddI(uint64(2 * len(k)))
+			tmp.Set(x, y, uint8(acc/wsum))
+		}
+	}
+	// Vertical pass.
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var acc, wsum int
+			for i := -r; i <= r; i++ {
+				w := k[i+r]
+				acc += w * int(tmp.AtClamped(x, y+i))
+				wsum += w
+			}
+			profile.AddI(uint64(2 * len(k)))
+			out.Set(x, y, uint8(acc/wsum))
+		}
+	}
+	return out
+}
+
+// gaussKernel builds an integer Gaussian kernel with radius ceil(2.5σ)
+// and weights scaled so the center is 256.
+func gaussKernel(sigma float64) []int {
+	if sigma < 0.3 {
+		sigma = 0.3
+	}
+	r := int(2.5*sigma + 0.5)
+	if r < 1 {
+		r = 1
+	}
+	k := make([]int, 2*r+1)
+	for i := -r; i <= r; i++ {
+		x := float64(i) / sigma
+		w := 256.0 * gaussExp(-0.5*x*x)
+		k[i+r] = int(w + 0.5)
+		if k[i+r] == 0 {
+			k[i+r] = 1
+		}
+	}
+	return k
+}
+
+// gaussExp is exp(x) for x <= 0 via a short series — keeps the package
+// free of math imports in its hot path and mirrors lookup-table practice.
+func gaussExp(x float64) float64 {
+	// exp(x) = 1/exp(-x); compute exp(-x) for -x >= 0 with a Padé-ish
+	// repeated-squaring approximation.
+	nx := -x
+	n := 1.0 + nx/64
+	n = n * n
+	n = n * n
+	n = n * n
+	n = n * n
+	n = n * n
+	n = n * n
+	return 1 / n
+}
+
+// Downsample2x returns the half-resolution image (2×2 box filter), the
+// pyramid level construction used by SIFT and pyramidal LK.
+func (g *Gray) Downsample2x() *Gray {
+	out := NewGray(g.W/2, g.H/2)
+	for y := 0; y < out.H; y++ {
+		for x := 0; x < out.W; x++ {
+			s := int(g.At(2*x, 2*y)) + int(g.At(2*x+1, 2*y)) +
+				int(g.At(2*x, 2*y+1)) + int(g.At(2*x+1, 2*y+1))
+			profile.AddI(4)
+			out.Set(x, y, uint8(s/4))
+		}
+	}
+	return out
+}
+
+// Pyramid builds levels-deep image pyramid; level 0 is the original.
+func (g *Gray) Pyramid(levels int) []*Gray {
+	pyr := make([]*Gray, 0, levels)
+	cur := g
+	for l := 0; l < levels; l++ {
+		pyr = append(pyr, cur)
+		if cur.W < 16 || cur.H < 16 {
+			break
+		}
+		cur = cur.Downsample2x()
+	}
+	return pyr
+}
+
+// GradientAt returns the central-difference gradient at (x, y); callers
+// guarantee a 1-pixel margin.
+func (g *Gray) GradientAt(x, y int) (gx, gy int) {
+	profile.AddM(4)
+	profile.AddI(2)
+	gx = int(g.Pix[y*g.W+x+1]) - int(g.Pix[y*g.W+x-1])
+	gy = int(g.Pix[(y+1)*g.W+x]) - int(g.Pix[(y-1)*g.W+x])
+	return gx, gy
+}
+
+// Integral is a summed-area table: I(x, y) = sum of pixels in [0,x)×[0,y).
+type Integral struct {
+	W, H int
+	Sum  []uint32
+}
+
+// NewIntegral computes the integral image of g.
+func NewIntegral(g *Gray) *Integral {
+	w, h := g.W+1, g.H+1
+	it := &Integral{W: w, H: h, Sum: make([]uint32, w*h)}
+	for y := 1; y < h; y++ {
+		var row uint32
+		for x := 1; x < w; x++ {
+			row += uint32(g.Pix[(y-1)*g.W+x-1])
+			it.Sum[y*w+x] = it.Sum[(y-1)*w+x] + row
+		}
+	}
+	profile.AddI(uint64(3 * g.W * g.H))
+	profile.AddM(uint64(3 * g.W * g.H))
+	return it
+}
+
+// BoxSum returns the sum of pixels in the rectangle [x0,x1)×[y0,y1).
+func (it *Integral) BoxSum(x0, y0, x1, y1 int) uint32 {
+	profile.AddM(4)
+	profile.AddI(3)
+	return it.Sum[y1*it.W+x1] - it.Sum[y0*it.W+x1] - it.Sum[y1*it.W+x0] + it.Sum[y0*it.W+x0]
+}
+
+// String describes the image dimensions.
+func (g *Gray) String() string { return fmt.Sprintf("Gray(%dx%d)", g.W, g.H) }
+
+// Mean returns the average pixel intensity.
+func (g *Gray) Mean() float64 {
+	var s uint64
+	for _, p := range g.Pix {
+		s += uint64(p)
+	}
+	return float64(s) / float64(len(g.Pix))
+}

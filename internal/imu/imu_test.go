@@ -1,0 +1,91 @@
+package imu_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/geom"
+	"repro/internal/imu"
+	"repro/internal/mat"
+	"repro/internal/scalar"
+)
+
+func TestSimulateDeterministic(t *testing.T) {
+	traj := imu.HoverTrajectory(0.1, 0.08, 2)
+	a := imu.Simulate(traj, 0.5, 200, imu.DefaultNoise(), 42)
+	b := imu.Simulate(traj, 0.5, 200, imu.DefaultNoise(), 42)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d, %d, want 100", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Gyro != b[i].Gyro || a[i].Accel != b[i].Accel {
+			t.Fatal("simulation not deterministic")
+		}
+	}
+}
+
+func TestAccelPointsAgainstGravity(t *testing.T) {
+	// Identity attitude: accelerometer must read ~(0, 0, +g).
+	traj := func(float64) (geom.Quat[scalar.F64], [3]float64) {
+		return geom.IdentityQuat(scalar.F64(0)), [3]float64{}
+	}
+	recs := imu.Simulate(traj, 0.1, 100, imu.Noise{}, 1)
+	for _, r := range recs {
+		if math.Abs(r.Accel[2]-imu.Gravity) > 1e-9 || math.Abs(r.Accel[0]) > 1e-9 {
+			t.Fatalf("accel = %v, want (0,0,%g)", r.Accel, imu.Gravity)
+		}
+	}
+}
+
+func TestGyroMatchesTrajectoryDerivative(t *testing.T) {
+	// With zero noise, integrating the reported gyro should track truth.
+	traj := imu.HoverTrajectory(0.15, 0.1, 3)
+	recs := imu.Simulate(traj, 1.0, 1000, imu.Noise{}, 1)
+	q := recs[0].Truth
+	for _, r := range recs {
+		g := mat.VecFromFloats(scalar.F64(0), r.Gyro[:])
+		q = q.Integrate(g, scalar.F64(r.Dt))
+	}
+	errDeg := geom.QuatAngleDegrees(q, recs[len(recs)-1].Truth)
+	if errDeg > 2 {
+		t.Fatalf("gyro integration drifted %g° from truth", errDeg)
+	}
+}
+
+func TestSampleAsFixed(t *testing.T) {
+	traj := imu.StriderLineTrajectory(10, 0.1)
+	recs := imu.Simulate(traj, 0.05, 200, imu.DefaultNoise(), 9)
+	like := fixed.New(0, 24)
+	s := imu.SampleAs(like, recs[0])
+	if len(s.Gyro) != 3 || len(s.Accel) != 3 || len(s.Mag) != 3 {
+		t.Fatal("sample has wrong shape")
+	}
+	if math.Abs(s.Dt.Float()-recs[0].Dt) > 1e-6 {
+		t.Errorf("dt = %g, want %g", s.Dt.Float(), recs[0].Dt)
+	}
+	if math.Abs(s.Gyro[0].Float()-recs[0].Gyro[0]) > 1e-5 {
+		t.Errorf("gyro quantization error too large")
+	}
+}
+
+func TestSteerHasLargerGyroRange(t *testing.T) {
+	line := imu.Simulate(imu.StriderLineTrajectory(10, 0.1), 2, 500, imu.Noise{}, 3)
+	steer := imu.Simulate(imu.StriderSteerTrajectory(10, 0.1, 4), 2, 500, imu.Noise{}, 3)
+	gLine, _, _ := imu.MaxRates(line)
+	gSteer, _, _ := imu.MaxRates(steer)
+	if gSteer <= gLine {
+		t.Fatalf("steer max gyro %g <= line %g; steering must stress dynamic range", gSteer, gLine)
+	}
+}
+
+func TestMagIsUnitishAndRotates(t *testing.T) {
+	traj := imu.HoverTrajectory(0.2, 0.2, 2)
+	recs := imu.Simulate(traj, 0.5, 100, imu.Noise{}, 5)
+	for _, r := range recs {
+		n := math.Sqrt(r.Mag[0]*r.Mag[0] + r.Mag[1]*r.Mag[1] + r.Mag[2]*r.Mag[2])
+		if n < 0.9 || n > 1.1 {
+			t.Fatalf("mag norm %g", n)
+		}
+	}
+}

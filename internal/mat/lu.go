@@ -1,0 +1,156 @@
+package mat
+
+import (
+	"errors"
+
+	"repro/internal/profile"
+	"repro/internal/scalar"
+)
+
+// ErrSingular is returned when a factorization meets a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("mat: singular matrix")
+
+// LU holds a partially pivoted LU factorization P·A = L·U packed into one
+// matrix, with the unit diagonal of L implicit.
+type LU[T scalar.Real[T]] struct {
+	lu    Mat[T]
+	pivot []int
+	sign  int // determinant sign from row swaps
+}
+
+// LUDecompose factors the square matrix a with partial pivoting.
+func LUDecompose[T scalar.Real[T]](a Mat[T]) (*LU[T], error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, errors.New("mat: LU of non-square matrix")
+	}
+	lu := a.Clone()
+	piv := make([]int, n)
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Pivot search down column k.
+		p := k
+		best := lu.At(k, k).Abs()
+		for i := k + 1; i < n; i++ {
+			v := lu.At(i, k).Abs()
+			if best.Less(v) {
+				best, p = v, i
+			}
+		}
+		profile.AddB(uint64(n - k))
+		piv[k] = p
+		if p != k {
+			lu.SwapRows(p, k)
+			sign = -sign
+		}
+		pv := lu.At(k, k)
+		if pv.IsZero() {
+			return nil, ErrSingular
+		}
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k).Div(pv)
+			lu.Set(i, k, m)
+			for j := k + 1; j < n; j++ {
+				lu.Set(i, j, lu.At(i, j).Sub(m.Mul(lu.At(k, j))))
+			}
+		}
+	}
+	return &LU[T]{lu: lu, pivot: piv, sign: sign}, nil
+}
+
+// Solve returns x with A·x = b.
+func (f *LU[T]) Solve(b Vec[T]) Vec[T] {
+	n := f.lu.Rows()
+	x := b.Clone()
+	// Apply row permutation.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution (unit lower).
+	for i := 1; i < n; i++ {
+		acc := x[i]
+		for j := 0; j < i; j++ {
+			acc = acc.Sub(f.lu.At(i, j).Mul(x[j]))
+		}
+		x[i] = acc
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		acc := x[i]
+		for j := i + 1; j < n; j++ {
+			acc = acc.Sub(f.lu.At(i, j).Mul(x[j]))
+		}
+		x[i] = acc.Div(f.lu.At(i, i))
+	}
+	profile.AddM(uint64(4 * n))
+	return x
+}
+
+// SolveMat solves A·X = B column-by-column.
+func (f *LU[T]) SolveMat(b Mat[T]) Mat[T] {
+	out := Zeros[T](b.Rows(), b.Cols())
+	for j := 0; j < b.Cols(); j++ {
+		out.SetCol(j, f.Solve(b.Col(j)))
+	}
+	return out
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU[T]) Det() T {
+	n := f.lu.Rows()
+	var det T
+	if n == 0 {
+		return det
+	}
+	det = f.lu.At(0, 0)
+	for i := 1; i < n; i++ {
+		det = det.Mul(f.lu.At(i, i))
+	}
+	if f.sign < 0 {
+		det = det.Neg()
+	}
+	return det
+}
+
+// Solve is the one-shot convenience: factor a and solve a·x = b.
+func Solve[T scalar.Real[T]](a Mat[T], b Vec[T]) (Vec[T], error) {
+	f, err := LUDecompose(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Inverse returns a⁻¹ via LU.
+func Inverse[T scalar.Real[T]](a Mat[T]) (Mat[T], error) {
+	f, err := LUDecompose(a)
+	if err != nil {
+		return Mat[T]{}, err
+	}
+	n := a.Rows()
+	return f.SolveMat(Identity(n, a.like())), nil
+}
+
+// Det returns the determinant of a.
+func Det[T scalar.Real[T]](a Mat[T]) T {
+	f, err := LUDecompose(a)
+	if err != nil {
+		var zero T
+		return zero
+	}
+	return f.Det()
+}
+
+// Det3 computes a 3×3 determinant directly — the common case in pose
+// solvers, where the general LU path would waste cycles.
+func Det3[T scalar.Real[T]](a Mat[T]) T {
+	if a.Rows() != 3 || a.Cols() != 3 {
+		panic("mat: Det3 requires a 3x3 matrix")
+	}
+	return a.At(0, 0).Mul(a.At(1, 1).Mul(a.At(2, 2)).Sub(a.At(1, 2).Mul(a.At(2, 1)))).
+		Sub(a.At(0, 1).Mul(a.At(1, 0).Mul(a.At(2, 2)).Sub(a.At(1, 2).Mul(a.At(2, 0))))).
+		Add(a.At(0, 2).Mul(a.At(1, 0).Mul(a.At(2, 1)).Sub(a.At(1, 1).Mul(a.At(2, 0)))))
+}

@@ -1,0 +1,150 @@
+package mat
+
+import (
+	"errors"
+
+	"repro/internal/scalar"
+)
+
+// QR holds a Householder QR factorization A = Q·R for an m×n matrix with
+// m >= n.
+type QR[T scalar.Real[T]] struct {
+	qr    Mat[T] // R in upper triangle, Householder vectors below
+	rdiag Vec[T]
+}
+
+// QRDecompose factors a (m >= n) with Householder reflections.
+func QRDecompose[T scalar.Real[T]](a Mat[T]) (*QR[T], error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, errors.New("mat: QR requires rows >= cols")
+	}
+	qr := a.Clone()
+	rdiag := make(Vec[T], n)
+	for k := 0; k < n; k++ {
+		// Norm of column k below the diagonal.
+		var nrm T
+		for i := k; i < m; i++ {
+			v := qr.At(i, k)
+			nrm = nrm.Add(v.Mul(v))
+		}
+		nrm = nrm.Sqrt()
+		if nrm.IsZero() {
+			rdiag[k] = nrm
+			continue
+		}
+		// Match the sign of the diagonal for stability.
+		if qr.At(k, k).Less(scalar.Zero(nrm)) {
+			nrm = nrm.Neg()
+		}
+		invN := scalar.One(nrm).Div(nrm)
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k).Mul(invN))
+		}
+		qr.Set(k, k, qr.At(k, k).Add(scalar.One(nrm)))
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s T
+			for i := k; i < m; i++ {
+				s = s.Add(qr.At(i, k).Mul(qr.At(i, j)))
+			}
+			s = s.Neg().Div(qr.At(k, k))
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j).Add(s.Mul(qr.At(i, k))))
+			}
+		}
+		rdiag[k] = nrm.Neg()
+	}
+	return &QR[T]{qr: qr, rdiag: rdiag}, nil
+}
+
+// FullRank reports whether every diagonal element of R is nonzero.
+func (f *QR[T]) FullRank() bool {
+	for _, d := range f.rdiag {
+		if d.IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// R returns the n×n upper-triangular factor.
+func (f *QR[T]) R() Mat[T] {
+	n := f.qr.Cols()
+	r := Zeros[T](n, n)
+	for i := 0; i < n; i++ {
+		r.Set(i, i, f.rdiag[i])
+		for j := i + 1; j < n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// Q returns the m×n thin orthonormal factor.
+func (f *QR[T]) Q() Mat[T] {
+	m, n := f.qr.Rows(), f.qr.Cols()
+	q := Zeros[T](m, n)
+	for k := n - 1; k >= 0; k-- {
+		q.Set(k, k, scalar.One(f.rdiag[k]))
+		if f.qr.At(k, k).IsZero() {
+			continue
+		}
+		for j := k; j < n; j++ {
+			var s T
+			for i := k; i < m; i++ {
+				s = s.Add(f.qr.At(i, k).Mul(q.At(i, j)))
+			}
+			s = s.Neg().Div(f.qr.At(k, k))
+			for i := k; i < m; i++ {
+				q.Set(i, j, q.At(i, j).Add(s.Mul(f.qr.At(i, k))))
+			}
+		}
+	}
+	return q
+}
+
+// Solve returns the least-squares solution of A·x = b.
+func (f *QR[T]) Solve(b Vec[T]) (Vec[T], error) {
+	if !f.FullRank() {
+		return nil, ErrSingular
+	}
+	m, n := f.qr.Rows(), f.qr.Cols()
+	if len(b) != m {
+		return nil, errors.New("mat: QR Solve length mismatch")
+	}
+	y := b.Clone()
+	// Apply Householder reflectors: y = Qᵀ·b.
+	for k := 0; k < n; k++ {
+		if f.qr.At(k, k).IsZero() {
+			continue
+		}
+		var s T
+		for i := k; i < m; i++ {
+			s = s.Add(f.qr.At(i, k).Mul(y[i]))
+		}
+		s = s.Neg().Div(f.qr.At(k, k))
+		for i := k; i < m; i++ {
+			y[i] = y[i].Add(s.Mul(f.qr.At(i, k)))
+		}
+	}
+	// Back substitution with R.
+	x := make(Vec[T], n)
+	for i := n - 1; i >= 0; i-- {
+		acc := y[i]
+		for j := i + 1; j < n; j++ {
+			acc = acc.Sub(f.qr.At(i, j).Mul(x[j]))
+		}
+		x[i] = acc.Div(f.rdiag[i])
+	}
+	return x, nil
+}
+
+// LeastSquares is the one-shot convenience: min |A·x - b|₂.
+func LeastSquares[T scalar.Real[T]](a Mat[T], b Vec[T]) (Vec[T], error) {
+	f, err := QRDecompose(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

@@ -1,0 +1,149 @@
+package mat
+
+import (
+	"sort"
+
+	"repro/internal/scalar"
+)
+
+// SVDResult holds a thin singular value decomposition A = U·diag(S)·Vᵀ
+// with singular values sorted in descending order.
+type SVDResult[T scalar.Real[T]] struct {
+	U Mat[T] // m×n, orthonormal columns
+	S Vec[T] // n singular values, descending
+	V Mat[T] // n×n orthogonal
+}
+
+// SVD computes the thin SVD of an m×n matrix with m >= n using one-sided
+// Jacobi rotations — the method of choice for the small, well-conditioned
+// systems in pose estimation, and the one that ports cleanly to every
+// scalar precision. For m < n, decompose the transpose and swap U/V.
+func SVD[T scalar.Real[T]](a Mat[T]) SVDResult[T] {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		r := SVD(a.Transpose())
+		return SVDResult[T]{U: r.V, S: r.S, V: r.U}
+	}
+	like := a.like()
+	one := scalar.One(like)
+	two := like.FromFloat(2)
+	eps := EpsOf(like)
+	tol := eps.Mul(like.FromFloat(8))
+
+	u := a.Clone()
+	v := Identity(n, like)
+
+	const maxSweeps = 60
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		converged := true
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Gram entries over columns p and q.
+				var app, aqq, apq T
+				for i := 0; i < m; i++ {
+					up, uq := u.At(i, p), u.At(i, q)
+					app = app.Add(up.Mul(up))
+					aqq = aqq.Add(uq.Mul(uq))
+					apq = apq.Add(up.Mul(uq))
+				}
+				// Converged for this pair if |apq| <= tol*sqrt(app*aqq).
+				thresh := tol.Mul(app.Mul(aqq).Sqrt())
+				if apq.Abs().LessEq(thresh) {
+					continue
+				}
+				converged = false
+				// Jacobi rotation annihilating apq.
+				zeta := aqq.Sub(app).Div(two.Mul(apq))
+				var t T
+				if zeta.Less(scalar.Zero(zeta)) {
+					t = one.Neg().Div(zeta.Neg().Add(one.Add(zeta.Mul(zeta)).Sqrt()))
+				} else {
+					t = one.Div(zeta.Add(one.Add(zeta.Mul(zeta)).Sqrt()))
+				}
+				c := one.Div(one.Add(t.Mul(t)).Sqrt())
+				s := c.Mul(t)
+				// Rotate columns p, q of U and V.
+				for i := 0; i < m; i++ {
+					up, uq := u.At(i, p), u.At(i, q)
+					u.Set(i, p, c.Mul(up).Sub(s.Mul(uq)))
+					u.Set(i, q, s.Mul(up).Add(c.Mul(uq)))
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c.Mul(vp).Sub(s.Mul(vq)))
+					v.Set(i, q, s.Mul(vp).Add(c.Mul(vq)))
+				}
+			}
+		}
+		if converged {
+			break
+		}
+	}
+
+	// Singular values are the column norms of the rotated U.
+	s := make(Vec[T], n)
+	for j := 0; j < n; j++ {
+		var acc T
+		for i := 0; i < m; i++ {
+			x := u.At(i, j)
+			acc = acc.Add(x.Mul(x))
+		}
+		s[j] = acc.Sqrt()
+		if !s[j].IsZero() {
+			inv := one.Div(s[j])
+			for i := 0; i < m; i++ {
+				u.Set(i, j, u.At(i, j).Mul(inv))
+			}
+		}
+	}
+
+	// Sort descending by singular value (permute U, S, V consistently).
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return s[idx[y]].Less(s[idx[x]]) })
+	us := Zeros[T](m, n)
+	vs := Zeros[T](n, n)
+	ss := make(Vec[T], n)
+	for newJ, oldJ := range idx {
+		ss[newJ] = s[oldJ]
+		for i := 0; i < m; i++ {
+			us.Set(i, newJ, u.At(i, oldJ))
+		}
+		for i := 0; i < n; i++ {
+			vs.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return SVDResult[T]{U: us, S: ss, V: vs}
+}
+
+// NullVector returns the right-singular vector with the smallest singular
+// value — the standard "solve A·x ≈ 0, |x| = 1" primitive behind DLT, the
+// 8-point algorithm, and homography estimation.
+func NullVector[T scalar.Real[T]](a Mat[T]) Vec[T] {
+	return NullSpace(a, 1)[0]
+}
+
+// NullSpace returns the k right-singular vectors with the smallest
+// singular values (ascending by singular value). For wide matrices
+// (rows < cols) — the minimal-solver case, where the null space is the
+// whole point — it diagonalizes the n×n Gram matrix AᵀA instead, since
+// the thin SVD of the transpose does not carry those directions.
+func NullSpace[T scalar.Real[T]](a Mat[T], k int) []Vec[T] {
+	n := a.Cols()
+	out := make([]Vec[T], 0, k)
+	if a.Rows() >= n {
+		r := SVD(a)
+		for i := 0; i < k; i++ {
+			out = append(out, r.V.Col(n-1-i))
+		}
+		return out
+	}
+	gram := a.Transpose().Mul(a)
+	eig := SymEigen(gram) // eigenvalues descending
+	for i := 0; i < k; i++ {
+		out = append(out, eig.V.Col(n-1-i))
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+// Package mcu models the ARM Cortex-M cores EntoBench characterizes:
+// M0+, M4, M33, and M7. It converts the instruction-class operation
+// counts recorded by the profiler into cycles, latency, energy, and peak
+// power for a given numeric precision and cache configuration.
+//
+// The paper measures real STM32 boards (Table V: NUCLEO-G474RE,
+// NUCLEO-U575ZIQ, NUCLEO-H7A3ZIQ); this package is the documented
+// hardware substitution. Each model is calibrated to reproduce the
+// cross-architecture *relationships* the paper's >400 datapoints expose:
+//
+//   - The M33 (newer low-power process) is the most energy-efficient core
+//     everywhere despite middling speed.
+//   - The M7 (6-stage superscalar, highest clock, real I/D caches) is the
+//     fastest, but cache-off execution costs it 2-3x and cache-on raises
+//     its peak power sharply.
+//   - The M4's loosely coupled flash cache barely moves its numbers.
+//   - The M0+ draws the least power yet burns the most energy on float
+//     workloads because everything is soft-float ("race to idle").
+//   - Fixed point beats soft-float on the M0+ but loses to hardware
+//     float on FPU cores (a shift after every multiply).
+package mcu
+
+import "repro/internal/profile"
+
+// Precision identifies the numeric format a kernel ran in. The cost of an
+// F-class operation depends on it: hardware single, hardware/emulated
+// double, or not-applicable (fixed point only produces I ops).
+type Precision int
+
+// Precision values for Estimate.
+const (
+	PrecF32 Precision = iota
+	PrecF64
+	PrecFixed
+)
+
+// String names the precision as in the paper ("f32", "f64", "fixed").
+func (p Precision) String() string {
+	switch p {
+	case PrecF32:
+		return "f32"
+	case PrecF64:
+		return "f64"
+	default:
+		return "fixed"
+	}
+}
+
+// FPUKind describes the floating-point hardware of a core.
+type FPUKind int
+
+// FPU configurations found across the Cortex-M range.
+const (
+	NoFPU  FPUKind = iota // M0+: all float emulated in software
+	SPOnly                // M4, M33: hardware single, emulated double
+	SPDP                  // M7 (H7A3): hardware single and double
+)
+
+// Arch is one Cortex-M core model.
+type Arch struct {
+	Name     string  // "M0+", "M4", "M33", "M7"
+	Board    string  // reference board in the paper
+	ISA      string  // architecture revision
+	ClockHz  float64 // active clock
+	FPU      FPUKind
+	SRAMKB   int
+	HasCache bool // real I/D caches (M7, M33) vs flash accelerator (M4)
+
+	// Pipeline cost model: cycles per operation class.
+	cpiF32 float64 // hardware single-precision op
+	cpiF64 float64 // double-precision op (hardware or soft)
+	cpiI   float64 // integer ALU op
+	cpiB   float64 // branch, cache/flash-dependent penalty added below
+	// Memory access cycles with cache enabled / disabled.
+	memOn, memOff float64
+	// Extra branch penalty with caches disabled (refetch from flash).
+	branchOffPenalty float64
+	// Superscalar issue factor applied to F/I/B work (M7 dual-issue).
+	ipc float64
+	// Soft-float multipliers (applied when the FPU can't do the format).
+	softF32, softF64 float64
+
+	// Power model (watts). Base is idle-at-speed; dynF/dynM scale with
+	// the fraction of F and M work to produce workload-dependent draw.
+	basePowerOn  float64
+	basePowerOff float64
+	dynFOn       float64
+	dynMOn       float64
+	dynFOff      float64
+	dynMOff      float64
+}
+
+// Estimate is the modeled dynamic cost of one kernel invocation.
+type Estimate struct {
+	Cycles     float64
+	LatencyS   float64 // seconds
+	AvgPowerW  float64
+	EnergyJ    float64
+	PeakPowerW float64
+}
+
+// LatencyUs returns latency in microseconds (the paper's Table IV unit).
+func (e Estimate) LatencyUs() float64 { return e.LatencyS * 1e6 }
+
+// EnergyUJ returns energy in microjoules.
+func (e Estimate) EnergyUJ() float64 { return e.EnergyJ * 1e6 }
+
+// EnergyNJ returns energy in nanojoules (Table VII's unit).
+func (e Estimate) EnergyNJ() float64 { return e.EnergyJ * 1e9 }
+
+// PeakPowerMW returns peak power in milliwatts.
+func (e Estimate) PeakPowerMW() float64 { return e.PeakPowerW * 1e3 }
+
+// cyclesPerF returns the modeled cost of one F-class op at the given
+// precision on this core.
+func (a Arch) cyclesPerF(prec Precision) float64 {
+	switch a.FPU {
+	case NoFPU:
+		if prec == PrecF64 {
+			return a.cpiF32 * a.softF64
+		}
+		return a.cpiF32 * a.softF32
+	case SPOnly:
+		if prec == PrecF64 {
+			return a.cpiF64 * a.softF64
+		}
+		return a.cpiF32
+	default: // SPDP
+		if prec == PrecF64 {
+			return a.cpiF64
+		}
+		return a.cpiF32
+	}
+}
+
+// Cycles converts an op-count record into modeled core cycles.
+func (a Arch) Cycles(c profile.Counts, prec Precision, cacheOn bool) float64 {
+	mem := a.memOn
+	branch := a.cpiB
+	if !cacheOn {
+		mem = a.memOff
+		branch += a.branchOffPenalty
+	}
+	compute := float64(c.F)*a.cyclesPerF(prec) + float64(c.I)*a.cpiI + float64(c.B)*branch
+	// Superscalar issue hides some compute latency; memory stalls do not
+	// dual-issue.
+	cycles := compute/a.ipc + float64(c.M)*mem
+	if cycles < 1 {
+		cycles = 1
+	}
+	return cycles
+}
+
+// Estimate produces the full dynamic-metric record for one invocation.
+func (a Arch) Estimate(c profile.Counts, prec Precision, cacheOn bool) Estimate {
+	cycles := a.Cycles(c, prec, cacheOn)
+	lat := cycles / a.ClockHz
+
+	total := float64(c.Total())
+	if total == 0 {
+		total = 1
+	}
+	fFrac := float64(c.F) / total
+	mFrac := float64(c.M) / total
+
+	base, dynF, dynM := a.basePowerOn, a.dynFOn, a.dynMOn
+	if !cacheOn {
+		base, dynF, dynM = a.basePowerOff, a.dynFOff, a.dynMOff
+	}
+	avg := base + dynF*fFrac + dynM*mFrac
+	// Peak power: the average plus the burst headroom the current probe
+	// sees when the busiest phase of the kernel saturates the datapath.
+	peak := base*1.02 + dynF*fFrac*2.2 + dynM*mFrac*2.0
+	if peak < avg {
+		peak = avg
+	}
+	return Estimate{
+		Cycles:     cycles,
+		LatencyS:   lat,
+		AvgPowerW:  avg,
+		EnergyJ:    avg * lat,
+		PeakPowerW: peak,
+	}
+}
+
+// NominalPowerW is the datasheet-style nominal active power (typical
+// run current at full clock, no workload-specific adders) — the figure
+// FLOP-based energy estimates multiply by in the literature Case Study
+// #3 re-examines.
+func (a Arch) NominalPowerW() float64 { return a.basePowerOn }
+
+// StaticAdjust maps a canonical op-count record to this architecture's
+// modeled static instruction mix. Per-ISA differences are small constant
+// factors: the M7 compiler schedule retires slightly fewer instructions
+// (wider issue lets the compiler fold address math), matching the small
+// per-column deltas in Table III.
+func (a Arch) StaticAdjust(c profile.Counts) profile.Counts {
+	switch a.Name {
+	case "M7":
+		return profile.Counts{
+			F: scaleU(c.F, 0.96), I: scaleU(c.I, 0.92),
+			M: scaleU(c.M, 0.95), B: scaleU(c.B, 0.88),
+		}
+	case "M33":
+		return profile.Counts{
+			F: scaleU(c.F, 1.02), I: scaleU(c.I, 0.99),
+			M: scaleU(c.M, 1.01), B: scaleU(c.B, 0.99),
+		}
+	default:
+		return c
+	}
+}
+
+func scaleU(v uint64, k float64) uint64 { return uint64(float64(v)*k + 0.5) }
+
+// FlashBytes models the flash footprint of a kernel from its canonical
+// static mix: roughly four bytes per Thumb-2 instruction plus a fixed
+// rodata/runtime overhead. A modeled proxy — the paper reads this from
+// the ELF; see DESIGN.md.
+func FlashBytes(static profile.Counts) int {
+	return 1024 + int(float64(static.Total())*3.9)
+}
+
+// The four reference cores. Clock and SRAM figures follow the boards in
+// the paper's Table V / artifact appendix; cost-model parameters are
+// calibrated to Table IV and Table VII (see package comment).
+var (
+	// M0Plus models a Cortex-M0+ class part (the paper uses one for the
+	// attitude-filter case study): 2-stage pipeline, no FPU, no cache.
+	M0Plus = Arch{
+		Name: "M0+", Board: "STM32G0 class", ISA: "ARMv6-M",
+		ClockHz: 48e6, FPU: NoFPU, SRAMKB: 36, HasCache: false,
+		cpiF32: 1.1, cpiF64: 1.1, cpiI: 1.15, cpiB: 2.5,
+		memOn: 2.2, memOff: 2.2, branchOffPenalty: 0,
+		ipc: 1.0, softF32: 28, softF64: 65,
+		basePowerOn: 0.0128, basePowerOff: 0.0128,
+		dynFOn: 0.004, dynMOn: 0.003, dynFOff: 0.004, dynMOff: 0.003,
+	}
+
+	// M4 models the STM32G474 (NUCLEO-G474RE): 3-stage ARMv7E-M with SP
+	// FPU and only a small loosely coupled flash accelerator, so cache
+	// on/off barely matters.
+	M4 = Arch{
+		Name: "M4", Board: "STM32G474 (NUCLEO-G474RE)", ISA: "ARMv7E-M",
+		ClockHz: 170e6, FPU: SPOnly, SRAMKB: 128, HasCache: false,
+		cpiF32: 1.15, cpiF64: 1.15, cpiI: 1.05, cpiB: 2.2,
+		memOn: 1.9, memOff: 2.05, branchOffPenalty: 0.3,
+		ipc: 1.0, softF32: 1, softF64: 16,
+		basePowerOn: 0.104, basePowerOff: 0.102,
+		dynFOn: 0.030, dynMOn: 0.020, dynFOff: 0.028, dynMOff: 0.018,
+	}
+
+	// M33 models the STM32U575 (NUCLEO-U575ZIQ): ARMv8-M Mainline with
+	// I/D caches on a modern low-power process — the energy champion.
+	M33 = Arch{
+		Name: "M33", Board: "STM32U575 (NUCLEO-U575ZIQ)", ISA: "ARMv8-M",
+		ClockHz: 160e6, FPU: SPOnly, SRAMKB: 1024, HasCache: true,
+		cpiF32: 1.1, cpiF64: 1.1, cpiI: 1.0, cpiB: 2.0,
+		memOn: 1.6, memOff: 3.4, branchOffPenalty: 1.2,
+		ipc: 1.0, softF32: 1, softF64: 16,
+		basePowerOn: 0.0275, basePowerOff: 0.0268,
+		dynFOn: 0.009, dynMOn: 0.007, dynFOff: 0.009, dynMOff: 0.008,
+	}
+
+	// M7 models the STM32H7A3 (NUCLEO-H7A3ZIQ): 6-stage superscalar with
+	// branch prediction, DP FPU, real caches, and AXI-SRAM stack — fast,
+	// power-hungry, and acutely cache-sensitive.
+	M7 = Arch{
+		Name: "M7", Board: "STM32H7A3 (NUCLEO-H7A3ZIQ)", ISA: "ARMv7E-M",
+		ClockHz: 280e6, FPU: SPDP, SRAMKB: 1432, HasCache: true,
+		cpiF32: 1.05, cpiF64: 1.4, cpiI: 1.0, cpiB: 1.2,
+		memOn: 1.25, memOff: 6.5, branchOffPenalty: 2.5,
+		ipc: 1.55, softF32: 1, softF64: 1,
+		basePowerOn: 0.108, basePowerOff: 0.112,
+		dynFOn: 0.055, dynMOn: 0.050, dynFOff: 0.018, dynMOff: 0.012,
+	}
+)
+
+// TableIVSet returns the three cores every kernel is characterized on
+// (Section V of the paper).
+func TableIVSet() []Arch { return []Arch{M4, M33, M7} }
+
+// CaseStudy2Set returns the cores of the attitude-filter study (Table VII).
+func CaseStudy2Set() []Arch { return []Arch{M0Plus, M4, M33} }
+
+// All returns every modeled core.
+func All() []Arch { return []Arch{M0Plus, M4, M33, M7} }
+
+// ByName looks an architecture up by its short name ("M4", "m7", ...).
+func ByName(name string) (Arch, bool) {
+	for _, a := range All() {
+		if equalFold(a.Name, name) {
+			return a, true
+		}
+	}
+	return Arch{}, false
+}
+
+// equalFold is a tiny ASCII case-insensitive compare, avoiding a strings
+// import in this hot package.
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

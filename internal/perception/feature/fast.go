@@ -1,0 +1,141 @@
+// Package feature implements the feature-extraction kernels of the
+// suite: fastbrief (FAST-9 corners + BRIEF-256 descriptors), orb
+// (oriented FAST + rotated BRIEF with Harris ranking), and sift (full
+// DoG scale space with 128-float descriptors). fastbrief and orb are
+// integer-only apart from Gaussian smoothing, exactly as the paper
+// notes; sift is the memory-hungry outlier that only fits the M7.
+package feature
+
+import (
+	img "repro/internal/image"
+	"repro/internal/profile"
+)
+
+// Keypoint is a detected interest point.
+type Keypoint struct {
+	X, Y   int
+	Score  int     // detector response (FAST arc score or Harris proxy)
+	Angle  float64 // orientation in radians (orb, sift)
+	Octave int     // pyramid level (sift)
+	Size   float64 // scale (sift)
+}
+
+// circleOffsets is the 16-pixel Bresenham circle of radius 3 used by the
+// FAST segment test, in clockwise order.
+var circleOffsets = [16][2]int{
+	{0, -3}, {1, -3}, {2, -2}, {3, -1}, {3, 0}, {3, 1}, {2, 2}, {1, 3},
+	{0, 3}, {-1, 3}, {-2, 2}, {-3, 1}, {-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+}
+
+// fastMargin is the border the circle requires.
+const fastMargin = 3
+
+// DetectFAST runs the FAST-9 segment test over the image and returns
+// corners after 3×3 non-maximum suppression on the arc score.
+func DetectFAST(g *img.Gray, threshold int) []Keypoint {
+	scores := make([]int, g.W*g.H)
+	var ring [16]int
+	for y := fastMargin; y < g.H-fastMargin; y++ {
+		for x := fastMargin; x < g.W-fastMargin; x++ {
+			p := int(g.At(x, y))
+			hi := p + threshold
+			lo := p - threshold
+			// High-speed reject on the four compass points.
+			profile.AddI(4)
+			profile.AddB(4)
+			n, s := int(g.At(x, y-3)), int(g.At(x, y+3))
+			e, w := int(g.At(x+3, y)), int(g.At(x-3, y))
+			// Any contiguous 9-arc of the 16-ring covers at least two of
+			// the four compass points, so fewer than two passing compass
+			// points rules a FAST-9 corner out.
+			bright := b2i(n > hi) + b2i(s > hi) + b2i(e > hi) + b2i(w > hi)
+			dark := b2i(n < lo) + b2i(s < lo) + b2i(e < lo) + b2i(w < lo)
+			if bright < 2 && dark < 2 {
+				continue
+			}
+			// Full segment test.
+			for i, off := range circleOffsets {
+				ring[i] = int(g.At(x+off[0], y+off[1]))
+			}
+			profile.AddI(32)
+			profile.AddB(32)
+			if sc := segmentScore(ring[:], p, threshold); sc > 0 {
+				scores[y*g.W+x] = sc
+			}
+		}
+	}
+	// 3×3 non-maximum suppression.
+	var out []Keypoint
+	for y := fastMargin; y < g.H-fastMargin; y++ {
+		for x := fastMargin; x < g.W-fastMargin; x++ {
+			sc := scores[y*g.W+x]
+			if sc == 0 {
+				continue
+			}
+			profile.AddM(9)
+			profile.AddB(8)
+			isMax := true
+			for dy := -1; dy <= 1 && isMax; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					if scores[(y+dy)*g.W+x+dx] > sc {
+						isMax = false
+						break
+					}
+				}
+			}
+			if isMax {
+				out = append(out, Keypoint{X: x, Y: y, Score: sc})
+			}
+		}
+	}
+	return out
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// segmentScore returns the FAST-9 corner score: the maximal sum of
+// absolute differences over a contiguous arc of >= 9 pixels that are all
+// brighter or all darker than center±threshold; 0 if not a corner.
+func segmentScore(ring []int, p, threshold int) int {
+	hi := p + threshold
+	lo := p - threshold
+	best := 0
+	for _, darkMode := range []bool{false, true} {
+		run := 0
+		sum := 0
+		// Walk the ring twice to handle wraparound arcs.
+		for i := 0; i < 32; i++ {
+			v := ring[i%16]
+			pass := v > hi
+			d := v - p
+			if darkMode {
+				pass = v < lo
+				d = p - v
+			}
+			if pass {
+				run++
+				sum += d
+				if run >= 9 && sum > best {
+					best = sum
+				}
+				if run >= 16 {
+					break
+				}
+			} else {
+				run = 0
+				sum = 0
+			}
+		}
+	}
+	profile.AddI(48)
+	profile.AddB(32)
+	return best
+}

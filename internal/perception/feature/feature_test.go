@@ -1,0 +1,209 @@
+package feature_test
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	img "repro/internal/image"
+	"repro/internal/perception/feature"
+	"repro/internal/profile"
+)
+
+func texImage(seed int64) *img.Gray { return dataset.GenImage(dataset.Midd, 160, 160, seed) }
+
+func TestFASTDetectsCornersOnSquare(t *testing.T) {
+	// A bright square on black has corners at its vertices.
+	g := img.NewGray(64, 64)
+	for y := 20; y < 44; y++ {
+		for x := 20; x < 44; x++ {
+			g.Set(x, y, 220)
+		}
+	}
+	kps := feature.DetectFAST(g, 20)
+	if len(kps) == 0 {
+		t.Fatal("no corners on a high-contrast square")
+	}
+	// Every detection must be near a vertex of the square.
+	for _, kp := range kps {
+		nearVertex := false
+		for _, v := range [][2]int{{20, 20}, {43, 20}, {20, 43}, {43, 43}} {
+			dx, dy := kp.X-v[0], kp.Y-v[1]
+			if dx*dx+dy*dy <= 16 {
+				nearVertex = true
+			}
+		}
+		if !nearVertex {
+			t.Fatalf("corner at (%d,%d) not near any vertex", kp.X, kp.Y)
+		}
+	}
+}
+
+func TestFASTFindsNothingOnFlat(t *testing.T) {
+	g := img.NewGray(64, 64)
+	for i := range g.Pix {
+		g.Pix[i] = 128
+	}
+	if kps := feature.DetectFAST(g, 20); len(kps) != 0 {
+		t.Fatalf("flat image produced %d corners", len(kps))
+	}
+}
+
+func TestFASTBriefOnTexture(t *testing.T) {
+	res := feature.FASTBrief(texImage(1), 20, 100)
+	if len(res.Keypoints) < 10 {
+		t.Fatalf("only %d keypoints on textured image", len(res.Keypoints))
+	}
+	if len(res.Keypoints) != len(res.Descriptors) {
+		t.Fatal("keypoint/descriptor count mismatch")
+	}
+	if len(res.Keypoints) > 100 {
+		t.Fatalf("maxFeatures not honored: %d", len(res.Keypoints))
+	}
+}
+
+func TestBRIEFMatchingAcrossShift(t *testing.T) {
+	// The same physical corners in two shifted frames must match by
+	// Hamming distance.
+	p := dataset.GenFlowPair(dataset.Midd, 160, 160, 5, 0, 3)
+	ra := feature.FASTBrief(p.A, 20, 60)
+	rb := feature.FASTBrief(p.B, 20, 60)
+	if len(ra.Keypoints) < 10 || len(rb.Keypoints) < 10 {
+		t.Fatalf("too few keypoints: %d / %d", len(ra.Keypoints), len(rb.Keypoints))
+	}
+	good := 0
+	for i, da := range ra.Descriptors {
+		bestJ, bestD := -1, 257
+		for j, db := range rb.Descriptors {
+			if d := feature.HammingDistance(da, db); d < bestD {
+				bestD, bestJ = d, j
+			}
+		}
+		if bestJ < 0 || bestD > 50 {
+			continue
+		}
+		// Geometric check: matched keypoint should be ~5 px to the right.
+		dx := rb.Keypoints[bestJ].X - ra.Keypoints[i].X
+		dy := rb.Keypoints[bestJ].Y - ra.Keypoints[i].Y
+		if dx >= 3 && dx <= 7 && dy >= -2 && dy <= 2 {
+			good++
+		}
+	}
+	if good < len(ra.Descriptors)/3 {
+		t.Fatalf("only %d/%d descriptors matched consistently", good, len(ra.Descriptors))
+	}
+}
+
+func TestORBProducesOrientedKeypoints(t *testing.T) {
+	res := feature.ORB(texImage(5), 20, 80)
+	if len(res.Keypoints) < 10 {
+		t.Fatalf("only %d ORB keypoints", len(res.Keypoints))
+	}
+	// At least some orientations should be nonzero and varied.
+	distinct := map[int]bool{}
+	for _, kp := range res.Keypoints {
+		distinct[int(kp.Angle*10)] = true
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("orientation assignment degenerate: %d distinct angles", len(distinct))
+	}
+}
+
+// ORB must cost 1.5-2.5x fastbrief (Case Study #1's headline ratio).
+func TestORBCostRatio(t *testing.T) {
+	g := texImage(7)
+	cf := profile.Collect(func() { feature.FASTBrief(g, 20, 80) })
+	co := profile.Collect(func() { feature.ORB(g, 20, 80) })
+	ratio := float64(co.Total()) / float64(cf.Total())
+	if ratio < 1.2 || ratio > 4 {
+		t.Fatalf("orb/fastbrief op ratio %.2f, paper reports 1.5-2.5x", ratio)
+	}
+}
+
+// The sparse lights dataset must be cheaper than the textured one
+// (Case Study #1: all algorithms run faster on sparse scenes).
+func TestLightsCheaperThanMidd(t *testing.T) {
+	midd := dataset.GenImage(dataset.Midd, 160, 160, 9)
+	lights := dataset.GenImage(dataset.Lights, 160, 160, 9)
+	cm := profile.Collect(func() { feature.FASTBrief(midd, 20, 0) })
+	cl := profile.Collect(func() { feature.FASTBrief(lights, 20, 0) })
+	if cl.Total() >= cm.Total() {
+		t.Fatalf("lights ops %d >= midd ops %d", cl.Total(), cm.Total())
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	var a, b feature.Descriptor
+	if feature.HammingDistance(a, b) != 0 {
+		t.Error("identical descriptors should have distance 0")
+	}
+	b[0] = 0xFF
+	if feature.HammingDistance(a, b) != 8 {
+		t.Error("one full byte should differ by 8 bits")
+	}
+	for i := range b {
+		a[i] = 0x00
+		b[i] = 0xFF
+	}
+	if feature.HammingDistance(a, b) != 256 {
+		t.Error("full complement should differ by 256 bits")
+	}
+}
+
+func TestSIFTOnTexture(t *testing.T) {
+	res := feature.SIFT(texImage(11), feature.DefaultSIFTConfig())
+	if len(res.Keypoints) < 5 {
+		t.Fatalf("only %d SIFT keypoints", len(res.Keypoints))
+	}
+	if len(res.Keypoints) != len(res.Descriptors) {
+		t.Fatal("keypoint/descriptor mismatch")
+	}
+	// Descriptors are normalized: unit-ish norm.
+	for i, d := range res.Descriptors {
+		var s float64
+		for _, v := range d {
+			s += float64(v) * float64(v)
+		}
+		if s < 0.5 || s > 1.5 {
+			t.Fatalf("descriptor %d norm² = %g", i, s)
+		}
+	}
+}
+
+func TestSIFTMatchingAcrossShift(t *testing.T) {
+	p := dataset.GenFlowPair(dataset.Midd, 160, 160, 4, 0, 13)
+	cfg := feature.DefaultSIFTConfig()
+	cfg.MaxFeatures = 60
+	ra := feature.SIFT(p.A, cfg)
+	rb := feature.SIFT(p.B, cfg)
+	if len(ra.Keypoints) < 8 || len(rb.Keypoints) < 8 {
+		t.Skipf("too few keypoints (%d/%d) for matching check", len(ra.Keypoints), len(rb.Keypoints))
+	}
+	good := 0
+	for i, da := range ra.Descriptors {
+		bestJ := -1
+		bestD := 1e18
+		for j, db := range rb.Descriptors {
+			if d := feature.SIFTDistance(da, db); d < bestD {
+				bestD, bestJ = d, j
+			}
+		}
+		dx := rb.Keypoints[bestJ].X - ra.Keypoints[i].X
+		dy := rb.Keypoints[bestJ].Y - ra.Keypoints[i].Y
+		if dx >= 2 && dx <= 6 && dy >= -2 && dy <= 2 {
+			good++
+		}
+	}
+	if good < len(ra.Descriptors)/4 {
+		t.Fatalf("only %d/%d SIFT matches consistent", good, len(ra.Descriptors))
+	}
+}
+
+// SIFT must dominate the cost spectrum (Table IV: ~100x orb).
+func TestSIFTCostDominates(t *testing.T) {
+	g := texImage(17)
+	co := profile.Collect(func() { feature.ORB(g, 20, 80) })
+	cs := profile.Collect(func() { feature.SIFT(g, feature.DefaultSIFTConfig()) })
+	if cs.Total() < 5*co.Total() {
+		t.Fatalf("SIFT ops %d < 5x ORB ops %d", cs.Total(), co.Total())
+	}
+}

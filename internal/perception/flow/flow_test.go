@@ -1,0 +1,125 @@
+package flow_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/perception/flow"
+	"repro/internal/profile"
+)
+
+func TestBlockMatchRecoversIntegerShift(t *testing.T) {
+	for _, d := range [][2]float64{{3, 0}, {0, -2}, {3, 3}, {-3, 2}} {
+		p := dataset.GenFlowPair(dataset.Midd, 80, 80, d[0], d[1], 11)
+		r := flow.BlockMatch(p.A, p.B, 40, 40, flow.DefaultBBConfig())
+		if !r.Valid {
+			t.Fatalf("shift %v: invalid", d)
+		}
+		if math.Abs(r.DX-d[0]) > 1 || math.Abs(r.DY-d[1]) > 1 {
+			t.Fatalf("shift %v: estimated (%g, %g)", d, r.DX, r.DY)
+		}
+	}
+}
+
+func TestBlockMatchVecAgreesWithScalar(t *testing.T) {
+	p := dataset.GenFlowPair(dataset.Midd, 80, 80, 3, -2, 5)
+	a := flow.BlockMatch(p.A, p.B, 40, 40, flow.DefaultBBConfig())
+	b := flow.BlockMatchVec(p.A, p.B, 40, 40, flow.DefaultBBConfig())
+	if a.DX != b.DX || a.DY != b.DY {
+		t.Fatalf("scalar (%g,%g) vs vec (%g,%g)", a.DX, a.DY, b.DX, b.DY)
+	}
+}
+
+// The vectorized variant must report roughly 4x fewer inner-loop ops —
+// Table VI shows a near-4x energy gain from USADA8.
+func TestVectorizationSavesOps(t *testing.T) {
+	p := dataset.GenFlowPair(dataset.Midd, 80, 80, 2, 1, 5)
+	cs := profile.Collect(func() { flow.BlockMatch(p.A, p.B, 40, 40, flow.DefaultBBConfig()) })
+	cv := profile.Collect(func() { flow.BlockMatchVec(p.A, p.B, 40, 40, flow.DefaultBBConfig()) })
+	ratio := float64(cs.Total()) / float64(cv.Total())
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("scalar/vec op ratio %.2f, expected ~4x", ratio)
+	}
+}
+
+func TestLucasKanadeSubpixel(t *testing.T) {
+	for _, d := range [][2]float64{{1.5, 0.5}, {-2.25, 1.75}, {0.3, -0.8}} {
+		p := dataset.GenFlowPair(dataset.Midd, 80, 80, d[0], d[1], 21)
+		r := flow.LucasKanade(p.A, p.B, 40, 40, flow.DefaultLKConfig())
+		if !r.Valid {
+			t.Fatalf("shift %v: invalid", d)
+		}
+		if math.Abs(r.DX-d[0]) > 0.35 || math.Abs(r.DY-d[1]) > 0.35 {
+			t.Fatalf("shift %v: estimated (%.3f, %.3f)", d, r.DX, r.DY)
+		}
+	}
+}
+
+func TestLucasKanadeLargerMotionViaPyramid(t *testing.T) {
+	p := dataset.GenFlowPair(dataset.Midd, 80, 80, 6, -5, 31)
+	r := flow.LucasKanade(p.A, p.B, 40, 40, flow.DefaultLKConfig())
+	if !r.Valid || math.Abs(r.DX-6) > 1 || math.Abs(r.DY+5) > 1 {
+		t.Fatalf("estimated (%.2f, %.2f), want (6, -5)", r.DX, r.DY)
+	}
+}
+
+func TestImageInterpolationSmallShift(t *testing.T) {
+	for _, d := range [][2]float64{{1, 0}, {0, 1}, {-1, 0.5}, {0.8, -0.6}} {
+		p := dataset.GenFlowPair(dataset.Midd, 80, 80, d[0], d[1], 41)
+		r := flow.ImageInterpolation(p.A, p.B, 40, 40, flow.DefaultIIConfig())
+		if !r.Valid {
+			t.Fatalf("shift %v: invalid", d)
+		}
+		if math.Abs(r.DX-d[0]) > 0.5 || math.Abs(r.DY-d[1]) > 0.5 {
+			t.Fatalf("shift %v: estimated (%.3f, %.3f)", d, r.DX, r.DY)
+		}
+	}
+}
+
+func TestFlowBoundaryHandling(t *testing.T) {
+	p := dataset.GenFlowPair(dataset.Midd, 80, 80, 1, 1, 51)
+	// Centers too close to the border must return invalid, not panic.
+	if r := flow.BlockMatch(p.A, p.B, 2, 2, flow.DefaultBBConfig()); r.Valid {
+		t.Error("BlockMatch near border should be invalid")
+	}
+	if r := flow.ImageInterpolation(p.A, p.B, 3, 3, flow.DefaultIIConfig()); r.Valid {
+		t.Error("ImageInterpolation near border should be invalid")
+	}
+}
+
+func TestFlowOnFlatImageFailsGracefully(t *testing.T) {
+	p := dataset.GenFlowPair(dataset.Midd, 80, 80, 1, 0, 61)
+	for i := range p.A.Pix {
+		p.A.Pix[i] = 100
+		p.B.Pix[i] = 100
+	}
+	r := flow.LucasKanade(p.A, p.B, 40, 40, flow.DefaultLKConfig())
+	if r.Valid {
+		t.Error("LK on textureless input should be invalid (singular gradient matrix)")
+	}
+}
+
+// lkof must be roughly an order of magnitude more expensive than bbof
+// (Fig 3b / Table IV).
+func TestLKCostsFarMoreThanBB(t *testing.T) {
+	p := dataset.GenFlowPair(dataset.Midd, 80, 80, 2, 1, 71)
+	clk := profile.Collect(func() { flow.LucasKanade(p.A, p.B, 40, 40, flow.DefaultLKConfig()) })
+	cbb := profile.Collect(func() { flow.BlockMatch(p.A, p.B, 40, 40, flow.DefaultBBConfig()) })
+	if clk.Total() < 3*cbb.Total() {
+		t.Fatalf("LK ops %d < 3x BB ops %d", clk.Total(), cbb.Total())
+	}
+}
+
+// Cost scales with the window/patch size, the parameterization claim of
+// Section V.
+func TestFlowScalesWithPatchSize(t *testing.T) {
+	p := dataset.GenFlowPair(dataset.Midd, 80, 80, 2, 1, 81)
+	small := flow.BBConfig{Block: 2, Search: 4}
+	large := flow.BBConfig{Block: 6, Search: 4}
+	cs := profile.Collect(func() { flow.BlockMatch(p.A, p.B, 40, 40, small) })
+	cl := profile.Collect(func() { flow.BlockMatch(p.A, p.B, 40, 40, large) })
+	if cl.Total() <= cs.Total() {
+		t.Fatal("larger block should cost more")
+	}
+}

@@ -1,0 +1,311 @@
+package pose
+
+import (
+	"repro/internal/mat"
+	"repro/internal/scalar"
+)
+
+// Monomial indices for polynomials in (x, y, z) of total degree <= 3,
+// ordered degree-3 block first so Gauss-Jordan elimination leaves the
+// quotient-ring basis in the trailing ten columns.
+const (
+	mX3 = iota
+	mX2Y
+	mX2Z
+	mXY2
+	mXYZ
+	mXZ2
+	mY3
+	mY2Z
+	mYZ2
+	mZ3
+	mX2
+	mXY
+	mXZ
+	mY2
+	mYZ
+	mZ2
+	mX
+	mY
+	mZ
+	m1
+	numMon
+)
+
+// monExp maps monomial index to (x, y, z) exponents.
+var monExp = [numMon][3]int{
+	{3, 0, 0}, {2, 1, 0}, {2, 0, 1}, {1, 2, 0}, {1, 1, 1}, {1, 0, 2},
+	{0, 3, 0}, {0, 2, 1}, {0, 1, 2}, {0, 0, 3},
+	{2, 0, 0}, {1, 1, 0}, {1, 0, 1}, {0, 2, 0}, {0, 1, 1}, {0, 0, 2},
+	{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {0, 0, 0},
+}
+
+// monIdx is the inverse of monExp.
+var monIdx = func() map[[3]int]int {
+	m := make(map[[3]int]int, numMon)
+	for i, e := range monExp {
+		m[e] = i
+	}
+	return m
+}()
+
+// poly3 is a dense polynomial over the 20 monomials.
+type poly3[T scalar.Real[T]] []T
+
+func newPoly3[T scalar.Real[T]]() poly3[T] { return make(poly3[T], numMon) }
+
+func (p poly3[T]) add(q poly3[T]) poly3[T] {
+	out := newPoly3[T]()
+	for i := range out {
+		out[i] = p[i].Add(q[i])
+	}
+	return out
+}
+
+func (p poly3[T]) sub(q poly3[T]) poly3[T] {
+	out := newPoly3[T]()
+	for i := range out {
+		out[i] = p[i].Sub(q[i])
+	}
+	return out
+}
+
+// mul multiplies two polynomials whose total degree sum stays <= 3.
+func (p poly3[T]) mul(q poly3[T]) poly3[T] {
+	out := newPoly3[T]()
+	for i := range p {
+		if p[i].IsZero() {
+			continue
+		}
+		for j := range q {
+			if q[j].IsZero() {
+				continue
+			}
+			e := [3]int{
+				monExp[i][0] + monExp[j][0],
+				monExp[i][1] + monExp[j][1],
+				monExp[i][2] + monExp[j][2],
+			}
+			k, ok := monIdx[e]
+			if !ok {
+				panic("pose: polynomial degree overflow in 5pt expansion")
+			}
+			out[k] = out[k].Add(p[i].Mul(q[j]))
+		}
+	}
+	return out
+}
+
+// FivePoint solves relative pose from 5 correspondences with the
+// Nistér/Stewénius essential-matrix method: the 4-dimensional null space
+// of the epipolar design matrix parameterizes E = x·X + y·Y + z·Z + W;
+// the determinant and trace constraints give ten cubics; Gauss-Jordan
+// reduction of the 10×20 coefficient matrix yields the action matrix of
+// multiplication by x in the quotient ring, whose eigenvectors enumerate
+// up to ten real solutions. Every candidate must then be validated — the
+// cost structure Case Study #4 contrasts against the upright solvers.
+func FivePoint[T scalar.Real[T]](corrs []RelCorrespondence[T]) ([]Pose[T], error) {
+	if len(corrs) < 5 {
+		return nil, ErrDegenerate
+	}
+	like := corrs[0].U1[0]
+	one := scalar.One(like)
+
+	// Epipolar design matrix (5×9, or n×9 when overdetermined).
+	n := len(corrs)
+	a := mat.Zeros[T](n, 9)
+	for i := 0; i < n; i++ {
+		x1 := homog(corrs[i].U1)
+		x2 := homog(corrs[i].U2)
+		a.Set(i, 0, x2[0].Mul(x1[0]))
+		a.Set(i, 1, x2[0].Mul(x1[1]))
+		a.Set(i, 2, x2[0])
+		a.Set(i, 3, x2[1].Mul(x1[0]))
+		a.Set(i, 4, x2[1].Mul(x1[1]))
+		a.Set(i, 5, x2[1])
+		a.Set(i, 6, x1[0])
+		a.Set(i, 7, x1[1])
+		a.Set(i, 8, one)
+	}
+	// Null-space basis: the four right-singular directions with the
+	// smallest singular values.
+	ns := mat.NullSpace(a, 4)
+	var basis [4]mat.Vec[T]
+	for k := 0; k < 4; k++ {
+		basis[k] = ns[3-k] // larger singular values first, W last
+	}
+
+	// E entries as degree-1 polynomials in (x, y, z):
+	// e_rc = X_rc·x + Y_rc·y + Z_rc·z + W_rc.
+	var e [3][3]poly3[T]
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			p := newPoly3[T]()
+			p[mX] = basis[0][3*r+c]
+			p[mY] = basis[1][3*r+c]
+			p[mZ] = basis[2][3*r+c]
+			p[m1] = basis[3][3*r+c]
+			e[r][c] = p
+		}
+	}
+
+	// Constraint 1: det(E) = 0.
+	det := e[0][0].mul(e[1][1].mul(e[2][2]).sub(e[1][2].mul(e[2][1]))).
+		sub(e[0][1].mul(e[1][0].mul(e[2][2]).sub(e[1][2].mul(e[2][0])))).
+		add(e[0][2].mul(e[1][0].mul(e[2][1]).sub(e[1][1].mul(e[2][0]))))
+
+	// Constraints 2-10: 2·E·Eᵀ·E − tr(E·Eᵀ)·E = 0.
+	var eet [3][3]poly3[T]
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			acc := newPoly3[T]()
+			for k := 0; k < 3; k++ {
+				acc = acc.add(e[r][k].mul(e[c][k]))
+			}
+			eet[r][c] = acc
+		}
+	}
+	tr := eet[0][0].add(eet[1][1]).add(eet[2][2])
+	two := newPoly3[T]()
+	two[m1] = like.FromFloat(2)
+
+	rows := make([]poly3[T], 0, 10)
+	rows = append(rows, det)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			acc := newPoly3[T]()
+			for k := 0; k < 3; k++ {
+				acc = acc.add(eet[r][k].mul(e[k][c]))
+			}
+			rows = append(rows, two.mul(acc).sub(tr.mul(e[r][c])))
+		}
+	}
+
+	// 10×20 coefficient matrix; Gauss-Jordan the degree-3 block to I.
+	g := mat.Zeros[T](10, numMon)
+	for i, p := range rows {
+		for j := 0; j < numMon; j++ {
+			g.Set(i, j, p[j])
+		}
+	}
+	if !gaussJordan10(g) {
+		return nil, ErrDegenerate
+	}
+
+	// Action matrix A with rows = images of basis monomials under
+	// multiplication by x, expressed in the basis
+	// [x², xy, xz, y², yz, z², x, y, z, 1]. A is the transpose of the
+	// multiplication operator, so its right eigenvectors are evaluation
+	// vectors at the solutions.
+	action := mat.Zeros[T](10, 10)
+	// x·(basis monomial i) for i = 0..9.
+	xTimes := [10]int{mX3, mX2Y, mX2Z, mXY2, mXYZ, mXZ2, mX2, mXY, mXZ, mX}
+	for i := 0; i < 10; i++ {
+		prod := xTimes[i]
+		if prod < 10 {
+			// Degree-3 monomial: substitute its reduction row
+			// (monomial = -Σ g[prod][10+j]·basis_j).
+			for j := 0; j < 10; j++ {
+				action.Set(i, j, g.At(prod, 10+j).Neg())
+			}
+		} else {
+			// Already a basis monomial.
+			action.Set(i, prod-10, one)
+		}
+	}
+
+	eig := mat.HessenbergEigen(mat.Hessenberg(action))
+	eps := mat.EpsOf(like)
+	var maxMag T
+	for i := range eig.Re {
+		maxMag = scalar.Max(maxMag, scalar.Max(eig.Re[i].Abs(), eig.Im[i].Abs()))
+	}
+	imTol := eps.Mul(like.FromFloat(1e6)).Mul(scalar.Max(maxMag, one))
+
+	var out []Pose[T]
+	id := mat.Identity(10, one)
+	seen := map[int]bool{}
+	for i := range eig.Re {
+		if !eig.Im[i].Abs().LessEq(imTol) {
+			continue
+		}
+		lambda := eig.Re[i]
+		// Deduplicate numerically equal eigenvalues.
+		key := int(lambda.Float() * 1e7)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		shifted := action.Sub(id.Scale(lambda))
+		v := mat.NullVector(shifted)
+		if v[9].Abs().LessEq(scalar.C(one, 1e-10)) {
+			continue
+		}
+		inv := one.Div(v[9])
+		x := v[6].Mul(inv)
+		y := v[7].Mul(inv)
+		z := v[8].Mul(inv)
+
+		ev := make(mat.Vec[T], 9)
+		for j := 0; j < 9; j++ {
+			ev[j] = basis[0][j].Mul(x).Add(basis[1][j].Mul(y)).Add(basis[2][j].Mul(z)).Add(basis[3][j])
+		}
+		em := mat.New(3, 3, ev)
+		// Validate the candidate against all correspondences before
+		// paying for decomposition.
+		var resid T
+		for _, c := range corrs {
+			resid = resid.Add(SampsonErr(em, c))
+		}
+		nf := like.FromFloat(float64(len(corrs)))
+		if scalar.C(one, 0.1).Less(resid.Div(nf).Div(scalar.Max(em.FrobNorm(), one))) {
+			continue
+		}
+		if p, ok := DecomposeEssential(em, corrs); ok {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, ErrDegenerate
+	}
+	return out, nil
+}
+
+// gaussJordan10 reduces the first 10 columns of a 10×20 matrix to the
+// identity with partial pivoting; returns false on rank deficiency.
+func gaussJordan10[T scalar.Real[T]](g mat.Mat[T]) bool {
+	n := 10
+	cols := g.Cols()
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		best := g.At(col, col).Abs()
+		for r := col + 1; r < n; r++ {
+			v := g.At(r, col).Abs()
+			if best.Less(v) {
+				best, p = v, r
+			}
+		}
+		if best.IsZero() {
+			return false
+		}
+		g.SwapRows(p, col)
+		inv := scalar.One(best).Div(g.At(col, col))
+		for j := col; j < cols; j++ {
+			g.Set(col, j, g.At(col, j).Mul(inv))
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := g.At(r, col)
+			if f.IsZero() {
+				continue
+			}
+			for j := col; j < cols; j++ {
+				g.Set(r, j, g.At(r, j).Sub(f.Mul(g.At(col, j))))
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+package pose
+
+import (
+	"repro/internal/mat"
+	"repro/internal/scalar"
+)
+
+// PoseFromPlanarHomography recovers (R, t) from a calibrated homography
+// of a *known* world plane z = 0 — the way [51]'s mm-scale vision system
+// turns its LED-array homography into an absolute pose. For world points
+// X = (x, y, 0), projection gives x_img ~ [r1 r2 t]·(x, y, 1)ᵀ, so the
+// homography's columns are the first two rotation columns and the
+// translation, up to one common scale fixed by |r1| = 1 and the sign by
+// positive depth.
+func PoseFromPlanarHomography[T scalar.Real[T]](h mat.Mat[T]) (Pose[T], error) {
+	if h.Rows() != 3 || h.Cols() != 3 {
+		return Pose[T]{}, ErrDegenerate
+	}
+	c1 := h.Col(0)
+	c2 := h.Col(1)
+	c3 := h.Col(2)
+	n1 := c1.Norm()
+	n2 := c2.Norm()
+	if n1.IsZero() || n2.IsZero() {
+		return Pose[T]{}, ErrDegenerate
+	}
+	one := scalar.One(n1)
+	two := n1.FromFloat(2)
+	// Common scale: the average of the two column norms (they are equal
+	// for an exact homography; noise splits them).
+	inv := two.Div(n1.Add(n2))
+	r1 := c1.Scale(inv)
+	r2 := c2.Scale(inv)
+	t := c3.Scale(inv)
+	// Positive depth: the plane must sit in front of the camera.
+	if t[2].Less(scalar.Zero(one)) {
+		r1 = r1.Neg()
+		r2 = r2.Neg()
+		t = t.Neg()
+	}
+	r3 := r1.Cross(r2)
+	r := mat.Zeros[T](3, 3)
+	r.SetCol(0, r1)
+	r.SetCol(1, r2)
+	r.SetCol(2, r3)
+	// Orthonormalize: noise leaves r1·r2 ≠ 0; project to SO(3).
+	rr := projectRotation(r)
+	return Pose[T]{R: rr, T: t}, nil
+}

@@ -1,0 +1,87 @@
+package pose_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mat"
+	"repro/internal/pose"
+)
+
+// planarAbsScene builds correspondences from a z = 0 world plane viewed
+// by a known pose, returning both the Homography inputs and the truth.
+func planarAbsScene(n int, noisePx float64, seed int64) ([]pose.RelCorrespondence[F], pose.Pose[F]) {
+	rng := rand.New(rand.NewSource(seed))
+	// A gentle pose looking down at the plane.
+	r := geom.RotX(F(math.Pi + 0.15)).Mul(geom.RotZ(F(0.3)))
+	t := mat.VecFromFloats(F(0), []float64{0.05, -0.02, 0.4})
+	truth := pose.Pose[F]{R: r, T: t}
+
+	corrs := make([]pose.RelCorrespondence[F], 0, n)
+	for len(corrs) < n {
+		x := rng.Float64()*0.4 - 0.2
+		y := rng.Float64()*0.4 - 0.2
+		xw := mat.VecFromFloats(F(0), []float64{x, y, 0})
+		xc := truth.Apply(xw)
+		if xc[2].Float() < 0.05 {
+			continue
+		}
+		u := xc[0].Float()/xc[2].Float() + rng.NormFloat64()*noisePx/320
+		v := xc[1].Float()/xc[2].Float() + rng.NormFloat64()*noisePx/320
+		corrs = append(corrs, relCorr(x, y, u, v))
+	}
+	return corrs, truth
+}
+
+func TestPoseFromPlanarHomographyExact(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		corrs, truth := planarAbsScene(12, 0, seed)
+		h, err := pose.Homography(corrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := pose.PoseFromPlanarHomography(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := geom.RotationAngleDeg(est.R, truth.R); e > 1e-3 {
+			t.Fatalf("seed %d: rotation error %g°", seed, e)
+		}
+		// Translation up to the homography's overall scale: compare
+		// directions and relative magnitude against truth.
+		td := est.T.Normalized().Sub(truth.T.Normalized()).Norm().Float()
+		if td > 1e-4 {
+			t.Fatalf("seed %d: translation direction error %g", seed, td)
+		}
+	}
+}
+
+func TestPoseFromPlanarHomographyNoisy(t *testing.T) {
+	corrs, truth := planarAbsScene(20, 1.0, 3)
+	h, err := pose.Homography(corrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := pose.PoseFromPlanarHomography(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := geom.RotationAngleDeg(est.R, truth.R); e > 2 {
+		t.Fatalf("rotation error %g° at 1 px noise", e)
+	}
+	// The recovered rotation must be a proper rotation.
+	if d := mat.Det3(est.R).Float(); math.Abs(d-1) > 1e-6 {
+		t.Fatalf("det(R) = %g", d)
+	}
+}
+
+func TestPoseFromPlanarHomographyDegenerate(t *testing.T) {
+	if _, err := pose.PoseFromPlanarHomography(mat.Zeros[F](3, 3)); err == nil {
+		t.Fatal("zero homography accepted")
+	}
+	if _, err := pose.PoseFromPlanarHomography(mat.Zeros[F](2, 2)); err == nil {
+		t.Fatal("wrong shape accepted")
+	}
+}

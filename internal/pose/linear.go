@@ -1,0 +1,248 @@
+package pose
+
+import (
+	"errors"
+
+	"repro/internal/mat"
+	"repro/internal/scalar"
+)
+
+// ErrDegenerate reports a solver-level degeneracy (too few points,
+// rank-deficient design matrix, all solutions invalid).
+var ErrDegenerate = errors.New("pose: degenerate configuration")
+
+// EightPoint estimates relative pose from n >= 8 correspondences with
+// the normalized 8-point algorithm: Hartley normalization, SVD null
+// vector of the n×9 design matrix, rank-2 projection, essential-matrix
+// decomposition. Its cycle cost scales linearly in n through the SVD —
+// the behaviour Fig 5 plots as 8pt-N.
+func EightPoint[T scalar.Real[T]](corrs []RelCorrespondence[T]) (Pose[T], error) {
+	if len(corrs) < 8 {
+		return Pose[T]{}, ErrDegenerate
+	}
+	like := corrs[0].U1[0]
+	one := scalar.One(like)
+
+	// Hartley normalization of both views.
+	t1, p1 := normalizePoints(corrs, true)
+	t2, p2 := normalizePoints(corrs, false)
+
+	// Design matrix rows: x2ᵀ·E·x1 = 0 flattened.
+	n := len(corrs)
+	a := mat.Zeros[T](n, 9)
+	for i := 0; i < n; i++ {
+		x1 := p1[i]
+		x2 := p2[i]
+		a.Set(i, 0, x2[0].Mul(x1[0]))
+		a.Set(i, 1, x2[0].Mul(x1[1]))
+		a.Set(i, 2, x2[0])
+		a.Set(i, 3, x2[1].Mul(x1[0]))
+		a.Set(i, 4, x2[1].Mul(x1[1]))
+		a.Set(i, 5, x2[1])
+		a.Set(i, 6, x1[0])
+		a.Set(i, 7, x1[1])
+		a.Set(i, 8, one)
+	}
+	ev := mat.NullVector(a)
+	en := mat.New(3, 3, []T{ev[0], ev[1], ev[2], ev[3], ev[4], ev[5], ev[6], ev[7], ev[8]})
+
+	// Denormalize: E = T2ᵀ·En·T1.
+	e := t2.Transpose().Mul(en).Mul(t1)
+
+	// Project to the essential manifold (two equal singular values).
+	res := mat.SVD(e)
+	s := mat.Zeros[T](3, 3)
+	avg := res.S[0].Add(res.S[1]).Mul(like.FromFloat(0.5))
+	s.Set(0, 0, avg)
+	s.Set(1, 1, avg)
+	e = res.U.Mul(s).Mul(res.V.Transpose())
+
+	p, ok := DecomposeEssential(e, corrs)
+	if !ok {
+		return Pose[T]{}, ErrDegenerate
+	}
+	return p, nil
+}
+
+// normalizePoints computes the Hartley similarity transform for one view
+// (isotropic scaling to mean distance √2) and returns the transform plus
+// the transformed homogeneous points.
+func normalizePoints[T scalar.Real[T]](corrs []RelCorrespondence[T], first bool) (mat.Mat[T], []mat.Vec[T]) {
+	like := corrs[0].U1[0]
+	one := scalar.One(like)
+	n := like.FromFloat(float64(len(corrs)))
+
+	var mx, my T
+	for _, c := range corrs {
+		u := c.U2
+		if first {
+			u = c.U1
+		}
+		mx = mx.Add(u[0])
+		my = my.Add(u[1])
+	}
+	mx = mx.Div(n)
+	my = my.Div(n)
+	var md T
+	for _, c := range corrs {
+		u := c.U2
+		if first {
+			u = c.U1
+		}
+		md = md.Add(scalar.Hypot(u[0].Sub(mx), u[1].Sub(my)))
+	}
+	md = md.Div(n)
+	if md.IsZero() {
+		md = like.FromFloat(1)
+	}
+	s := like.FromFloat(1.4142135623730951).Div(md)
+
+	t := mat.Zeros[T](3, 3)
+	t.Set(0, 0, s)
+	t.Set(1, 1, s)
+	t.Set(2, 2, one)
+	t.Set(0, 2, s.Neg().Mul(mx))
+	t.Set(1, 2, s.Neg().Mul(my))
+
+	pts := make([]mat.Vec[T], len(corrs))
+	for i, c := range corrs {
+		u := c.U2
+		if first {
+			u = c.U1
+		}
+		pts[i] = mat.Vec[T]{u[0].Sub(mx).Mul(s), u[1].Sub(my).Mul(s), one}
+	}
+	return t, pts
+}
+
+// DLT estimates absolute pose from n >= 6 points with the direct linear
+// transform: SVD null vector of the 2n×12 projection design matrix, then
+// orthogonalization of the rotation block. The full-size SVD is why the
+// paper finds it orders of magnitude costlier than prior-aware minimal
+// solvers.
+func DLT[T scalar.Real[T]](corrs []AbsCorrespondence[T]) (Pose[T], error) {
+	if len(corrs) < 6 {
+		return Pose[T]{}, ErrDegenerate
+	}
+	like := corrs[0].U[0]
+	one := scalar.One(like)
+	zero := scalar.Zero(like)
+
+	n := len(corrs)
+	a := mat.Zeros[T](2*n, 12)
+	for i, c := range corrs {
+		x, y, z := c.X[0], c.X[1], c.X[2]
+		u, v := c.U[0], c.U[1]
+		// Row for u: P1·X - u·(P3·X) = 0.
+		r := 2 * i
+		a.Set(r, 0, x)
+		a.Set(r, 1, y)
+		a.Set(r, 2, z)
+		a.Set(r, 3, one)
+		a.Set(r, 8, u.Neg().Mul(x))
+		a.Set(r, 9, u.Neg().Mul(y))
+		a.Set(r, 10, u.Neg().Mul(z))
+		a.Set(r, 11, u.Neg())
+		// Row for v.
+		r++
+		a.Set(r, 4, x)
+		a.Set(r, 5, y)
+		a.Set(r, 6, z)
+		a.Set(r, 7, one)
+		a.Set(r, 8, v.Neg().Mul(x))
+		a.Set(r, 9, v.Neg().Mul(y))
+		a.Set(r, 10, v.Neg().Mul(z))
+		a.Set(r, 11, v.Neg())
+	}
+	p := mat.NullVector(a)
+
+	// Reassemble P = [R|t] up to scale; fix the scale with |r3| = 1 and
+	// the sign with positive depth of the first point.
+	r3 := mat.Vec[T]{p[8], p[9], p[10]}
+	scale := r3.Norm()
+	if scale.IsZero() {
+		return Pose[T]{}, ErrDegenerate
+	}
+	inv := one.Div(scale)
+	for i := range p {
+		p[i] = p[i].Mul(inv)
+	}
+	depth := p[8].Mul(corrs[0].X[0]).Add(p[9].Mul(corrs[0].X[1])).Add(p[10].Mul(corrs[0].X[2])).Add(p[11])
+	if depth.Less(zero) {
+		for i := range p {
+			p[i] = p[i].Neg()
+		}
+	}
+	r := mat.New(3, 3, []T{p[0], p[1], p[2], p[4], p[5], p[6], p[8], p[9], p[10]})
+	t := mat.Vec[T]{p[3], p[7], p[11]}
+
+	// Project the linear rotation estimate onto SO(3).
+	rr := projectRotation(r)
+	return Pose[T]{R: rr, T: t}, nil
+}
+
+// projectRotation returns the nearest rotation matrix via SVD.
+func projectRotation[T scalar.Real[T]](m mat.Mat[T]) mat.Mat[T] {
+	res := mat.SVD(m)
+	r := res.U.Mul(res.V.Transpose())
+	if mat.Det3(r).Float() < 0 {
+		u := res.U.Clone()
+		for i := 0; i < 3; i++ {
+			u.Set(i, 2, u.At(i, 2).Neg())
+		}
+		r = u.Mul(res.V.Transpose())
+	}
+	return r
+}
+
+// Homography estimates the 3×3 homography H (x2 ~ H·x1) from n >= 4
+// correspondences with the DLT, normalized. The pose-from-plane use in
+// the suite treats H itself as the kernel output.
+func Homography[T scalar.Real[T]](corrs []RelCorrespondence[T]) (mat.Mat[T], error) {
+	if len(corrs) < 4 {
+		return mat.Mat[T]{}, ErrDegenerate
+	}
+	like := corrs[0].U1[0]
+	one := scalar.One(like)
+
+	n := len(corrs)
+	a := mat.Zeros[T](2*n, 9)
+	for i, c := range corrs {
+		x, y := c.U1[0], c.U1[1]
+		u, v := c.U2[0], c.U2[1]
+		r := 2 * i
+		a.Set(r, 0, x)
+		a.Set(r, 1, y)
+		a.Set(r, 2, one)
+		a.Set(r, 6, u.Neg().Mul(x))
+		a.Set(r, 7, u.Neg().Mul(y))
+		a.Set(r, 8, u.Neg())
+		r++
+		a.Set(r, 3, x)
+		a.Set(r, 4, y)
+		a.Set(r, 5, one)
+		a.Set(r, 6, v.Neg().Mul(x))
+		a.Set(r, 7, v.Neg().Mul(y))
+		a.Set(r, 8, v.Neg())
+	}
+	h := mat.NullVector(a)
+	hm := mat.New(3, 3, []T{h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7], h[8]})
+	// Normalize so H[2][2] = 1 when well-conditioned.
+	if !hm.At(2, 2).IsZero() {
+		hm = hm.Scale(one.Div(hm.At(2, 2)))
+	}
+	return hm, nil
+}
+
+// HomographyTransferErr returns |H·x1 - x2| in normalized image units.
+func HomographyTransferErr[T scalar.Real[T]](h mat.Mat[T], c RelCorrespondence[T]) T {
+	x1 := homog(c.U1)
+	y := h.MulVec(x1)
+	big := scalar.C(y[2], 1e6)
+	if y[2].Abs().LessEq(scalar.C(y[2], 1e-12)) {
+		return big
+	}
+	du := y[0].Div(y[2]).Sub(c.U2[0])
+	dv := y[1].Div(y[2]).Sub(c.U2[1])
+	return scalar.Hypot(du, dv)
+}

@@ -1,0 +1,175 @@
+package pose
+
+import (
+	"repro/internal/mat"
+	"repro/internal/scalar"
+)
+
+// P3P solves absolute pose from 3 points via the classical
+// law-of-cosines reduction (Grunert's system): with depth ratios
+// u = s2/s1 and v = s3/s1 the three equations
+//
+//	s1²·(u² − 2u·cosγ + 1)        = c²   (points 1-2)
+//	s1²·(v² − 2v·cosβ + 1)        = b²   (points 1-3)
+//	s1²·(u² + v² − 2uv·cosα)      = a²   (points 2-3)
+//
+// eliminate to u(v) = N(v)/D(v) (linear over linear) and one quartic in
+// v, assembled here by explicit polynomial arithmetic rather than
+// transcribed closed-form coefficients. Each admissible root yields the
+// three depths, and a closed-form three-point absolute orientation
+// recovers (R, t). Up to four solutions.
+func P3P[T scalar.Real[T]](corrs []AbsCorrespondence[T]) ([]Pose[T], error) {
+	if len(corrs) < 3 {
+		return nil, ErrDegenerate
+	}
+	like := corrs[0].U[0]
+	one := scalar.One(like)
+	two := like.FromFloat(2)
+
+	p1, p2, p3 := corrs[0].X, corrs[1].X, corrs[2].X
+	f1 := bearing(corrs[0].U)
+	f2 := bearing(corrs[1].U)
+	f3 := bearing(corrs[2].U)
+
+	a := p2.Sub(p3).Norm() // opposite α (between bearings 2,3)
+	b := p1.Sub(p3).Norm() // opposite β (bearings 1,3)
+	c := p1.Sub(p2).Norm() // opposite γ (bearings 1,2)
+	if a.IsZero() || b.IsZero() || c.IsZero() {
+		return nil, ErrDegenerate
+	}
+	cosA := f2.Dot(f3)
+	cosB := f1.Dot(f3)
+	cosC := f1.Dot(f2)
+
+	a2 := a.Mul(a)
+	b2 := b.Mul(b)
+	c2 := c.Mul(c)
+	k := c2.Div(b2)
+	m := a2.Div(b2)
+
+	zero := scalar.Zero(one)
+	// B(v) = v² − 2v·cosβ + 1.
+	bPoly := mat.Poly[T]{one, two.Neg().Mul(cosB), one}
+	// N(v) = v² + (k−m)·B(v) − 1.
+	nPoly := mat.Poly[T]{zero, zero, one}.
+		AddPoly(bPoly.ScalePoly(k.Sub(m))).
+		AddPoly(mat.Poly[T]{one.Neg()})
+	// D(v) = 2·(v·cosα − cosγ).
+	dPoly := mat.Poly[T]{two.Neg().Mul(cosC), two.Mul(cosA)}
+	// Quartic: N² − 2·cosγ·N·D + (1 − k·B)·D² = 0.
+	quartic := nPoly.MulPoly(nPoly).
+		SubPoly(nPoly.MulPoly(dPoly).ScalePoly(two.Mul(cosC))).
+		AddPoly(mat.Poly[T]{one}.SubPoly(bPoly.ScalePoly(k)).MulPoly(dPoly.MulPoly(dPoly)))
+
+	roots := quartic.RealRoots()
+	var out []Pose[T]
+	for _, v := range roots {
+		if v.LessEq(zero) {
+			continue
+		}
+		den := dPoly.Eval(v)
+		if den.Abs().LessEq(scalar.C(one, 1e-12)) {
+			continue
+		}
+		u := nPoly.Eval(v).Div(den)
+		if u.LessEq(zero) {
+			continue
+		}
+		// Depths from the 1-3 equation.
+		bv := bPoly.Eval(v)
+		if bv.LessEq(zero) {
+			continue
+		}
+		s1 := b2.Div(bv).Sqrt()
+		s2 := u.Mul(s1)
+		s3 := v.Mul(s1)
+		// Validate against the 2-3 equation (rejects spurious roots).
+		lhs := s1.Mul(s1).Mul(u.Mul(u).Add(v.Mul(v)).Sub(two.Mul(u).Mul(v).Mul(cosA)))
+		resid := lhs.Sub(a2).Abs()
+		tol := scalar.C(one, 1e-5).Mul(scalar.Max(a2, one))
+		if tol.Less(resid) {
+			continue
+		}
+		q1 := f1.Scale(s1)
+		q2 := f2.Scale(s2)
+		q3 := f3.Scale(s3)
+		if pose, ok := absOrient3(p1, p2, p3, q1, q2, q3); ok {
+			out = append(out, pose)
+		}
+	}
+	if len(out) == 0 {
+		return nil, ErrDegenerate
+	}
+	return out, nil
+}
+
+// absOrient3 finds the rigid transform mapping world points (p1..p3)
+// onto camera points (q1..q3) by aligning the orthonormal triads of the
+// two triangles — the closed-form three-point absolute orientation.
+func absOrient3[T scalar.Real[T]](p1, p2, p3, q1, q2, q3 mat.Vec[T]) (Pose[T], bool) {
+	bw, okW := triad(p2.Sub(p1), p3.Sub(p1))
+	bc, okC := triad(q2.Sub(q1), q3.Sub(q1))
+	if !okW || !okC {
+		return Pose[T]{}, false
+	}
+	r := bc.Mul(bw.Transpose())
+	t := q1.Sub(r.MulVec(p1))
+	return Pose[T]{R: r, T: t}, true
+}
+
+// triad builds an orthonormal basis matrix whose columns derive from the
+// two given (non-parallel) vectors.
+func triad[T scalar.Real[T]](v1, v2 mat.Vec[T]) (mat.Mat[T], bool) {
+	e1 := v1.Normalized()
+	e3 := v1.Cross(v2)
+	if e3.Norm().IsZero() {
+		return mat.Mat[T]{}, false
+	}
+	e3 = e3.Normalized()
+	e2 := e3.Cross(e1)
+	m := mat.Zeros[T](3, 3)
+	m.SetCol(0, e1)
+	m.SetCol(1, e2)
+	m.SetCol(2, e3)
+	return m, true
+}
+
+// BestAbsPose selects the candidate with the lowest total reprojection
+// error over the given correspondences.
+func BestAbsPose[T scalar.Real[T]](cands []Pose[T], corrs []AbsCorrespondence[T]) (Pose[T], bool) {
+	if len(cands) == 0 {
+		return Pose[T]{}, false
+	}
+	best := 0
+	var bestErr T
+	for i, p := range cands {
+		var sum T
+		for _, c := range corrs {
+			sum = sum.Add(ReprojectErr(p, c))
+		}
+		if i == 0 || sum.Less(bestErr) {
+			best, bestErr = i, sum
+		}
+	}
+	return cands[best], true
+}
+
+// BestRelPose selects the candidate with the lowest total Sampson error.
+func BestRelPose[T scalar.Real[T]](cands []Pose[T], corrs []RelCorrespondence[T]) (Pose[T], bool) {
+	if len(cands) == 0 {
+		return Pose[T]{}, false
+	}
+	best := 0
+	var bestErr T
+	for i, p := range cands {
+		e := EssentialFromPose(p)
+		var sum T
+		for _, c := range corrs {
+			sum = sum.Add(SampsonErr(e, c))
+		}
+		if i == 0 || sum.Less(bestErr) {
+			best, bestErr = i, sum
+		}
+	}
+	return cands[best], true
+}

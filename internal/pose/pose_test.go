@@ -1,0 +1,458 @@
+package pose_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/pose"
+	"repro/internal/scalar"
+)
+
+type F = scalar.F64
+
+func cleanAbs(n int, seed int64, upright bool) dataset.AbsProblem {
+	return dataset.GenAbsProblem(dataset.PoseGenConfig{N: n, PixelNoise: 0, Upright: upright, Seed: seed})
+}
+
+func cleanRel(n int, seed int64, upright, planar bool) dataset.RelProblem {
+	return dataset.GenRelProblem(dataset.PoseGenConfig{N: n, PixelNoise: 0, Upright: upright, Planar: planar, Seed: seed})
+}
+
+// --- absolute pose ---
+
+func TestP3PExactRecovery(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := cleanAbs(4, seed, false)
+		cands, err := pose.P3P(p.Corrs[:3])
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Disambiguate with the 4th point.
+		best, ok := pose.BestAbsPose(cands, p.Corrs)
+		if !ok {
+			t.Fatalf("seed %d: no candidates", seed)
+		}
+		if e := dataset.RotationErr(best, p.Truth); e > 1e-4 {
+			t.Fatalf("seed %d: rotation error %g°", seed, e)
+		}
+		if e := dataset.TranslationAbsErr(best, p.Truth); e > 1e-5 {
+			t.Fatalf("seed %d: translation error %g", seed, e)
+		}
+	}
+}
+
+func TestP3PReturnsTruthAmongCandidates(t *testing.T) {
+	p := cleanAbs(3, 5, false)
+	cands, err := pose.P3P(p.Corrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range cands {
+		if dataset.RotationErr(c, p.Truth) < 1e-4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("truth not among %d candidates", len(cands))
+	}
+	if len(cands) > 4 {
+		t.Fatalf("P3P produced %d candidates, max is 4", len(cands))
+	}
+}
+
+func TestUP2PExactRecovery(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := cleanAbs(3, seed, true) // upright problems only
+		cands, err := pose.UP2P(p.Corrs[:2])
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(cands) > 2 {
+			t.Fatalf("seed %d: up2p produced %d candidates, max 2", seed, len(cands))
+		}
+		best, _ := pose.BestAbsPose(cands, p.Corrs)
+		if e := dataset.RotationErr(best, p.Truth); e > 1e-5 {
+			t.Fatalf("seed %d: rotation error %g°", seed, e)
+		}
+		if e := dataset.TranslationAbsErr(best, p.Truth); e > 1e-6 {
+			t.Fatalf("seed %d: translation error %g", seed, e)
+		}
+	}
+}
+
+func TestDLTExactRecovery(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		p := cleanAbs(8, seed, false)
+		est, err := pose.DLT(p.Corrs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if e := dataset.RotationErr(est, p.Truth); e > 1e-4 {
+			t.Fatalf("seed %d: rotation error %g°", seed, e)
+		}
+	}
+}
+
+func TestAbsGoldStandardBeatsDLTUnderNoise(t *testing.T) {
+	var dltErr, goldErr float64
+	for seed := int64(1); seed <= 15; seed++ {
+		p := dataset.GenAbsProblem(dataset.PoseGenConfig{N: 12, PixelNoise: 1.0, Seed: seed})
+		d, err := pose.DLT(p.Corrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := pose.AbsGoldStandard(p.Corrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dltErr += dataset.RotationErr(d, p.Truth)
+		goldErr += dataset.RotationErr(g, p.Truth)
+	}
+	if goldErr >= dltErr {
+		t.Fatalf("gold standard (%.4f°) did not beat DLT (%.4f°)", goldErr/15, dltErr/15)
+	}
+}
+
+// --- relative pose ---
+
+func TestEightPointExactRecovery(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		p := cleanRel(12, seed, false, false)
+		est, err := pose.EightPoint(p.Corrs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if e := dataset.RotationErr(est, p.Truth); e > 1e-3 {
+			t.Fatalf("seed %d: rotation error %g°", seed, e)
+		}
+		if e := dataset.TranslationDirErr(est, p.Truth); e > 0.1 {
+			t.Fatalf("seed %d: translation dir error %g°", seed, e)
+		}
+	}
+}
+
+func TestFivePointExactRecovery(t *testing.T) {
+	ok := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		// Solve from the minimal 5-point sample; disambiguate the up-to-
+		// ten candidates with the remaining points, as any consumer of a
+		// minimal solver must.
+		p := cleanRel(12, seed, false, false)
+		cands, err := pose.FivePoint(p.Corrs[:5])
+		if err != nil {
+			continue
+		}
+		if len(cands) > 10 {
+			t.Fatalf("seed %d: 5pt produced %d candidates, max 10", seed, len(cands))
+		}
+		best, _ := pose.BestRelPose(cands, p.Corrs)
+		if dataset.RotationErr(best, p.Truth) < 1e-3 && dataset.TranslationDirErr(best, p.Truth) < 0.1 {
+			ok++
+		}
+	}
+	if ok < 17 {
+		t.Fatalf("5pt recovered truth on only %d/20 clean problems", ok)
+	}
+}
+
+func TestU3PTExactRecovery(t *testing.T) {
+	okCount := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		p := cleanRel(4, seed, true, false)
+		cands, err := pose.U3PT(p.Corrs[:3])
+		if err != nil {
+			continue
+		}
+		best, _ := pose.BestRelPose(cands, p.Corrs)
+		if dataset.RotationErr(best, p.Truth) < 1e-3 && dataset.TranslationDirErr(best, p.Truth) < 0.1 {
+			okCount++
+		}
+	}
+	if okCount < 18 {
+		t.Fatalf("u3pt recovered truth on only %d/20 clean problems", okCount)
+	}
+}
+
+func TestUP2PTExactRecovery(t *testing.T) {
+	okCount := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		p := cleanRel(4, seed, true, true)
+		cands, err := pose.UP2PT(p.Corrs[:2])
+		if err != nil {
+			continue
+		}
+		best, _ := pose.BestRelPose(cands, p.Corrs)
+		if dataset.RotationErr(best, p.Truth) < 1e-3 && dataset.TranslationDirErr(best, p.Truth) < 0.1 {
+			okCount++
+		}
+	}
+	if okCount < 18 {
+		t.Fatalf("up2pt recovered truth on only %d/20 clean problems", okCount)
+	}
+}
+
+func TestUP3PTExactRecovery(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := cleanRel(6, seed, true, true)
+		cands, err := pose.UP3PT(p.Corrs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		best, _ := pose.BestRelPose(cands, p.Corrs)
+		if e := dataset.RotationErr(best, p.Truth); e > 1e-3 {
+			t.Fatalf("seed %d: rotation error %g°", seed, e)
+		}
+	}
+}
+
+func TestHomographyTransfer(t *testing.T) {
+	// Planar scene: points on z = 3 plane; homography must transfer all
+	// correspondences exactly.
+	p := planarSceneRel(9, 4)
+	h, err := pose.Homography(p.Corrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range p.Corrs {
+		if e := pose.HomographyTransferErr(h, c).Float(); e > 1e-8 {
+			t.Fatalf("corr %d transfer error %g", i, e)
+		}
+	}
+}
+
+// planarSceneRel builds a relative problem whose 3D points all lie on a
+// world plane, so a homography relates the two views exactly.
+func planarSceneRel(n int, seed int64) dataset.RelProblem {
+	base := cleanRel(1, seed, false, false)
+	truth := base.Truth
+	// Regenerate correspondences from coplanar points.
+	rng := newRand(seed)
+	corrs := base.Corrs[:0]
+	for len(corrs) < n {
+		x1 := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1, 3}
+		x2 := make([]float64, 3)
+		rf := truth.R.Floats()
+		tf := truth.T.Floats()
+		for i := 0; i < 3; i++ {
+			x2[i] = rf[i][0]*x1[0] + rf[i][1]*x1[1] + rf[i][2]*x1[2] + 0.3*tf[i]
+		}
+		if x2[2] < 0.2 {
+			continue
+		}
+		corrs = append(corrs, relCorr(x1[0]/x1[2], x1[1]/x1[2], x2[0]/x2[2], x2[1]/x2[2]))
+	}
+	return dataset.RelProblem{Corrs: corrs, Truth: truth}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if _, err := pose.P3P[F](nil); err == nil {
+		t.Error("P3P(nil) should fail")
+	}
+	if _, err := pose.UP2P[F](nil); err == nil {
+		t.Error("UP2P(nil) should fail")
+	}
+	if _, err := pose.DLT[F](nil); err == nil {
+		t.Error("DLT(nil) should fail")
+	}
+	if _, err := pose.EightPoint[F](nil); err == nil {
+		t.Error("EightPoint(nil) should fail")
+	}
+	if _, err := pose.FivePoint[F](nil); err == nil {
+		t.Error("FivePoint(nil) should fail")
+	}
+	if _, err := pose.Homography[F](nil); err == nil {
+		t.Error("Homography(nil) should fail")
+	}
+	// Collinear world points break P3P's triad construction.
+	colinear := []pose.AbsCorrespondence[F]{
+		absCorr(0, 0, 1, 0.0, 0.0),
+		absCorr(0, 0, 2, 0.0, 0.0),
+		absCorr(0, 0, 3, 0.0, 0.0),
+	}
+	if _, err := pose.P3P(colinear); err == nil {
+		t.Error("P3P of collinear points should fail")
+	}
+}
+
+func TestNoiseDegradesAccuracyMonotonically(t *testing.T) {
+	// Fig 5a's qualitative shape: more pixel noise, more rotation error.
+	errAt := func(noise float64) float64 {
+		var sum float64
+		for seed := int64(1); seed <= 10; seed++ {
+			p := dataset.GenRelProblem(dataset.PoseGenConfig{N: 12, PixelNoise: noise, Upright: true, Seed: seed})
+			cands, err := pose.U3PT(p.Corrs[:3])
+			if err != nil {
+				sum += 10
+				continue
+			}
+			best, _ := pose.BestRelPose(cands, p.Corrs)
+			sum += dataset.RotationErr(best, p.Truth)
+		}
+		return sum / 10
+	}
+	e0 := errAt(0)
+	e2 := errAt(2.0)
+	if e0 >= e2 {
+		t.Fatalf("noise 0 error %.4f° >= noise 2px error %.4f°", e0, e2)
+	}
+}
+
+func TestOverdetermined8ptImprovesWithN(t *testing.T) {
+	// Fig 5a: 8pt-N gains robustness as N grows.
+	errAtN := func(n int) float64 {
+		var sum float64
+		for seed := int64(1); seed <= 12; seed++ {
+			p := dataset.GenRelProblem(dataset.PoseGenConfig{N: n, PixelNoise: 1.0, Seed: seed})
+			est, err := pose.EightPoint(p.Corrs)
+			if err != nil {
+				sum += 10
+				continue
+			}
+			sum += dataset.RotationErr(est, p.Truth)
+		}
+		return sum / 12
+	}
+	e8 := errAtN(8)
+	e32 := errAtN(32)
+	if e32 >= e8 {
+		t.Fatalf("8pt-32 error %.4f° >= 8pt-8 error %.4f°; overdetermination should help", e32, e8)
+	}
+}
+
+// --- robust estimation ---
+
+func TestRelLoRansacWithOutliers(t *testing.T) {
+	p := dataset.GenRelProblem(dataset.PoseGenConfig{
+		N: 100, PixelNoise: 0.5, OutlierRatio: 0.25, Upright: true, Seed: 3,
+	})
+	cfg := pose.DefaultRansacConfig()
+	est, inliers, stats, err := pose.RelLoRansac(p.Corrs, pose.U3PT[F], 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := dataset.RotationErr(est, p.Truth); e > 1.0 {
+		t.Fatalf("rotation error %.3f° with 25%% outliers", e)
+	}
+	if len(inliers) < 50 {
+		t.Fatalf("only %d inliers found", len(inliers))
+	}
+	if stats.Iterations < 1 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestAbsLoRansacWithOutliers(t *testing.T) {
+	p := dataset.GenAbsProblem(dataset.PoseGenConfig{
+		N: 100, PixelNoise: 0.5, OutlierRatio: 0.25, Seed: 5,
+	})
+	cfg := pose.DefaultRansacConfig()
+	est, inliers, _, err := pose.AbsLoRansac(p.Corrs, pose.P3P[F], 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := dataset.RotationErr(est, p.Truth); e > 1.0 {
+		t.Fatalf("rotation error %.3f° with 25%% outliers", e)
+	}
+	if len(inliers) < 50 {
+		t.Fatalf("only %d inliers", len(inliers))
+	}
+}
+
+func TestMinimalSolverNeedsFewerIterationsThan8pt(t *testing.T) {
+	// Fig 5d: larger samples need far more RANSAC iterations at the same
+	// outlier ratio.
+	p := dataset.GenRelProblem(dataset.PoseGenConfig{
+		N: 120, PixelNoise: 0.5, OutlierRatio: 0.25, Upright: true, Seed: 9,
+	})
+	cfg := pose.DefaultRansacConfig()
+	cfg.LocalOpt = pose.LONone
+	cfg.FinalPolish = false
+	_, _, statsMin, err := pose.RelLoRansac(p.Corrs, pose.U3PT[F], 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight := func(c []pose.RelCorrespondence[F]) ([]pose.Pose[F], error) {
+		est, err := pose.EightPoint(c)
+		if err != nil {
+			return nil, err
+		}
+		return []pose.Pose[F]{est}, nil
+	}
+	_, _, stats8, err := pose.RelLoRansac(p.Corrs, eight, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsMin.Iterations >= stats8.Iterations {
+		t.Fatalf("minimal sample used %d iterations, 8pt used %d; minimal should need fewer",
+			statsMin.Iterations, stats8.Iterations)
+	}
+}
+
+func TestRansacDeterministic(t *testing.T) {
+	p := dataset.GenRelProblem(dataset.PoseGenConfig{
+		N: 60, PixelNoise: 0.5, OutlierRatio: 0.2, Upright: true, Seed: 4,
+	})
+	cfg := pose.DefaultRansacConfig()
+	a, _, sa, err := pose.RelLoRansac(p.Corrs, pose.U3PT[F], 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, sb, err := pose.RelLoRansac(p.Corrs, pose.U3PT[F], 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Iterations != sb.Iterations || sa.Inliers != sb.Inliers {
+		t.Fatal("RANSAC not deterministic for fixed seed")
+	}
+	// acos() near trace 3 floors the measurable angle around 1e-6°, so
+	// compare against that resolution, not machine epsilon.
+	if a.RotationErrDeg(b) > 1e-5 {
+		t.Fatal("RANSAC results differ across identical runs")
+	}
+}
+
+// --- precision sweep (Fig 5's float vs double comparison path) ---
+
+func TestSolversWorkInFloat32(t *testing.T) {
+	p := cleanAbs(4, 2, true)
+	c32 := dataset.ConvertAbs(scalar.F32(0), p)
+	cands, err := pose.UP2P(c32[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := pose.BestAbsPose(cands, c32)
+	if e := dataset.RotationErr(best, p.Truth); e > 0.05 {
+		t.Fatalf("f32 up2p rotation error %g°", e)
+	}
+	rp := cleanRel(12, 2, false, false)
+	r32 := dataset.ConvertRel(scalar.F32(0), rp)
+	est, err := pose.EightPoint(r32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := dataset.RotationErr(est, rp.Truth); e > 0.5 {
+		t.Fatalf("f32 8pt rotation error %g°", e)
+	}
+}
+
+// --- helpers ---
+
+func vec3(x, y, z float64) mat.Vec[F] { return mat.VecFromFloats(F(0), []float64{x, y, z}) }
+
+func vec2(a, b float64) mat.Vec[F] { return mat.VecFromFloats(F(0), []float64{a, b}) }
+
+func absCorr(x, y, z, u, v float64) pose.AbsCorrespondence[F] {
+	return pose.AbsCorrespondence[F]{X: vec3(x, y, z), U: vec2(u, v)}
+}
+
+func relCorr(u1, v1, u2, v2 float64) pose.RelCorrespondence[F] {
+	return pose.RelCorrespondence[F]{U1: vec2(u1, v1), U2: vec2(u2, v2)}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func init() { _ = math.Pi }

@@ -1,0 +1,295 @@
+package pose
+
+import (
+	"repro/internal/geom"
+	"repro/internal/mat"
+	"repro/internal/scalar"
+)
+
+// The prior-aware solvers assume the camera frames have been pre-rotated
+// with the IMU's gravity estimate so that gravity lies along the y axis;
+// the remaining unknown rotation is a yaw R_y(θ). With the Weierstrass
+// substitution q = tan(θ/2),
+//
+//	(1+q²)·R_y(θ) = M0 + q·M1 + q²·M2
+//
+// with constant integer matrices M0..M2 — the algebraic structure all
+// four solvers share.
+func yawBasis[T scalar.Real[T]](like T) (m0, m1, m2 mat.Mat[T]) {
+	one := scalar.One(like)
+	two := like.FromFloat(2)
+	zero := scalar.Zero(like)
+	m0 = mat.Identity(3, one)
+	m1 = mat.Zeros[T](3, 3)
+	m1.Set(0, 2, two)
+	m1.Set(2, 0, two.Neg())
+	m2 = mat.Zeros[T](3, 3)
+	m2.Set(0, 0, one.Neg())
+	m2.Set(1, 1, one)
+	m2.Set(2, 2, one.Neg())
+	_ = zero
+	return m0, m1, m2
+}
+
+// yawRotation builds R_y(θ) from q = tan(θ/2).
+func yawRotation[T scalar.Real[T]](q T) mat.Mat[T] {
+	one := scalar.One(q)
+	two := q.FromFloat(2)
+	den := one.Add(q.Mul(q))
+	c := one.Sub(q.Mul(q)).Div(den)
+	s := two.Mul(q).Div(den)
+	zero := scalar.Zero(q)
+	return mat.New(3, 3, []T{
+		c, zero, s,
+		zero, one, zero,
+		s.Neg(), zero, c,
+	})
+}
+
+// UP2P solves absolute pose from 2 points with known vertical direction
+// (Kukelova et al. [40]): the unknown yaw and translation satisfy four
+// linear-in-t equations whose elimination leaves a single quadratic in
+// q — up to two solutions, orders of magnitude cheaper than a full P3P
+// or DLT.
+func UP2P[T scalar.Real[T]](corrs []AbsCorrespondence[T]) ([]Pose[T], error) {
+	if len(corrs) < 2 {
+		return nil, ErrDegenerate
+	}
+	like := corrs[0].U[0]
+	one := scalar.One(like)
+	m0, m1, m2 := yawBasis(like)
+
+	// Rows 0 and 1 of [h]× for h = (u, v, 1):
+	// row0 = (0, -1, v), row1 = (1, 0, -u).
+	// System: A·s + g0 + g1·q + g2·q² = 0 with s = (1+q²)·t.
+	a := mat.Zeros[T](4, 3)
+	g0 := make(mat.Vec[T], 4)
+	g1 := make(mat.Vec[T], 4)
+	g2 := make(mat.Vec[T], 4)
+	for i := 0; i < 2; i++ {
+		u, v := corrs[i].U[0], corrs[i].U[1]
+		x := corrs[i].X
+		hx := geom.Hat(mat.Vec[T]{u, v, one})
+		w0 := hx.MulVec(m0.MulVec(x))
+		w1 := hx.MulVec(m1.MulVec(x))
+		w2 := hx.MulVec(m2.MulVec(x))
+		for r := 0; r < 2; r++ {
+			row := 2*i + r
+			for c := 0; c < 3; c++ {
+				a.Set(row, c, hx.At(r, c))
+			}
+			g0[row] = w0[r]
+			g1[row] = w1[r]
+			g2[row] = w2[r]
+		}
+	}
+
+	// Solve s(q) = -A₃⁻¹·(g0..g2) from the first three rows.
+	a3 := a.Submatrix(0, 0, 3, 3)
+	inv, err := mat.Inverse(a3)
+	if err != nil {
+		return nil, ErrDegenerate
+	}
+	s0 := inv.MulVec(mat.Vec[T]{g0[0], g0[1], g0[2]}).Neg()
+	s1 := inv.MulVec(mat.Vec[T]{g1[0], g1[1], g1[2]}).Neg()
+	s2 := inv.MulVec(mat.Vec[T]{g2[0], g2[1], g2[2]}).Neg()
+
+	// Substitute into the fourth row: quadratic in q.
+	a4 := a.Row(3)
+	c0 := a4.Dot(s0).Add(g0[3])
+	c1 := a4.Dot(s1).Add(g1[3])
+	c2 := a4.Dot(s2).Add(g2[3])
+
+	roots := mat.SolveQuadratic(c2, c1, c0)
+	var out []Pose[T]
+	for _, q := range roots {
+		den := one.Add(q.Mul(q))
+		s := s0.Add(s1.Scale(q)).Add(s2.Scale(q.Mul(q)))
+		t := s.Scale(one.Div(den))
+		out = append(out, Pose[T]{R: yawRotation(q), T: t})
+	}
+	if len(out) == 0 {
+		return nil, ErrDegenerate
+	}
+	return out, nil
+}
+
+// U3PT solves relative pose from 3 points with known gravity (upright
+// two-view geometry, Ding et al. [20]): the three epipolar constraints
+// form W(q)·t = 0 with W quadratic in q, and det W(q) = 0 yields a
+// degree-6 polynomial whose real roots enumerate the candidate yaws.
+func U3PT[T scalar.Real[T]](corrs []RelCorrespondence[T]) ([]Pose[T], error) {
+	if len(corrs) < 3 {
+		return nil, ErrDegenerate
+	}
+	like := corrs[0].U1[0]
+	m0, m1, m2 := yawBasis(like)
+
+	// wᵢ(q) = x2ᵢ × (R(q)·x1ᵢ), a vector quadratic in q.
+	var w [3][3]mat.Poly[T] // w[i][axis] is a degree-2 polynomial
+	for i := 0; i < 3; i++ {
+		x1 := homog(corrs[i].U1)
+		x2 := homog(corrs[i].U2)
+		v0 := x2.Cross(m0.MulVec(x1))
+		v1 := x2.Cross(m1.MulVec(x1))
+		v2 := x2.Cross(m2.MulVec(x1))
+		for ax := 0; ax < 3; ax++ {
+			w[i][ax] = mat.Poly[T]{v0[ax], v1[ax], v2[ax]}
+		}
+	}
+
+	// det W(q) by cofactor expansion with polynomial arithmetic.
+	det := w[0][0].MulPoly(w[1][1].MulPoly(w[2][2]).SubPoly(w[1][2].MulPoly(w[2][1]))).
+		SubPoly(w[0][1].MulPoly(w[1][0].MulPoly(w[2][2]).SubPoly(w[1][2].MulPoly(w[2][0]))))
+	det = det.AddPoly(w[0][2].MulPoly(w[1][0].MulPoly(w[2][1]).SubPoly(w[1][1].MulPoly(w[2][0]))))
+
+	roots := det.RealRoots()
+	var out []Pose[T]
+	for _, q := range roots {
+		// t spans the null space of W(q): cross two rows.
+		row0 := mat.Vec[T]{w[0][0].Eval(q), w[0][1].Eval(q), w[0][2].Eval(q)}
+		row1 := mat.Vec[T]{w[1][0].Eval(q), w[1][1].Eval(q), w[1][2].Eval(q)}
+		t := row0.Cross(row1)
+		if t.Norm().IsZero() {
+			row2 := mat.Vec[T]{w[2][0].Eval(q), w[2][1].Eval(q), w[2][2].Eval(q)}
+			t = row0.Cross(row2)
+		}
+		if t.Norm().IsZero() {
+			continue
+		}
+		t = t.Normalized()
+		r := yawRotation(q)
+		// Resolve the translation sign by cheirality.
+		pPos := Pose[T]{R: r, T: t}
+		pNeg := Pose[T]{R: r, T: t.Neg()}
+		if countCheiral(pPos, corrs) >= countCheiral(pNeg, corrs) {
+			out = append(out, pPos)
+		} else {
+			out = append(out, pNeg)
+		}
+	}
+	if len(out) == 0 {
+		return nil, ErrDegenerate
+	}
+	return out, nil
+}
+
+func countCheiral[T scalar.Real[T]](p Pose[T], corrs []RelCorrespondence[T]) int {
+	n := 0
+	for _, c := range corrs {
+		if cheiralityOK(p, c) {
+			n++
+		}
+	}
+	return n
+}
+
+// planarRow returns the linear epipolar coefficients for one
+// correspondence under the planar-upright parameterization
+// e = (tz, tz·c + tx·s, tz·s − tx·c, tx):
+//
+//	x2ᵀ·E·x1 = −e1·u2·v1 + e2·v2·u1 + e3·v2 + e4·v1 = 0.
+func planarRow[T scalar.Real[T]](c RelCorrespondence[T]) mat.Vec[T] {
+	u1, v1 := c.U1[0], c.U1[1]
+	u2, v2 := c.U2[0], c.U2[1]
+	return mat.Vec[T]{u2.Neg().Mul(v1), v2.Mul(u1), v2, v1}
+}
+
+// planarQuadForm evaluates the consistency form q(a,b) = a1·b1 + a4·b4 −
+// a2·b2 − a3·b3 whose vanishing encodes tx² + tz² = e2² + e3².
+func planarQuadForm[T scalar.Real[T]](a, b mat.Vec[T]) T {
+	return a[0].Mul(b[0]).Add(a[3].Mul(b[3])).Sub(a[1].Mul(b[1])).Sub(a[2].Mul(b[2]))
+}
+
+// posesFromPlanarVector converts an e-vector into (R, t) candidates,
+// resolving sign by cheirality.
+func posesFromPlanarVector[T scalar.Real[T]](e mat.Vec[T], corrs []RelCorrespondence[T]) []Pose[T] {
+	tz, e2, e3, tx := e[0], e[1], e[2], e[3]
+	den := tz.Mul(tz).Add(tx.Mul(tx))
+	if den.IsZero() {
+		return nil
+	}
+	inv := scalar.One(den).Div(den)
+	c := tz.Mul(e2).Sub(tx.Mul(e3)).Mul(inv)
+	s := tx.Mul(e2).Add(tz.Mul(e3)).Mul(inv)
+	// Normalize (c, s) to the unit circle (noise breaks it slightly).
+	cn := scalar.Hypot(c, s)
+	if cn.IsZero() {
+		return nil
+	}
+	c = c.Div(cn)
+	s = s.Div(cn)
+	zero := scalar.Zero(c)
+	one := scalar.One(c)
+	r := mat.New(3, 3, []T{
+		c, zero, s,
+		zero, one, zero,
+		s.Neg(), zero, c,
+	})
+	t := mat.Vec[T]{tx, zero, tz}.Normalized()
+	pPos := Pose[T]{R: r, T: t}
+	pNeg := Pose[T]{R: r, T: t.Neg()}
+	if countCheiral(pPos, corrs) >= countCheiral(pNeg, corrs) {
+		return []Pose[T]{pPos}
+	}
+	return []Pose[T]{pNeg}
+}
+
+// UP2PT solves relative pose from 2 points under planar motion with
+// known gravity (Choi & Kim [13]): two linear equations leave a 2-D null
+// space, and the unit-circle consistency constraint picks up to two
+// solutions via one quadratic.
+func UP2PT[T scalar.Real[T]](corrs []RelCorrespondence[T]) ([]Pose[T], error) {
+	if len(corrs) < 2 {
+		return nil, ErrDegenerate
+	}
+	a := mat.Zeros[T](2, 4)
+	a.SetRow(0, planarRow(corrs[0]))
+	a.SetRow(1, planarRow(corrs[1]))
+
+	// Null space basis: the two right-singular directions with the
+	// smallest singular values.
+	ns := mat.NullSpace(a, 2)
+	n1, n2 := ns[0], ns[1]
+
+	q11 := planarQuadForm(n1, n1)
+	q12 := planarQuadForm(n1, n2)
+	q22 := planarQuadForm(n2, n2)
+
+	// α²·q11 + 2αβ·q12 + β²·q22 = 0; fix β = 1 (and handle β = 0).
+	two := q12.FromFloat(2)
+	roots := mat.SolveQuadratic(q11, two.Mul(q12), q22)
+	var out []Pose[T]
+	for _, alpha := range roots {
+		e := n1.Scale(alpha).Add(n2)
+		out = append(out, posesFromPlanarVector(e, corrs)...)
+	}
+	if q11.IsZero() { // β = 0 solution: e = n1
+		out = append(out, posesFromPlanarVector(n1, corrs)...)
+	}
+	if len(out) == 0 {
+		return nil, ErrDegenerate
+	}
+	return out, nil
+}
+
+// UP3PT solves relative pose from n >= 3 points under planar motion with
+// known gravity, linearly: the null vector of the n×4 design matrix
+// (least-squares for n > 3), with the unit-circle constraint enforced by
+// normalization. The paper classifies it with the linear solvers — its
+// cost scales with n through the SVD.
+func UP3PT[T scalar.Real[T]](corrs []RelCorrespondence[T]) ([]Pose[T], error) {
+	if len(corrs) < 3 {
+		return nil, ErrDegenerate
+	}
+	a := mat.Zeros[T](len(corrs), 4)
+	for i, c := range corrs {
+		a.SetRow(i, planarRow(c))
+	}
+	e := mat.NullVector(a)
+	out := posesFromPlanarVector(e, corrs)
+	if len(out) == 0 {
+		return nil, ErrDegenerate
+	}
+	return out, nil
+}

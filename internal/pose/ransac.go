@@ -1,0 +1,263 @@
+package pose
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/scalar"
+)
+
+// LocalOpt selects the local-optimization mode of LO-RANSAC.
+type LocalOpt int
+
+// Local optimization modes (compile-time configurable in the paper's
+// C++; a constructor parameter here).
+const (
+	LONone      LocalOpt = iota // plain RANSAC
+	LOLinear                    // re-fit with the linear solver on inliers
+	LONonlinear                 // Gauss-Newton refinement on inliers
+)
+
+// RansacConfig parameterizes the robust estimators.
+type RansacConfig struct {
+	MaxIters    int     // hard iteration cap
+	Threshold   float64 // inlier residual threshold (normalized units)
+	Confidence  float64 // early-exit confidence (e.g. 0.99)
+	LocalOpt    LocalOpt
+	FinalPolish bool  // nonlinear polish on the final inlier set
+	Seed        int64 // deterministic sampling
+}
+
+// DefaultRansacConfig matches Case Study #4's setup: 25% outliers,
+// 0.5 px noise scale, 99% confidence.
+func DefaultRansacConfig() RansacConfig {
+	return RansacConfig{
+		MaxIters:    1000,
+		Threshold:   3e-3,
+		Confidence:  0.99,
+		LocalOpt:    LONonlinear,
+		FinalPolish: true,
+		Seed:        1,
+	}
+}
+
+// RansacStats reports what the robust loop did — the quantities Fig 5d-f
+// plots.
+type RansacStats struct {
+	Iterations int // minimal-solver samples drawn
+	LORuns     int // local optimizations triggered
+	Inliers    int // final inlier count
+}
+
+// RelSolver produces relative-pose candidates from a minimal (or larger)
+// sample.
+type RelSolver[T scalar.Real[T]] func([]RelCorrespondence[T]) ([]Pose[T], error)
+
+// AbsSolver produces absolute-pose candidates from a sample.
+type AbsSolver[T scalar.Real[T]] func([]AbsCorrespondence[T]) ([]Pose[T], error)
+
+// adaptiveIters returns the RANSAC iteration bound for the observed
+// inlier ratio.
+func adaptiveIters(confidence float64, inlierRatio float64, sampleSize, cap int) int {
+	if inlierRatio <= 0 {
+		return cap
+	}
+	if inlierRatio >= 1 {
+		return 1
+	}
+	w := math.Pow(inlierRatio, float64(sampleSize))
+	if w <= 1e-12 {
+		return cap
+	}
+	k := math.Log(1-confidence) / math.Log(1-w)
+	if k < 1 {
+		return 1
+	}
+	if k > float64(cap) {
+		return cap
+	}
+	return int(math.Ceil(k))
+}
+
+// sampleIndices draws k distinct indices from [0, n).
+func sampleIndices(rng *rand.Rand, n, k int) []int {
+	idx := make([]int, 0, k)
+	used := make(map[int]bool, k)
+	for len(idx) < k {
+		i := rng.Intn(n)
+		if !used[i] {
+			used[i] = true
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// RelLoRansac robustly estimates relative pose with LO-RANSAC [15]:
+// minimal samples drive the hypothesize-and-verify loop, and each new
+// best hypothesis triggers local optimization over its inliers. The
+// kernel behind rel-lo-ransac.
+func RelLoRansac[T scalar.Real[T]](corrs []RelCorrespondence[T], solver RelSolver[T], sampleSize int, cfg RansacConfig) (Pose[T], []int, RansacStats, error) {
+	n := len(corrs)
+	if n < sampleSize {
+		return Pose[T]{}, nil, RansacStats{}, ErrDegenerate
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	like := corrs[0].U1[0]
+	thresh := like.FromFloat(cfg.Threshold)
+
+	score := func(p Pose[T]) []int {
+		e := EssentialFromPose(p)
+		var in []int
+		for i, c := range corrs {
+			if SampsonErr(e, c).LessEq(thresh) {
+				in = append(in, i)
+			}
+		}
+		return in
+	}
+	gather := func(idx []int) []RelCorrespondence[T] {
+		out := make([]RelCorrespondence[T], len(idx))
+		for i, j := range idx {
+			out[i] = corrs[j]
+		}
+		return out
+	}
+
+	var best Pose[T]
+	var bestIn []int
+	stats := RansacStats{}
+	maxIters := cfg.MaxIters
+	for it := 0; it < maxIters; it++ {
+		stats.Iterations++
+		sample := gather(sampleIndices(rng, n, sampleSize))
+		cands, err := solver(sample)
+		if err != nil {
+			continue
+		}
+		for _, cand := range cands {
+			in := score(cand)
+			if len(in) <= len(bestIn) {
+				continue
+			}
+			best, bestIn = cand, in
+			// Local optimization on the new best.
+			if cfg.LocalOpt != LONone && len(in) >= 8 {
+				stats.LORuns++
+				var lo Pose[T]
+				var ok bool
+				switch cfg.LocalOpt {
+				case LOLinear:
+					if p, err := EightPoint(gather(in)); err == nil {
+						lo, ok = p, true
+					}
+				default:
+					lo, ok = RefineRelPose(cand, gather(in), 5), true
+				}
+				if ok {
+					if loIn := score(lo); len(loIn) >= len(bestIn) {
+						best, bestIn = lo, loIn
+					}
+				}
+			}
+			maxIters = min(cfg.MaxIters, adaptiveIters(cfg.Confidence, float64(len(bestIn))/float64(n), sampleSize, cfg.MaxIters))
+		}
+	}
+	if len(bestIn) < sampleSize {
+		return Pose[T]{}, nil, stats, ErrDegenerate
+	}
+	if cfg.FinalPolish && len(bestIn) >= 8 {
+		polished := RefineRelPose(best, gather(bestIn), 10)
+		if pin := score(polished); len(pin) >= len(bestIn) {
+			best, bestIn = polished, pin
+		}
+	}
+	stats.Inliers = len(bestIn)
+	return best, bestIn, stats, nil
+}
+
+// AbsLoRansac robustly estimates absolute pose with LO-RANSAC over a
+// minimal absolute solver (p3p by default) — the abs-lo-ransac kernel.
+func AbsLoRansac[T scalar.Real[T]](corrs []AbsCorrespondence[T], solver AbsSolver[T], sampleSize int, cfg RansacConfig) (Pose[T], []int, RansacStats, error) {
+	n := len(corrs)
+	if n < sampleSize {
+		return Pose[T]{}, nil, RansacStats{}, ErrDegenerate
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	like := corrs[0].U[0]
+	thresh := like.FromFloat(cfg.Threshold)
+
+	score := func(p Pose[T]) []int {
+		var in []int
+		for i, c := range corrs {
+			if ReprojectErr(p, c).LessEq(thresh) {
+				in = append(in, i)
+			}
+		}
+		return in
+	}
+	gather := func(idx []int) []AbsCorrespondence[T] {
+		out := make([]AbsCorrespondence[T], len(idx))
+		for i, j := range idx {
+			out[i] = corrs[j]
+		}
+		return out
+	}
+
+	var best Pose[T]
+	var bestIn []int
+	stats := RansacStats{}
+	maxIters := cfg.MaxIters
+	for it := 0; it < maxIters; it++ {
+		stats.Iterations++
+		sample := gather(sampleIndices(rng, n, sampleSize))
+		cands, err := solver(sample)
+		if err != nil {
+			continue
+		}
+		for _, cand := range cands {
+			in := score(cand)
+			if len(in) <= len(bestIn) {
+				continue
+			}
+			best, bestIn = cand, in
+			if cfg.LocalOpt != LONone && len(in) >= 6 {
+				stats.LORuns++
+				var lo Pose[T]
+				var ok bool
+				switch cfg.LocalOpt {
+				case LOLinear:
+					if p, err := DLT(gather(in)); err == nil {
+						lo, ok = p, true
+					}
+				default:
+					lo, ok = RefineAbsPose(cand, gather(in), 5), true
+				}
+				if ok {
+					if loIn := score(lo); len(loIn) >= len(bestIn) {
+						best, bestIn = lo, loIn
+					}
+				}
+			}
+			maxIters = min(cfg.MaxIters, adaptiveIters(cfg.Confidence, float64(len(bestIn))/float64(n), sampleSize, cfg.MaxIters))
+		}
+	}
+	if len(bestIn) < sampleSize {
+		return Pose[T]{}, nil, stats, ErrDegenerate
+	}
+	if cfg.FinalPolish && len(bestIn) >= 6 {
+		polished := RefineAbsPose(best, gather(bestIn), 10)
+		if pin := score(polished); len(pin) >= len(bestIn) {
+			best, bestIn = polished, pin
+		}
+	}
+	stats.Inliers = len(bestIn)
+	return best, bestIn, stats, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

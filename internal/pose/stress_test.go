@@ -1,0 +1,157 @@
+package pose_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/pose"
+	"repro/internal/scalar"
+)
+
+// Degeneracy and failure-injection coverage for the pose solvers: the
+// robust wrapper must survive pathological samples without panicking,
+// and every solver must reject inputs it cannot handle.
+
+func TestEightPointCollinearPoints(t *testing.T) {
+	// All correspondences on one image line — rank-deficient design.
+	var corrs []pose.RelCorrespondence[F]
+	for i := 0; i < 10; i++ {
+		u := float64(i) * 0.05
+		corrs = append(corrs, relCorr(u, 0.1, u+0.01, 0.1))
+	}
+	// Must not panic; either errors or returns something finite.
+	est, err := pose.EightPoint(corrs)
+	if err == nil {
+		for _, row := range est.R.Floats() {
+			for _, v := range row {
+				if math.IsNaN(v) {
+					t.Fatal("NaN in rotation from degenerate input")
+				}
+			}
+		}
+	}
+}
+
+func TestFivePointDuplicatePoints(t *testing.T) {
+	c := relCorr(0.1, 0.2, 0.12, 0.19)
+	corrs := []pose.RelCorrespondence[F]{c, c, c, c, c}
+	// Degenerate: all equations identical. Must not panic.
+	if _, err := pose.FivePoint(corrs); err == nil {
+		t.Log("5pt returned candidates on a degenerate sample (acceptable)")
+	}
+}
+
+func TestP3PBehindCamera(t *testing.T) {
+	// Points with negative depth yield no admissible (positive) root.
+	corrs := []pose.AbsCorrespondence[F]{
+		absCorr(0, 0, -3, 0.0, 0.0),
+		absCorr(0.5, 0, -3, 0.17, 0.0),
+		absCorr(0, 0.5, -3, 0.0, 0.17),
+	}
+	// Must not panic; candidates, if any, will fail validation upstream.
+	_, _ = pose.P3P(corrs)
+}
+
+func TestUP2PIdenticalPoints(t *testing.T) {
+	c := absCorr(0.1, 0.2, 3, 0.03, 0.07)
+	if _, err := pose.UP2P([]pose.AbsCorrespondence[F]{c, c}); err == nil {
+		t.Log("up2p solved a duplicate-point sample (degenerate but finite)")
+	}
+}
+
+func TestRansacAllOutliers(t *testing.T) {
+	// Pure noise: the loop must terminate and report failure or a
+	// small consensus, never hang.
+	p := dataset.GenRelProblem(dataset.PoseGenConfig{
+		N: 40, PixelNoise: 0.5, OutlierRatio: 1.0, Upright: true, Seed: 13,
+	})
+	cfg := pose.DefaultRansacConfig()
+	cfg.MaxIters = 200
+	_, inliers, stats, err := pose.RelLoRansac(p.Corrs, pose.U3PT[F], 3, cfg)
+	if err == nil && len(inliers) > 30 {
+		t.Fatalf("found %d inliers in pure noise", len(inliers))
+	}
+	if stats.Iterations > 200 {
+		t.Fatalf("iteration cap violated: %d", stats.Iterations)
+	}
+}
+
+func TestRansacTooFewPoints(t *testing.T) {
+	p := dataset.GenRelProblem(dataset.PoseGenConfig{N: 2, Upright: true, Seed: 1})
+	if _, _, _, err := pose.RelLoRansac(p.Corrs, pose.U3PT[F], 3, pose.DefaultRansacConfig()); err == nil {
+		t.Fatal("RANSAC accepted fewer points than the sample size")
+	}
+}
+
+func TestSampsonErrZeroForExactCorrespondence(t *testing.T) {
+	p := dataset.GenRelProblem(dataset.PoseGenConfig{N: 6, Seed: 2})
+	e := pose.EssentialFromPose(dataset.TruthAs(F(0), p.Truth))
+	for _, c := range p.Corrs {
+		if v := pose.SampsonErr(e, c).Float(); v > 1e-6 {
+			t.Fatalf("Sampson error %g on exact correspondence", v)
+		}
+	}
+}
+
+func TestTriangulateDepthsSigns(t *testing.T) {
+	p := dataset.GenRelProblem(dataset.PoseGenConfig{N: 10, Seed: 5})
+	truth := dataset.TruthAs(F(0), p.Truth)
+	// Scale the unit-translation pose to the generator's baseline so
+	// depths are metric.
+	scaled := pose.Pose[F]{R: truth.R, T: truth.T.Scale(F(0.3))}
+	for i, c := range p.Corrs {
+		z1, z2, ok := pose.TriangulateDepths(scaled, c)
+		if !ok {
+			t.Fatalf("corr %d: triangulation failed", i)
+		}
+		if z1.Float() <= 0 || z2.Float() <= 0 {
+			t.Fatalf("corr %d: non-positive depths %g, %g", i, z1.Float(), z2.Float())
+		}
+		// The generator puts points at z in [2, 6] in view 1.
+		if z1.Float() < 1 || z1.Float() > 8 {
+			t.Fatalf("corr %d: implausible depth %g", i, z1.Float())
+		}
+	}
+}
+
+func TestRefineAbsPoseImprovesPerturbedInit(t *testing.T) {
+	p := dataset.GenAbsProblem(dataset.PoseGenConfig{N: 12, PixelNoise: 0.2, Seed: 8})
+	corrs := dataset.ConvertAbs(scalar.F64(0), p)
+	// Perturb the truth and refine back.
+	init := dataset.TruthAs(scalar.F64(0), p.Truth)
+	init.T = init.T.Add(mat.VecFromFloats(scalar.F64(0), []float64{0.05, -0.04, 0.06}))
+	before := dataset.TranslationAbsErr(init, p.Truth)
+	refined := pose.RefineAbsPose(init, corrs, 10)
+	after := dataset.TranslationAbsErr(refined, p.Truth)
+	if after >= before {
+		t.Fatalf("refinement did not improve translation: %.4f -> %.4f", before, after)
+	}
+	if after > 0.01 {
+		t.Fatalf("refined translation error %.4f", after)
+	}
+}
+
+func TestHomographyOfPureRotation(t *testing.T) {
+	// Pure rotation: every correspondence fits H = R regardless of depth.
+	rot := dataset.GenRelProblem(dataset.PoseGenConfig{N: 1, Upright: true, Seed: 4}).Truth.R
+	var corrs []pose.RelCorrespondence[F]
+	pts := [][3]float64{{0.1, 0.2, 3}, {-0.2, 0.1, 4}, {0.3, -0.2, 2}, {-0.1, -0.3, 5}, {0.25, 0.15, 3.5}}
+	for _, pt := range pts {
+		x1 := mat.VecFromFloats(F(0), pt[:])
+		x2f := mat.FromFloats(F(0), rot.Floats()).MulVec(x1)
+		corrs = append(corrs, relCorr(
+			pt[0]/pt[2], pt[1]/pt[2],
+			x2f[0].Float()/x2f[2].Float(), x2f[1].Float()/x2f[2].Float()))
+	}
+	h, err := pose.Homography(corrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range corrs {
+		if e := pose.HomographyTransferErr(h, c).Float(); e > 1e-8 {
+			t.Fatalf("corr %d transfer error %g under pure rotation", i, e)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package profile records dynamic operation counts for benchmark kernels.
+//
+// EntoBench characterizes kernels by their instruction mix — floating-point
+// (F), integer (I), memory (M), and branch (B) operations — because FLOP
+// tallies alone badly mispredict latency and energy on microcontrollers
+// (Case Study #3 of the paper). On real hardware the mix comes from binary
+// instrumentation; here it is recorded live by the instrumented scalar and
+// matrix layers while a kernel executes.
+//
+// The profiler is deliberately simple: a single active Counts record,
+// manipulated by Begin/End, with nil-checked increment fast paths so that
+// unprofiled execution costs one predictable branch per hook. Benchmark
+// execution is single-goroutine by design (an MCU has one core); the
+// profiler is not safe for concurrent use and does not try to be.
+package profile
+
+// Counts is one instruction-mix record: the number of floating-point,
+// integer, memory, and branch operations observed while it was active.
+type Counts struct {
+	F uint64 // floating-point arithmetic ops
+	I uint64 // integer arithmetic ops (incl. fixed-point)
+	M uint64 // memory load/store ops
+	B uint64 // branches / compares
+}
+
+// Total returns the sum of all operation classes.
+func (c Counts) Total() uint64 { return c.F + c.I + c.M + c.B }
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.F += other.F
+	c.I += other.I
+	c.M += other.M
+	c.B += other.B
+}
+
+// Sub returns c minus other, element-wise. Callers use it to delimit a
+// region of interest between two snapshots.
+func (c Counts) Sub(other Counts) Counts {
+	return Counts{F: c.F - other.F, I: c.I - other.I, M: c.M - other.M, B: c.B - other.B}
+}
+
+// Scale returns c with every class multiplied by k. Used by kernels that
+// model vectorized inner loops (e.g. the USADA8-based bbof-vec variant).
+func (c Counts) Scale(k float64) Counts {
+	return Counts{
+		F: uint64(float64(c.F) * k),
+		I: uint64(float64(c.I) * k),
+		M: uint64(float64(c.M) * k),
+		B: uint64(float64(c.B) * k),
+	}
+}
+
+// cur points at the active record, or is nil when profiling is off.
+var cur *Counts
+
+// Begin activates a fresh record and returns it. The returned pointer stays
+// live until End (or a subsequent Begin) and accumulates every hooked
+// operation executed in between.
+func Begin() *Counts {
+	c := &Counts{}
+	cur = c
+	return c
+}
+
+// End deactivates profiling. The record returned by the matching Begin
+// retains its final values.
+func End() {
+	cur = nil
+}
+
+// Active reports whether a profiling record is currently attached.
+func Active() bool { return cur != nil }
+
+// Collect runs fn with a fresh record active and returns the resulting
+// counts. Any previously active record is suspended for the duration and
+// then credited with fn's counts, so nested Collects compose additively.
+func Collect(fn func()) Counts {
+	prev := cur
+	c := Counts{}
+	cur = &c
+	defer func() {
+		cur = prev
+		if prev != nil {
+			prev.Add(c)
+		}
+	}()
+	fn()
+	return c
+}
+
+// AddF records n floating-point operations.
+func AddF(n uint64) {
+	if cur != nil {
+		cur.F += n
+	}
+}
+
+// AddI records n integer operations.
+func AddI(n uint64) {
+	if cur != nil {
+		cur.I += n
+	}
+}
+
+// AddM records n memory operations.
+func AddM(n uint64) {
+	if cur != nil {
+		cur.M += n
+	}
+}
+
+// AddB records n branch operations.
+func AddB(n uint64) {
+	if cur != nil {
+		cur.B += n
+	}
+}
+
+// AddCounts credits a whole pre-computed mix to the active record.
+// Kernels whose inner loops are modeled analytically (rather than hooked
+// op-by-op) use this to charge their cost in one call.
+func AddCounts(c Counts) {
+	if cur != nil {
+		cur.Add(c)
+	}
+}

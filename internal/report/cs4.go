@@ -1,0 +1,316 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/mcu"
+	"repro/internal/pose"
+	"repro/internal/profile"
+	"repro/internal/scalar"
+)
+
+// Fig5Solver identifies a relative-pose solver in the comparison.
+type Fig5Solver struct {
+	Name       string
+	SampleSize int
+	Minimal    bool
+}
+
+// fig5Solvers lists the comparison set: minimal prior-aware solvers,
+// the 5-point solver, and the linear 8-point at several N.
+func fig5Solvers() []Fig5Solver {
+	return []Fig5Solver{
+		{"up2pt", 2, true},
+		{"up3pt", 3, true},
+		{"u3pt", 3, true},
+		{"5pt", 5, true},
+		{"8pt-8", 8, false},
+		{"8pt-16", 16, false},
+		{"8pt-32", 32, false},
+	}
+}
+
+// solveRelByName runs one solver on the leading sample of corrs and
+// disambiguates with the full set.
+func solveRelByName[T scalar.Real[T]](name string, n int, corrs []pose.RelCorrespondence[T]) (pose.Pose[T], error) {
+	sample := corrs
+	if len(sample) > n {
+		sample = corrs[:n]
+	}
+	switch name {
+	case "up2pt":
+		cands, err := pose.UP2PT(sample)
+		if err != nil {
+			return pose.Pose[T]{}, err
+		}
+		best, _ := pose.BestRelPose(cands, corrs)
+		return best, nil
+	case "up3pt":
+		cands, err := pose.UP3PT(sample)
+		if err != nil {
+			return pose.Pose[T]{}, err
+		}
+		best, _ := pose.BestRelPose(cands, corrs)
+		return best, nil
+	case "u3pt":
+		cands, err := pose.U3PT(sample)
+		if err != nil {
+			return pose.Pose[T]{}, err
+		}
+		best, _ := pose.BestRelPose(cands, corrs)
+		return best, nil
+	case "5pt":
+		cands, err := pose.FivePoint(sample)
+		if err != nil {
+			return pose.Pose[T]{}, err
+		}
+		best, _ := pose.BestRelPose(cands, corrs)
+		return best, nil
+	default: // 8pt-N
+		return pose.EightPoint(sample)
+	}
+}
+
+// genFor builds a problem matching a solver's motion priors.
+func genFor(s Fig5Solver, n int, noise float64, outliers float64, seed int64) dataset.RelProblem {
+	planar := s.Name == "up2pt" || s.Name == "up3pt"
+	upright := planar || s.Name == "u3pt"
+	return dataset.GenRelProblem(dataset.PoseGenConfig{
+		N: n, PixelNoise: noise, OutlierRatio: outliers,
+		Upright: upright, Planar: planar, Seed: seed,
+	})
+}
+
+// Fig5APoint is one accuracy sample: solver × precision × noise →
+// mean rotation error over the problem batch.
+type Fig5APoint struct {
+	Solver    string
+	Precision string // "f32" or "f64"
+	NoisePx   float64
+	RotErrDeg float64
+}
+
+// Fig5BCPoint is one cost sample at 0.1 px noise: solver × arch →
+// cycles and peak power.
+type Fig5BCPoint struct {
+	Solver    string
+	Precision string
+	Arch      string
+	CyclesK   float64
+	PeakMW    float64
+}
+
+// Fig5DEFPoint is one LO-RANSAC sample: inner solver × arch → mean
+// iterations, cycles, peak power.
+type Fig5DEFPoint struct {
+	Solver     string
+	Arch       string
+	Iterations float64
+	CyclesM    float64
+	PeakMW     float64
+}
+
+// CS4Result is Case Study #4.
+type CS4Result struct {
+	A   []Fig5APoint
+	BC  []Fig5BCPoint
+	DEF []Fig5DEFPoint
+}
+
+// RunCS4 generates all Fig 5 panels. problems controls the batch size
+// per point (the paper uses 1000; smaller values keep tests fast).
+func RunCS4(problems int) (CS4Result, error) {
+	var out CS4Result
+	noises := []float64{0.0, 0.1, 0.5, 1.0, 2.0}
+
+	// Panel (a): accuracy vs noise, float vs double.
+	for _, s := range fig5Solvers() {
+		for _, prec := range []string{"f32", "f64"} {
+			for _, noise := range noises {
+				var sum float64
+				var n int
+				for k := 0; k < problems; k++ {
+					p := genFor(s, maxInt(s.SampleSize, 12), noise, 0, int64(1000+k))
+					var rotErr float64
+					if prec == "f32" {
+						est, e := solveRelByName(s.Name, s.SampleSize, dataset.ConvertRel(scalar.F32(0), p))
+						if e != nil {
+							continue
+						}
+						rotErr = dataset.RotationErr(est, p.Truth)
+					} else {
+						est, e := solveRelByName(s.Name, s.SampleSize, dataset.ConvertRel(scalar.F64(0), p))
+						if e != nil {
+							continue
+						}
+						rotErr = dataset.RotationErr(est, p.Truth)
+					}
+					sum += rotErr
+					n++
+				}
+				if n == 0 {
+					continue
+				}
+				out.A = append(out.A, Fig5APoint{
+					Solver: s.Name, Precision: prec, NoisePx: noise, RotErrDeg: sum / float64(n),
+				})
+			}
+		}
+	}
+
+	// Panels (b, c): cycles and peak power at 0.1 px noise.
+	for _, s := range fig5Solvers() {
+		for _, prec := range []string{"f32", "f64"} {
+			p := genFor(s, maxInt(s.SampleSize, 12), 0.1, 0, 77)
+			var counts profile.Counts
+			mprec := mcu.PrecF32
+			if prec == "f32" {
+				c32 := dataset.ConvertRel(scalar.F32(0), p)
+				counts = profile.Collect(func() { _, _ = solveRelByName(s.Name, s.SampleSize, c32) })
+			} else {
+				c64 := dataset.ConvertRel(scalar.F64(0), p)
+				counts = profile.Collect(func() { _, _ = solveRelByName(s.Name, s.SampleSize, c64) })
+				mprec = mcu.PrecF64
+			}
+			for _, arch := range mcu.TableIVSet() {
+				est := arch.Estimate(counts, mprec, true)
+				out.BC = append(out.BC, Fig5BCPoint{
+					Solver: s.Name, Precision: prec, Arch: arch.Name,
+					CyclesK: est.Cycles / 1e3, PeakMW: est.PeakPowerMW(),
+				})
+			}
+		}
+	}
+
+	// Panels (d, e, f): LO-RANSAC with 25% outliers, 0.5 px noise.
+	// The 8-point inner solver is excluded, as in the paper.
+	ransacSolvers := []Fig5Solver{
+		{"up2pt", 2, true}, {"up3pt", 3, true}, {"u3pt", 3, true}, {"5pt", 5, true},
+	}
+	for _, s := range ransacSolvers {
+		var iterSum float64
+		var counts profile.Counts
+		runs := maxInt(problems/10, 3)
+		for k := 0; k < runs; k++ {
+			p := genFor(s, 100, 0.5, 0.25, int64(5000+k))
+			cfg := pose.DefaultRansacConfig()
+			cfg.Seed = int64(k + 1)
+			c32 := dataset.ConvertRel(scalar.F32(0), p)
+			inner := func(sample []pose.RelCorrespondence[scalar.F32]) ([]pose.Pose[scalar.F32], error) {
+				est, err := solveRelByName(s.Name, s.SampleSize, sample)
+				if err != nil {
+					return nil, err
+				}
+				return []pose.Pose[scalar.F32]{est}, nil
+			}
+			c := profile.Collect(func() {
+				_, _, stats, err := pose.RelLoRansac(c32, inner, s.SampleSize, cfg)
+				if err == nil {
+					iterSum += float64(stats.Iterations)
+				}
+			})
+			counts.Add(c)
+		}
+		meanCounts := counts.Scale(1 / float64(runs))
+		for _, arch := range mcu.TableIVSet() {
+			est := arch.Estimate(meanCounts, mcu.PrecF32, true)
+			out.DEF = append(out.DEF, Fig5DEFPoint{
+				Solver: s.Name, Arch: arch.Name,
+				Iterations: iterSum / float64(runs),
+				CyclesM:    est.Cycles / 1e6,
+				PeakMW:     est.PeakPowerMW(),
+			})
+		}
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// APoint finds a panel (a) sample.
+func (r CS4Result) APoint(solver, prec string, noise float64) (Fig5APoint, bool) {
+	for _, p := range r.A {
+		if p.Solver == solver && p.Precision == prec && p.NoisePx == noise {
+			return p, true
+		}
+	}
+	return Fig5APoint{}, false
+}
+
+// BCPoint finds a panel (b/c) sample.
+func (r CS4Result) BCPoint(solver, prec, arch string) (Fig5BCPoint, bool) {
+	for _, p := range r.BC {
+		if p.Solver == solver && p.Precision == prec && p.Arch == arch {
+			return p, true
+		}
+	}
+	return Fig5BCPoint{}, false
+}
+
+// DEFPoint finds a panel (d/e/f) sample.
+func (r CS4Result) DEFPoint(solver, arch string) (Fig5DEFPoint, bool) {
+	for _, p := range r.DEF {
+		if p.Solver == solver && p.Arch == arch {
+			return p, true
+		}
+	}
+	return Fig5DEFPoint{}, false
+}
+
+// WriteFig5 renders all panels.
+func (r CS4Result) WriteFig5(w io.Writer) {
+	header(w, "FIG 5a — ROTATION ERROR (deg) vs PIXEL NOISE, float vs double")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Solver\tPrec\tσ=0\tσ=0.1\tσ=0.5\tσ=1\tσ=2")
+	for _, s := range fig5Solvers() {
+		for _, prec := range []string{"f32", "f64"} {
+			row := fmt.Sprintf("%s\t%s", s.Name, prec)
+			for _, noise := range []float64{0, 0.1, 0.5, 1, 2} {
+				if p, ok := r.APoint(s.Name, prec, noise); ok {
+					row += fmt.Sprintf("\t%.3f", p.RotErrDeg)
+				} else {
+					row += "\t-"
+				}
+			}
+			fmt.Fprintln(tw, row)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	header(w, "FIG 5b,c — SOLVER CYCLES (kcycles) AND PEAK POWER (mW) AT 0.1 px NOISE")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "Solver\tPrec\tcyc M4\tcyc M33\tcyc M7\tP M4\tP M33\tP M7")
+	for _, s := range fig5Solvers() {
+		for _, prec := range []string{"f32", "f64"} {
+			m4, _ := r.BCPoint(s.Name, prec, "M4")
+			m33, _ := r.BCPoint(s.Name, prec, "M33")
+			m7, _ := r.BCPoint(s.Name, prec, "M7")
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%.0f\t%.0f\t%.0f\n",
+				s.Name, prec, fmtSI(m4.CyclesK), fmtSI(m33.CyclesK), fmtSI(m7.CyclesK),
+				m4.PeakMW, m33.PeakMW, m7.PeakMW)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	header(w, "FIG 5d,e,f — LO-RANSAC: ITERATIONS, CYCLES (Mcycles), PEAK POWER (25% outliers)")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "Inner solver\tIters\tcyc M4\tcyc M33\tcyc M7\tP M4\tP M33\tP M7")
+	for _, s := range []string{"up2pt", "up3pt", "u3pt", "5pt"} {
+		m4, _ := r.DEFPoint(s, "M4")
+		m33, _ := r.DEFPoint(s, "M33")
+		m7, _ := r.DEFPoint(s, "M7")
+		fmt.Fprintf(tw, "%s\t%.1f\t%.2f\t%.2f\t%.2f\t%.0f\t%.0f\t%.0f\n",
+			s, m4.Iterations, m4.CyclesM, m33.CyclesM, m7.CyclesM,
+			m4.PeakMW, m33.PeakMW, m7.PeakMW)
+	}
+	tw.Flush()
+}

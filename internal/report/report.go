@@ -1,0 +1,44 @@
+// Package report regenerates the paper's tables and figures from the
+// suite: the static metrics of Table III, the dynamic characterization
+// of Table IV, the architecture inventory of Table V, and the four case
+// studies (Table VI/Fig 3, Table VII/Fig 4, Table VIII, Fig 5). Each
+// generator returns structured data (consumed by tests and the
+// EXPERIMENTS.md writer) and can render itself as a text table.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// fmtSI renders a value the way the paper's tables do: "26K" for
+// thousands, "2M" for millions, plain decimals below.
+func fmtSI(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.0fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.0fK", v/1e3)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case v >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// newTab builds the shared table writer.
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// header prints a section banner.
+func header(w io.Writer, title string) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("-", len(title)))
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/mcu"
+)
+
+// Characterization is the full Table III + IV dataset: one record per
+// kernel, each holding all (arch, cache) cells.
+type Characterization struct {
+	Records []core.Record
+}
+
+// RunCharacterization characterizes the entire suite on the Table IV
+// cores. This is the "more than 400 measured datapoints" sweep: every
+// kernel × {M4, M33, M7} × {cache on, off} plus the static proxy runs.
+func RunCharacterization() (Characterization, error) {
+	var out Characterization
+	for _, spec := range core.Suite() {
+		rec, err := core.Characterize(spec, mcu.TableIVSet())
+		if err != nil {
+			return out, err
+		}
+		out.Records = append(out.Records, rec)
+	}
+	return out, nil
+}
+
+// Datapoints counts the measurement cells in the sweep.
+func (c Characterization) Datapoints() int {
+	n := 0
+	for _, r := range c.Records {
+		n += len(r.Cells) * 3 // latency, energy, peak power per cell
+		n++                   // static proxy run
+	}
+	return n
+}
+
+// WriteTable3 renders the static metrics: flash size and the F/I/M/B
+// static instruction-mix proxy per architecture.
+func (c Characterization) WriteTable3(w io.Writer) {
+	header(w, "TABLE III — BENCHMARK SUITE STATIC METRICS (modeled proxy; see DESIGN.md)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Stage\tKernel\tCategory\tDataset\tFlash\tM4 F/I/M/B\tM33 F/I/M/B\tM7 F/I/M/B")
+	for _, r := range c.Records {
+		m4 := mcu.M4.StaticAdjust(r.Static)
+		m33 := mcu.M33.StaticAdjust(r.Static)
+		m7 := mcu.M7.StaticAdjust(r.Static)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d/%d/%d/%d\t%d/%d/%d/%d\t%d/%d/%d/%d\n",
+			r.Spec.Stage, r.Spec.Name, r.Spec.Category, r.Spec.Dataset, r.Flash,
+			m4.F, m4.I, m4.M, m4.B,
+			m33.F, m33.I, m33.M, m33.B,
+			m7.F, m7.I, m7.M, m7.B)
+	}
+	tw.Flush()
+}
+
+// WriteTable4 renders the dynamic metrics: latency (µs), energy (µJ),
+// and peak power (mW) per core with caches on (C) and off (NC).
+func (c Characterization) WriteTable4(w io.Writer) {
+	header(w, "TABLE IV — DYNAMIC METRICS: LATENCY, ENERGY, PEAK POWER (cache on C / off NC)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Stage\tKernel\tM4 lat C/NC\tM33 lat C/NC\tM7 lat C/NC\tM4 E C/NC\tM33 E C/NC\tM7 E C/NC\tM4 P C/NC\tM33 P C/NC\tM7 P C/NC")
+	for _, r := range c.Records {
+		row := fmt.Sprintf("%s\t%s", r.Spec.Stage, r.Spec.Name)
+		for _, metric := range []string{"lat", "energy", "peak"} {
+			for _, arch := range []string{"M4", "M33", "M7"} {
+				on, okOn := r.Cell(arch, true)
+				off, okOff := r.Cell(arch, false)
+				if !okOn || !okOff {
+					row += "\t-"
+					continue
+				}
+				switch metric {
+				case "lat":
+					row += fmt.Sprintf("\t%s/%s", fmtSI(on.Meas.LatencyS*1e6), fmtSI(off.Meas.LatencyS*1e6))
+				case "energy":
+					row += fmt.Sprintf("\t%s/%s", fmtSI(on.Meas.EnergyJ*1e6), fmtSI(off.Meas.EnergyJ*1e6))
+				default:
+					row += fmt.Sprintf("\t%s/%s", fmtSI(on.Meas.PeakPowerW*1e3), fmtSI(off.Meas.PeakPowerW*1e3))
+				}
+			}
+		}
+		fmt.Fprintln(tw, row)
+	}
+	tw.Flush()
+}
+
+// WriteTable5 renders the architecture inventory.
+func WriteTable5(w io.Writer) {
+	header(w, "TABLE V — CONSIDERED CORTEX-M ARCHITECTURES")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Core\tBoard\tISA\tClock\tFPU\tSRAM\tCaches")
+	for _, a := range mcu.All() {
+		fpu := "none (soft float)"
+		switch a.FPU {
+		case mcu.SPOnly:
+			fpu = "SP FPU"
+		case mcu.SPDP:
+			fpu = "SP+DP FPU"
+		}
+		caches := "flash accelerator"
+		if a.HasCache {
+			caches = "I/D caches"
+		}
+		if a.Name == "M0+" {
+			caches = "none"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f MHz\t%s\t%d KB\t%s\n",
+			a.Name, a.Board, a.ISA, a.ClockHz/1e6, fpu, a.SRAMKB, caches)
+	}
+	tw.Flush()
+}

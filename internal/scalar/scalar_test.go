@@ -1,0 +1,206 @@
+package scalar_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixed"
+	"repro/internal/profile"
+	"repro/internal/scalar"
+)
+
+// Compile-time interface checks: all three scalar families satisfy Real.
+var (
+	_ scalar.Real[scalar.F32] = scalar.F32(0)
+	_ scalar.Real[scalar.F64] = scalar.F64(0)
+	_ scalar.Real[fixed.Num]  = fixed.Num{}
+)
+
+func TestF32Arithmetic(t *testing.T) {
+	a, b := scalar.F32(6), scalar.F32(1.5)
+	if got := a.Add(b); got != 7.5 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != 4.5 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(b); got != 9 {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Div(b); got != 4 {
+		t.Errorf("Div = %v", got)
+	}
+	if got := a.Neg(); got != -6 {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Neg().Abs(); got != 6 {
+		t.Errorf("Abs = %v", got)
+	}
+	if got := scalar.F32(9).Sqrt(); got != 3 {
+		t.Errorf("Sqrt = %v", got)
+	}
+}
+
+func TestF64Arithmetic(t *testing.T) {
+	a, b := scalar.F64(6), scalar.F64(1.5)
+	if got := a.Mul(b); got != 9 {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := scalar.F64(2).Sqrt().Float(); math.Abs(got-math.Sqrt2) > 1e-15 {
+		t.Errorf("Sqrt = %v", got)
+	}
+	if !b.Less(a) || a.Less(b) {
+		t.Error("Less wrong")
+	}
+	if !a.LessEq(a) {
+		t.Error("LessEq wrong")
+	}
+	if !scalar.F64(0).IsZero() || scalar.F64(1).IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestProfilingHooks(t *testing.T) {
+	c := profile.Collect(func() {
+		a := scalar.F32(2)
+		_ = a.Add(a).Mul(a).Sub(a).Div(a) // 4 F ops
+		_ = a.Less(a)                     // 1 B op
+	})
+	if c.F != 4 {
+		t.Errorf("F = %d, want 4", c.F)
+	}
+	if c.B != 1 {
+		t.Errorf("B = %d, want 1", c.B)
+	}
+	cFixed := profile.Collect(func() {
+		a := fixed.New(2, 16)
+		_ = a.Mul(a) // 2 I ops (mul + shift)
+		_ = a.Add(a) // 1 I op
+	})
+	if cFixed.I != 3 {
+		t.Errorf("fixed I = %d, want 3", cFixed.I)
+	}
+	if cFixed.F != 0 {
+		t.Errorf("fixed F = %d, want 0", cFixed.F)
+	}
+}
+
+func TestConstHelpers(t *testing.T) {
+	fx := fixed.New(0, 24)
+	two := scalar.C(fx, 2)
+	if two.FracBits() != 24 || math.Abs(two.Float()-2) > 1e-6 {
+		t.Errorf("C(fixed, 2) = %v", two)
+	}
+	if !scalar.Zero(scalar.F64(5)).IsZero() {
+		t.Error("Zero not zero")
+	}
+	if scalar.One(scalar.F32(0)).Float() != 1 {
+		t.Error("One not one")
+	}
+}
+
+func TestSliceConversions(t *testing.T) {
+	xs := []float64{1, 2.5, -3}
+	ts := scalar.Slice(scalar.F64(0), xs)
+	back := scalar.Floats(ts)
+	for i := range xs {
+		if back[i] != xs[i] {
+			t.Fatalf("round trip [%d] = %v", i, back[i])
+		}
+	}
+}
+
+func TestMinMaxClamp(t *testing.T) {
+	a, b := scalar.F64(1), scalar.F64(2)
+	if scalar.Max(a, b) != b || scalar.Min(a, b) != a {
+		t.Error("Min/Max wrong")
+	}
+	if scalar.Clamp(scalar.F64(5), a, b) != b {
+		t.Error("Clamp high wrong")
+	}
+	if scalar.Clamp(scalar.F64(0), a, b) != a {
+		t.Error("Clamp low wrong")
+	}
+	if scalar.Clamp(scalar.F64(1.5), a, b) != 1.5 {
+		t.Error("Clamp mid wrong")
+	}
+}
+
+func TestTranscendentals(t *testing.T) {
+	x := scalar.F64(0.5)
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"Sin", scalar.Sin(x).Float(), math.Sin(0.5)},
+		{"Cos", scalar.Cos(x).Float(), math.Cos(0.5)},
+		{"Tan", scalar.Tan(x).Float(), math.Tan(0.5)},
+		{"Asin", scalar.Asin(x).Float(), math.Asin(0.5)},
+		{"Acos", scalar.Acos(x).Float(), math.Acos(0.5)},
+		{"Exp", scalar.Exp(x).Float(), math.Exp(0.5)},
+		{"Log", scalar.Log(x).Float(), math.Log(0.5)},
+		{"Atan2", scalar.Atan2(scalar.F64(1), scalar.F64(1)).Float(), math.Pi / 4},
+		{"Pow", scalar.Pow(scalar.F64(2), scalar.F64(10)).Float(), 1024},
+		{"Hypot", scalar.Hypot(scalar.F64(3), scalar.F64(4)).Float(), 5},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestAsinAcosClampOutOfRange(t *testing.T) {
+	if got := scalar.Asin(scalar.F64(1.5)).Float(); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("Asin(1.5) = %v", got)
+	}
+	if got := scalar.Acos(scalar.F64(-2)).Float(); math.Abs(got-math.Pi) > 1e-12 {
+		t.Errorf("Acos(-2) = %v", got)
+	}
+}
+
+func TestTranscendentalCostModel(t *testing.T) {
+	c := profile.Collect(func() {
+		_ = scalar.Sin(scalar.F32(1))
+	})
+	if c.F < 10 {
+		t.Errorf("libm call charged only %d F ops; expected a modeled polynomial cost", c.F)
+	}
+}
+
+// Property: generic arithmetic over F64 agrees with native float64.
+func TestPropGenericMatchesNative(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		a, b := scalar.F64(x), scalar.F64(y)
+		return a.Add(b).Float() == x+y &&
+			a.Sub(b).Float() == x-y &&
+			a.Mul(b).Float() == x*y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fixed-point generic kernels agree with float64 within
+// quantization error for well-scaled inputs. This is the foundation the
+// whole precision-sweep case study rests on.
+func TestPropFixedTracksFloat(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		vx, vy := math.Mod(x, 8), math.Mod(y, 8)
+		a, b := fixed.New(vx, 24), fixed.New(vy, 24)
+		sum := a.Add(b).Float()
+		prod := a.Mul(b).Float()
+		return math.Abs(sum-(vx+vy)) < 1e-5 && math.Abs(prod-vx*vy) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package sim is the closed-loop evaluation sketched in Section VI-E of
+// the paper: a lightweight insect-scale dynamics simulator that plugs
+// into the same profiling substrate as the kernel suite, so a controller
+// + estimator stack can be scored on *task-level* metrics (path error,
+// completion, control effort) side by side with its *compute* cost
+// (ops per control step → latency/energy per mission on each core).
+//
+// The plant is the flapping-wing rigid body of the control package at
+// RoboBee scale; sensors are simulated with the imu package's noise
+// model. The loop structure is the paper's Figure 1: sense → estimate →
+// control → actuate.
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/attitude"
+	"repro/internal/control"
+	"repro/internal/geom"
+	"repro/internal/imu"
+	"repro/internal/mat"
+	"repro/internal/mcu"
+	"repro/internal/profile"
+	"repro/internal/scalar"
+)
+
+// F is the onboard compute precision of the closed-loop stack.
+type F = scalar.F32
+
+// Estimator selects what runs in the estimation slot of the loop.
+type Estimator int
+
+// Estimation configurations.
+const (
+	// TruthState feeds ground truth to the controller (the external
+	// motion-capture condition most current prototypes fly under).
+	TruthState Estimator = iota
+	// MadgwickIMU estimates attitude onboard from simulated IMU data;
+	// translation still comes from "mocap" — the common halfway house.
+	MadgwickIMU
+)
+
+// String names the estimator.
+func (e Estimator) String() string {
+	if e == MadgwickIMU {
+		return "madgwick+mocap"
+	}
+	return "mocap"
+}
+
+// Mission is a closed-loop task description.
+type Mission struct {
+	Duration      float64 // seconds
+	ControlRateHz float64 // controller + estimator rate
+	PhysicsRateHz float64 // plant integration rate
+	// Waypoints are visited in order; the reference holds each for an
+	// equal share of the mission.
+	Waypoints [][3]float64
+	// CompletionRadius is the distance within which a waypoint counts
+	// as reached (meters).
+	CompletionRadius float64
+	Seed             int64
+}
+
+// HoverMission returns the benchmark mission: lift off to 5 cm, hold,
+// translate along a 4 cm square, return.
+func HoverMission() Mission {
+	return Mission{
+		Duration:      8,
+		ControlRateHz: 1000,
+		PhysicsRateHz: 4000,
+		Waypoints: [][3]float64{
+			{0, 0, 0.05}, {0.04, 0, 0.05}, {0.04, 0.04, 0.05}, {0, 0.04, 0.05}, {0, 0, 0.05},
+		},
+		CompletionRadius: 0.02,
+		Seed:             1,
+	}
+}
+
+// TaskMetrics is what closing the loop measures that kernel timing
+// cannot (Section VI-E).
+type TaskMetrics struct {
+	PathErrRMS       float64 // meters, against the active waypoint
+	MaxTiltDeg       float64
+	WaypointsReached int
+	Completed        bool
+	AttitudeErrRMS   float64 // estimator error, degrees (0 for mocap)
+
+	// Compute accounting through the same profiler as the suite.
+	ControlSteps  int
+	CountsPerStep profile.Counts
+	// Per-core mission compute energy (J) and controller duty factor.
+	MissionEnergyJ map[string]float64
+	DutyFactor     map[string]float64
+}
+
+// RunClosedLoop flies the mission with the SE(3) geometric controller
+// and the selected estimator, and returns the joint task/compute record.
+func RunClosedLoop(est Estimator, m Mission) TaskMetrics {
+	rng := rand.New(rand.NewSource(m.Seed))
+	mass := 0.0008
+	inertia := [3]float64{1.5e-9, 1.5e-9, 0.5e-9}
+	body := control.NewRigidBody(F(0), mass, inertia)
+	ctrl := control.NewGeomCtrl(F(0), mass, inertia)
+	filter := attitude.NewMadgwick(F(0), attitude.IMUOnly, 0.2)
+
+	physDt := 1.0 / m.PhysicsRateHz
+	stepsPerCtrl := int(m.PhysicsRateHz / m.ControlRateHz)
+	if stepsPerCtrl < 1 {
+		stepsPerCtrl = 1
+	}
+	nPhys := int(m.Duration * m.PhysicsRateHz)
+	wpShare := m.Duration / float64(len(m.Waypoints))
+
+	metrics := TaskMetrics{
+		MissionEnergyJ: map[string]float64{},
+		DutyFactor:     map[string]float64{},
+	}
+	noise := imu.DefaultNoise()
+
+	var thrust F
+	moment := mat.VecFromFloats(F(0), []float64{0, 0, 0})
+	var counts profile.Counts
+	var pathSq, attSq float64
+	var attN int
+	wpIdx := 0
+	finalReached := false
+
+	for i := 0; i < nPhys; i++ {
+		t := float64(i) * physDt
+		// Active waypoint: the mission schedule forces progress, and
+		// arrival advances early.
+		if sched := int(t / wpShare); sched > wpIdx && sched < len(m.Waypoints) {
+			wpIdx = sched
+		}
+		wp := m.Waypoints[wpIdx]
+
+		if i%stepsPerCtrl == 0 {
+			// --- onboard computation, profiled like any suite kernel ---
+			c := profile.Collect(func() {
+				state := body.State()
+				if est == MadgwickIMU {
+					// Simulated IMU sample from the true body state.
+					q := body.Q
+					rt := q.RotationMatrix().Transpose()
+					gW := mat.VecFromFloats(F(0), []float64{0, 0, 1}) // in g units
+					aB := rt.MulVec(gW)
+					sample := imu.Sample[F]{
+						Gyro: mat.Vec[F]{
+							body.W[0].Add(F(rng.NormFloat64() * noise.GyroStd)),
+							body.W[1].Add(F(rng.NormFloat64() * noise.GyroStd)),
+							body.W[2].Add(F(rng.NormFloat64() * noise.GyroStd)),
+						},
+						Accel: mat.Vec[F]{
+							aB[0].Add(F(rng.NormFloat64() * noise.AccelStd / imu.Gravity)),
+							aB[1].Add(F(rng.NormFloat64() * noise.AccelStd / imu.Gravity)),
+							aB[2].Add(F(rng.NormFloat64() * noise.AccelStd / imu.Gravity)),
+						},
+						Mag: mat.Vec[F]{F(0.4), F(0), F(-0.9)},
+						Dt:  F(float64(stepsPerCtrl) * physDt),
+					}
+					filter.Update(sample)
+					state.R = filter.Quat().RotationMatrix()
+				}
+				ref := control.GeomRef[F]{
+					P:   mat.VecFromFloats(F(0), wp[:]),
+					V:   mat.VecFromFloats(F(0), []float64{0, 0, 0}),
+					A:   mat.VecFromFloats(F(0), []float64{0, 0, 0}),
+					Yaw: F(0),
+				}
+				thrust, moment = ctrl.Update(state, ref)
+			})
+			counts.Add(c)
+			metrics.ControlSteps++
+
+			if est == MadgwickIMU {
+				q := filter.Quat()
+				qf := geom.QuatFromFloats(scalar.F64(0), q.W.Float(), q.X.Float(), q.Y.Float(), q.Z.Float())
+				qt := geom.QuatFromFloats(scalar.F64(0),
+					body.Q.W.Float(), body.Q.X.Float(), body.Q.Y.Float(), body.Q.Z.Float())
+				e := geom.QuatAngleDegrees(qf, qt)
+				attSq += e * e
+				attN++
+			}
+		}
+		body.Step(thrust, moment, F(physDt))
+
+		// Task metrics.
+		p := body.P.Floats()
+		dx, dy, dz := p[0]-wp[0], p[1]-wp[1], p[2]-wp[2]
+		d := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		pathSq += d * d
+		if d < m.CompletionRadius {
+			if wpIdx+1 > metrics.WaypointsReached {
+				metrics.WaypointsReached = wpIdx + 1
+			}
+			if wpIdx == len(m.Waypoints)-1 {
+				finalReached = true
+			} else {
+				wpIdx++
+			}
+		}
+		tilt := tiltDeg(body)
+		if tilt > metrics.MaxTiltDeg {
+			metrics.MaxTiltDeg = tilt
+		}
+	}
+
+	metrics.PathErrRMS = math.Sqrt(pathSq / float64(nPhys))
+	metrics.Completed = finalReached && metrics.WaypointsReached >= len(m.Waypoints)
+	if attN > 0 {
+		metrics.AttitudeErrRMS = math.Sqrt(attSq / float64(attN))
+	}
+	if metrics.ControlSteps > 0 {
+		metrics.CountsPerStep = counts.Scale(1 / float64(metrics.ControlSteps))
+	}
+	for _, arch := range mcu.TableIVSet() {
+		e := arch.Estimate(metrics.CountsPerStep, mcu.PrecF32, true)
+		metrics.MissionEnergyJ[arch.Name] = e.EnergyJ * float64(metrics.ControlSteps)
+		metrics.DutyFactor[arch.Name] = e.LatencyS * m.ControlRateHz
+	}
+	return metrics
+}
+
+func tiltDeg(b *control.RigidBody[F]) float64 {
+	// Angle between body z and world z.
+	bz := b.Q.RotationMatrix().Col(2)
+	c := bz[2].Float()
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c) * 180 / math.Pi
+}

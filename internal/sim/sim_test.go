@@ -1,0 +1,72 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMocapClosedLoopCompletes(t *testing.T) {
+	m := sim.HoverMission()
+	res := sim.RunClosedLoop(sim.TruthState, m)
+	if !res.Completed {
+		t.Fatalf("mocap mission incomplete: reached %d/%d waypoints, path RMS %.3f m",
+			res.WaypointsReached, len(m.Waypoints), res.PathErrRMS)
+	}
+	if res.PathErrRMS > 0.05 {
+		t.Fatalf("path RMS error %.3f m", res.PathErrRMS)
+	}
+	if res.MaxTiltDeg > 60 {
+		t.Fatalf("max tilt %.1f°; vehicle tumbled", res.MaxTiltDeg)
+	}
+	if res.ControlSteps < 1000 {
+		t.Fatalf("only %d control steps", res.ControlSteps)
+	}
+	if res.CountsPerStep.Total() == 0 {
+		t.Fatal("no compute recorded")
+	}
+}
+
+func TestOnboardEstimatorDegradesGracefully(t *testing.T) {
+	m := sim.HoverMission()
+	mocap := sim.RunClosedLoop(sim.TruthState, m)
+	onboard := sim.RunClosedLoop(sim.MadgwickIMU, m)
+	// Onboard attitude estimation adds error but must not destabilize.
+	if !onboard.Completed {
+		t.Fatalf("onboard mission incomplete: reached %d, path RMS %.3f",
+			onboard.WaypointsReached, onboard.PathErrRMS)
+	}
+	if onboard.PathErrRMS > 4*mocap.PathErrRMS+0.05 {
+		t.Fatalf("onboard path RMS %.3f vs mocap %.3f — degraded too far",
+			onboard.PathErrRMS, mocap.PathErrRMS)
+	}
+	if onboard.AttitudeErrRMS <= 0 || onboard.AttitudeErrRMS > 10 {
+		t.Fatalf("estimator attitude RMS %.2f°", onboard.AttitudeErrRMS)
+	}
+	// The estimator costs compute: onboard > mocap per step.
+	if onboard.CountsPerStep.Total() <= mocap.CountsPerStep.Total() {
+		t.Fatal("onboard estimation should cost more per step")
+	}
+}
+
+func TestComputeAccountingPerArch(t *testing.T) {
+	res := sim.RunClosedLoop(sim.TruthState, sim.HoverMission())
+	for _, arch := range []string{"M4", "M33", "M7"} {
+		if res.MissionEnergyJ[arch] <= 0 {
+			t.Errorf("%s mission energy not recorded", arch)
+		}
+		if res.DutyFactor[arch] <= 0 || res.DutyFactor[arch] > 1.5 {
+			t.Errorf("%s duty factor %.3f implausible", arch, res.DutyFactor[arch])
+		}
+	}
+	// M33 cheapest mission compute energy, as everywhere else.
+	if res.MissionEnergyJ["M33"] >= res.MissionEnergyJ["M4"] {
+		t.Error("M33 should cost the least mission energy")
+	}
+}
+
+func TestEstimatorString(t *testing.T) {
+	if sim.TruthState.String() != "mocap" || sim.MadgwickIMU.String() != "madgwick+mocap" {
+		t.Error("estimator names wrong")
+	}
+}
