@@ -28,6 +28,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/pose"
 	"repro/internal/profile"
+	"repro/internal/report"
 	"repro/internal/scalar"
 )
 
@@ -333,6 +334,72 @@ func BenchmarkFig5(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				run()
+			}
+		})
+	}
+}
+
+// BenchmarkProfileHookOverhead prices the profiling hook on its three
+// paths: no session anywhere (the gate check every scalar op pays in
+// unprofiled execution), a session on another goroutine (the parallel
+// sweep's warm-up/validation reps), and a session on this goroutine
+// (the profiled ROI itself).
+func BenchmarkProfileHookOverhead(b *testing.B) {
+	b.Run("idle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			profile.AddF(1)
+		}
+	})
+	b.Run("foreign-session", func(b *testing.B) {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			profile.Collect(func() { <-stop })
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			profile.AddF(1)
+		}
+		b.StopTimer()
+		close(stop)
+		<-done
+	})
+	b.Run("own-session", func(b *testing.B) {
+		rec := profile.Begin()
+		defer profile.End()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			profile.AddF(1)
+		}
+		b.StopTimer()
+		if rec.F == 0 {
+			b.Fatal("hooks did not record")
+		}
+	})
+}
+
+// BenchmarkRunCharacterization times the full >400-datapoint suite
+// sweep — the repo's hottest path — serially and across the worker
+// pool, so the parallel speedup stays visible in the bench trajectory.
+func BenchmarkRunCharacterization(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel-gomaxprocs", 0},
+		{"parallel-j8", 8},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := report.RunCharacterizationUncached(cfg.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.Datapoints() < 400 {
+					b.Fatalf("sweep produced %d datapoints", c.Datapoints())
+				}
 			}
 		})
 	}

@@ -9,13 +9,15 @@
 //	entobench run <kernel> [-arch M4] [-nocache]
 //	entobench table3 | table4 | table5 | table6 | table7 | table8
 //	entobench fig3 | fig4 [-step N] | fig5 [-n N]
-//	entobench sweep                # the full >400-datapoint characterization
+//	entobench sweep [-j N]         # the full >400-datapoint characterization,
+//	                               # fanned across N worker goroutines
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"repro/ento"
@@ -62,7 +64,7 @@ func main() {
 		_ = fs.Parse(args)
 		err = ento.WriteFig5(os.Stdout, *n)
 	case "sweep":
-		err = sweep()
+		err = sweep(args)
 	case "closedloop":
 		err = closedLoop()
 	default:
@@ -90,7 +92,7 @@ commands:
   fig4      fixed-point failure-rate sweep (Case Study #2) [-step N]
   table8    FLOPs vs measured cycles/energy (Case Study #3)
   fig5      relative-pose solver panels (Case Study #4) [-n N]
-  sweep     full characterization with the datapoint count
+  sweep     full characterization with the datapoint count [-j N]
   closedloop  Section VI-E demo: task-level metrics + compute bill`)
 }
 
@@ -110,24 +112,57 @@ func list() error {
 	return tw.Flush()
 }
 
+// reorderArgs rewrites a subcommand argument list so every flag (with
+// its value) precedes the positional arguments, letting one fs.Parse
+// accept "run madgwick -arch M33 -nocache" and "run -arch M33 madgwick"
+// alike. The old approach — re-parsing the FlagSet on its own leftover
+// args — silently dropped positionals after the first and double-set
+// already-seen flags. Boolean flags are recognized through the FlagSet
+// so "-nocache madgwick" does not swallow the kernel name as a value.
+func reorderArgs(fs *flag.FlagSet, args []string) []string {
+	var flags, pos []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a == "--" {
+			pos = append(pos, args[i+1:]...)
+			break
+		}
+		if len(a) < 2 || a[0] != '-' {
+			pos = append(pos, a)
+			continue
+		}
+		flags = append(flags, a)
+		name := strings.TrimLeft(a, "-")
+		if strings.Contains(name, "=") {
+			continue // -flag=value carries its own value
+		}
+		f := fs.Lookup(name)
+		boolFlag := false
+		if f != nil {
+			if bf, ok := f.Value.(interface{ IsBoolFlag() bool }); ok && bf.IsBoolFlag() {
+				boolFlag = true
+			}
+		}
+		if !boolFlag && i+1 < len(args) {
+			i++
+			flags = append(flags, args[i])
+		}
+	}
+	return append(flags, pos...)
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	arch := fs.String("arch", "M4", "target core: M0+, M4, M33, M7")
 	nocache := fs.Bool("nocache", false, "disable the I/D caches")
 	csvPath := fs.String("csv", "", "append the measurement to a CSV log")
-	if err := fs.Parse(args); err != nil {
+	if err := fs.Parse(reorderArgs(fs, args)); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
 		return fmt.Errorf("run needs a kernel name")
 	}
 	kernel := fs.Arg(0)
-	// Accept flags after the kernel name too (entobench run madgwick -arch M33).
-	if fs.NArg() > 1 {
-		if err := fs.Parse(fs.Args()[1:]); err != nil {
-			return err
-		}
-	}
 	res, err := ento.Run(kernel, *arch, !*nocache)
 	if err != nil {
 		return err
@@ -176,8 +211,13 @@ func closedLoop() error {
 	return tw.Flush()
 }
 
-func sweep() error {
-	c, err := report.RunCharacterization()
+func sweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	j := fs.Int("j", 0, "characterization worker goroutines (0 = GOMAXPROCS)")
+	if err := fs.Parse(reorderArgs(fs, args)); err != nil {
+		return err
+	}
+	c, err := report.RunCharacterizationWorkers(*j)
 	if err != nil {
 		return err
 	}

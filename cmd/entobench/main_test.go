@@ -1,0 +1,70 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func runFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.String("arch", "M4", "")
+	fs.Bool("nocache", false, "")
+	fs.String("csv", "", "")
+	return fs
+}
+
+func TestReorderArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []string
+		want []string
+	}{
+		{"kernel-first", []string{"madgwick", "-arch", "M33", "-nocache"},
+			[]string{"-arch", "M33", "-nocache", "madgwick"}},
+		{"flags-first", []string{"-arch", "M33", "-nocache", "madgwick"},
+			[]string{"-arch", "M33", "-nocache", "madgwick"}},
+		{"interleaved", []string{"-arch", "M33", "madgwick", "-nocache"},
+			[]string{"-arch", "M33", "-nocache", "madgwick"}},
+		{"equals-form", []string{"madgwick", "-arch=M7"},
+			[]string{"-arch=M7", "madgwick"}},
+		{"bool-then-kernel", []string{"-nocache", "madgwick"},
+			[]string{"-nocache", "madgwick"}},
+		{"double-dash-stops", []string{"-nocache", "--", "-weird-name"},
+			[]string{"-nocache", "-weird-name"}},
+		{"bare-kernel", []string{"madgwick"}, []string{"madgwick"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := reorderArgs(runFlagSet(), c.in)
+			if !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("reorderArgs(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+// End-to-end: one Parse must see both orderings identically.
+func TestRunFlagOrderings(t *testing.T) {
+	for _, args := range [][]string{
+		{"madgwick", "-arch", "M33", "-nocache"},
+		{"-arch", "M33", "-nocache", "madgwick"},
+		{"-arch", "M33", "madgwick", "-nocache"},
+	} {
+		fs := runFlagSet()
+		if err := fs.Parse(reorderArgs(fs, args)); err != nil {
+			t.Fatalf("parse %v: %v", args, err)
+		}
+		if fs.NArg() != 1 || fs.Arg(0) != "madgwick" {
+			t.Fatalf("args %v: positional = %v", args, fs.Args())
+		}
+		if fs.Lookup("arch").Value.String() != "M33" {
+			t.Fatalf("args %v: arch = %s", args, fs.Lookup("arch").Value.String())
+		}
+		if fs.Lookup("nocache").Value.String() != "true" {
+			t.Fatalf("args %v: nocache not set", args)
+		}
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	entoreport [-o EXPERIMENTS.md] [-fig5n 50] [-fig4step 2]
+//	entoreport [-o EXPERIMENTS.md] [-fig5n 50] [-fig4step 2] [-j N]
 package main
 
 import (
@@ -22,10 +22,11 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	fig5n := flag.Int("fig5n", 50, "problems per Fig 5 datapoint (paper: 1000)")
 	fig4step := flag.Int("fig4step", 2, "Fig 4 fraction-bit stride (1 = full sweep)")
+	j := flag.Int("j", 0, "characterization worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var buf bytes.Buffer
-	if err := generate(&buf, *fig5n, *fig4step); err != nil {
+	if err := generate(&buf, *fig5n, *fig4step, *j); err != nil {
 		fmt.Fprintln(os.Stderr, "entoreport:", err)
 		os.Exit(1)
 	}
@@ -39,14 +40,14 @@ func main() {
 	}
 }
 
-func generate(buf *bytes.Buffer, fig5n, fig4step int) error {
+func generate(buf *bytes.Buffer, fig5n, fig4step, workers int) error {
 	fmt.Fprintf(buf, "# EntoBench-Go experiment log\n\nGenerated %s by cmd/entoreport.\n\n",
 		time.Now().UTC().Format(time.RFC3339))
 	fmt.Fprintln(buf, "```")
 	ento.WriteTable5(buf)
 	fmt.Fprintln(buf, "```")
 
-	c, err := report.RunCharacterization()
+	c, err := report.RunCharacterizationWorkers(workers)
 	if err != nil {
 		return err
 	}

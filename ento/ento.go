@@ -109,6 +109,22 @@ func Characterize(kernel string) (Record, error) {
 	return core.Characterize(spec, mcu.TableIVSet())
 }
 
+// Characterization is the full Table III + IV dataset for the suite.
+type Characterization = report.Characterization
+
+// Sweep returns the full >400-datapoint suite characterization, fanning
+// the (kernel × arch × cache) cells across a worker pool of the given
+// size (workers <= 0 means GOMAXPROCS). The result is memoized per
+// process — repeated calls, and the table writers below, share one
+// sweep — and is identical for every worker count.
+func Sweep(workers int) (Characterization, error) {
+	return report.RunCharacterizationWorkers(workers)
+}
+
+// InvalidateSweep drops the process-level sweep memo so the next Sweep
+// or table writer recomputes it.
+func InvalidateSweep() { report.InvalidateCharacterization() }
+
 // Precision selectors for RunProblem.
 const (
 	PrecF32   = mcu.PrecF32

@@ -6,8 +6,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/harness"
 	"repro/internal/mcu"
 	"repro/internal/profile"
@@ -72,7 +70,9 @@ type ArchRun struct {
 }
 
 // Record is the full characterization of one kernel: static proxy mix,
-// dynamic counts, and per-cell metrics.
+// dynamic counts, and per-cell metrics. Dynamic, Valid, and ValidE come
+// from the record's reference cell — the first (arch, cache-on) run —
+// rather than from whichever cell happened to execute last.
 type Record struct {
 	Spec    Spec
 	Static  profile.Counts // canonical reduced-input mix (per-arch adjust applies)
@@ -84,42 +84,11 @@ type Record struct {
 }
 
 // Characterize measures a kernel across the given cores with caches on
-// and off — one row of Tables III and IV.
+// and off — one row of Tables III and IV. It is the single-kernel,
+// single-worker form of CharacterizeSuite.
 func Characterize(spec Spec, archs []mcu.Arch) (Record, error) {
-	rec := Record{Spec: spec}
-
-	// Static mix proxy from the reduced canonical problem.
-	sf := spec.StaticFactory
-	if sf == nil {
-		sf = spec.Factory
-	}
-	sp := sf()
-	if err := sp.Setup(); err != nil {
-		return rec, fmt.Errorf("core: static setup %s: %w", spec.Name, err)
-	}
-	rec.Static = compressStatic(profile.Collect(sp.Solve))
-	rec.Flash = mcu.FlashBytes(rec.Static)
-
-	for _, arch := range archs {
-		if spec.M7Only && arch.Name != "M7" {
-			continue
-		}
-		for _, cache := range []bool{true, false} {
-			cfg := harness.DefaultConfig()
-			cfg.CacheOn = cache
-			res, err := harness.Run(spec.Factory(), arch, spec.Prec, cfg)
-			if err != nil {
-				return rec, fmt.Errorf("core: run %s on %s: %w", spec.Name, arch.Name, err)
-			}
-			rec.Dynamic = res.Counts
-			rec.Valid = res.Valid
-			rec.ValidE = res.ValidErr
-			rec.Cells = append(rec.Cells, ArchRun{
-				Arch: arch, CacheOn: cache, Model: res.Model, Meas: res.Measured,
-			})
-		}
-	}
-	return rec, nil
+	recs, err := CharacterizeSuite([]Spec{spec}, archs, 1)
+	return recs[0], err
 }
 
 // compressStatic maps the reduced-input dynamic mix onto a

@@ -126,3 +126,64 @@ func TestFLOPClaimsPresent(t *testing.T) {
 		}
 	}
 }
+
+// The worker pool must be invisible in the data: suite records are
+// deeply identical for any worker count, and cells stay in serial
+// (arch-major, cache on/off) order.
+func TestCharacterizeSuiteDeterministicAcrossWorkers(t *testing.T) {
+	var specs []core.Spec
+	for _, name := range []string{"mahony", "madgwick", "fourati", "p3p"} {
+		spec, ok := core.ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		specs = append(specs, spec)
+	}
+	base, err := core.CharacterizeSuite(specs, mcu.TableIVSet(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := core.CharacterizeSuite(specs, mcu.TableIVSet(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if got[i].Spec.Name != base[i].Spec.Name {
+				t.Fatalf("workers=%d: record %d is %s, want %s", workers, i, got[i].Spec.Name, base[i].Spec.Name)
+			}
+			if got[i].Static != base[i].Static || got[i].Dynamic != base[i].Dynamic ||
+				got[i].Flash != base[i].Flash || got[i].Valid != base[i].Valid {
+				t.Errorf("workers=%d: %s record-level fields differ", workers, base[i].Spec.Name)
+			}
+			if len(got[i].Cells) != len(base[i].Cells) {
+				t.Fatalf("workers=%d: %s cell count %d vs %d", workers, base[i].Spec.Name, len(got[i].Cells), len(base[i].Cells))
+			}
+			for j := range base[i].Cells {
+				if got[i].Cells[j] != base[i].Cells[j] {
+					t.Errorf("workers=%d: %s cell %d differs", workers, base[i].Spec.Name, j)
+				}
+			}
+		}
+	}
+}
+
+// The reference cell — first arch, cache on — supplies Dynamic/Valid,
+// not whichever cell ran last.
+func TestCharacterizeReferenceCell(t *testing.T) {
+	spec, _ := core.ByName("mahony")
+	rec, err := core.Characterize(spec, mcu.TableIVSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Valid {
+		t.Fatalf("reference cell invalid: %v", rec.ValidE)
+	}
+	if rec.Dynamic.Total() == 0 {
+		t.Fatal("reference cell recorded no dynamic mix")
+	}
+	if rec.Cells[0].Arch.Name != "M4" || !rec.Cells[0].CacheOn {
+		t.Fatalf("reference cell is (%s, cache=%v), want (M4, cache on)",
+			rec.Cells[0].Arch.Name, rec.Cells[0].CacheOn)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/harness"
+	"repro/internal/mcu"
+	"repro/internal/profile"
+)
+
+// Parallel characterization engine. The (kernel × arch × cache) cells
+// of the Table III/IV sweep are independent — every job builds its own
+// problem instance from the spec factory, all dataset generators seed
+// local RNGs, and the profiler records into goroutine-scoped sessions —
+// so the sweep fans out across a bounded worker pool. Each *cell* stays
+// a single goroutine (a simulated MCU is single-core; its ROI must not
+// be split), so the parallelism is across cells only.
+//
+// Determinism: every job writes into a pre-assigned slot of the
+// pre-sized records slice, so the assembled output is identical — byte
+// for byte once rendered — for any worker count, including 1.
+
+// jobStatic marks a job as the per-kernel static-proxy run rather than
+// an (arch, cache) measurement cell.
+const jobStatic = -1
+
+// job is one unit of sweep work: either the static-proxy run of a
+// kernel (cell == jobStatic) or one (arch, cache) measurement cell.
+type job struct {
+	spec  int // index into the records slice
+	cell  int // index into Records[spec].Cells, or jobStatic
+	arch  mcu.Arch
+	cache bool
+	err   error
+}
+
+// CharacterizeSuite characterizes specs across archs using a bounded
+// worker pool and returns one Record per spec, in specs order, with
+// cells in the serial (arch-major, cache on/off) order. workers <= 0
+// means runtime.GOMAXPROCS(0). Output is identical for every worker
+// count.
+//
+// On failure the records are returned as far as they were assembled,
+// alongside the error of the earliest job (in serial execution order)
+// that failed; remaining jobs are abandoned best-effort.
+func CharacterizeSuite(specs []Spec, archs []mcu.Arch, workers int) ([]Record, error) {
+	records := make([]Record, len(specs))
+	var jobs []job
+	for i, spec := range specs {
+		records[i] = Record{Spec: spec}
+		jobs = append(jobs, job{spec: i, cell: jobStatic})
+		n := 0
+		for _, arch := range archs {
+			if spec.M7Only && arch.Name != "M7" {
+				continue
+			}
+			for _, cache := range []bool{true, false} {
+				jobs = append(jobs, job{spec: i, cell: n, arch: arch, cache: cache})
+				n++
+			}
+		}
+		records[i].Cells = make([]ArchRun, n)
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var failed atomic.Bool
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range idx {
+				if failed.Load() {
+					continue // fail fast; abandoned jobs keep err == nil
+				}
+				if err := runJob(records, &jobs[j]); err != nil {
+					jobs[j].err = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for j := range jobs {
+		idx <- j
+	}
+	close(idx)
+	wg.Wait()
+
+	// Report the earliest failure in serial job order so the error a
+	// caller sees does not depend on worker scheduling.
+	for _, j := range jobs {
+		if j.err != nil {
+			return records, j.err
+		}
+	}
+	return records, nil
+}
+
+// runJob executes one sweep job and writes its pre-assigned slot.
+func runJob(records []Record, j *job) error {
+	rec := &records[j.spec]
+	spec := rec.Spec
+	if j.cell == jobStatic {
+		sf := spec.StaticFactory
+		if sf == nil {
+			sf = spec.Factory
+		}
+		sp := sf()
+		if err := sp.Setup(); err != nil {
+			return fmt.Errorf("core: static setup %s: %w", spec.Name, err)
+		}
+		rec.Static = compressStatic(profile.Collect(sp.Solve))
+		rec.Flash = mcu.FlashBytes(rec.Static)
+		return nil
+	}
+	cfg := harness.DefaultConfig()
+	cfg.CacheOn = j.cache
+	res, err := harness.Run(spec.Factory(), j.arch, spec.Prec, cfg)
+	if err != nil {
+		return fmt.Errorf("core: run %s on %s: %w", spec.Name, j.arch.Name, err)
+	}
+	rec.Cells[j.cell] = ArchRun{Arch: j.arch, CacheOn: j.cache, Model: res.Model, Meas: res.Measured}
+	if j.cell == 0 {
+		// Reference cell: the first (arch, cache-on) run supplies the
+		// record-level dynamic mix and validation verdict. Counts and
+		// validity are arch-independent (the profiler counts the same
+		// deterministic Solve), so any cell would agree; designating one
+		// removes the historical last-write-wins ambiguity.
+		rec.Dynamic = res.Counts
+		rec.Valid = res.Valid
+		rec.ValidE = res.ValidErr
+	}
+	return nil
+}

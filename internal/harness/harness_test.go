@@ -169,3 +169,61 @@ func TestTraceEnergyPreservingBursts(t *testing.T) {
 		t.Error("peak below average")
 	}
 }
+
+// solveCounter wraps vvadd to count host-side Solve invocations.
+type solveCounter struct {
+	vvadd
+	solves int
+}
+
+func (s *solveCounter) Solve() { s.solves++; s.vvadd.Solve() }
+
+// MaxHostReps must bound host-executed ROI reps: warmup + the profiled
+// invocation + (MaxHostReps-1) validation reps, never the full modeled
+// rep count.
+func TestMaxHostRepsCapsHostExecution(t *testing.T) {
+	p := &solveCounter{vvadd: vvadd{n: 16}}
+	cfg := harness.DefaultConfig()
+	cfg.Reps = 1000
+	cfg.MaxHostReps = 5
+	res, err := harness.Run(p, mcu.M4, mcu.PrecF32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trace still models the full rep count...
+	if res.Measured.Reps != 1000 {
+		t.Errorf("measured reps = %d, want 1000", res.Measured.Reps)
+	}
+	// ...but the host only ran warmup(1) + profiled(1) + extra(4).
+	if want := cfg.Warmup + cfg.MaxHostReps; p.solves != want {
+		t.Errorf("host solves = %d, want %d", p.solves, want)
+	}
+}
+
+// The zero value keeps the historical default cap of 3 host reps, so a
+// hand-built Config{} cannot accidentally run thousands of host reps.
+func TestMaxHostRepsZeroMeansDefault(t *testing.T) {
+	p := &solveCounter{vvadd: vvadd{n: 16}}
+	cfg := harness.Config{Reps: 1000, Warmup: 1, CacheOn: true}
+	if _, err := harness.Run(p, mcu.M4, mcu.PrecF32, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + harness.DefaultMaxHostReps; p.solves != want {
+		t.Errorf("host solves = %d, want %d", p.solves, want)
+	}
+}
+
+// Negative MaxHostReps means uncapped: every modeled rep runs on the
+// host, as it would on the device.
+func TestMaxHostRepsNegativeUncaps(t *testing.T) {
+	p := &solveCounter{vvadd: vvadd{n: 64}}
+	cfg := harness.DefaultConfig()
+	cfg.Reps = 500
+	cfg.MaxHostReps = -1
+	if _, err := harness.Run(p, mcu.M4, mcu.PrecF32, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if want := cfg.Warmup + 500; p.solves != want {
+		t.Errorf("host solves = %d, want %d", p.solves, want)
+	}
+}

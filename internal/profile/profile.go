@@ -7,11 +7,15 @@
 // instrumentation; here it is recorded live by the instrumented scalar and
 // matrix layers while a kernel executes.
 //
-// The profiler is deliberately simple: a single active Counts record,
-// manipulated by Begin/End, with nil-checked increment fast paths so that
-// unprofiled execution costs one predictable branch per hook. Benchmark
-// execution is single-goroutine by design (an MCU has one core); the
-// profiler is not safe for concurrent use and does not try to be.
+// Records are goroutine-scoped: Begin/End/Collect attach a profiling
+// session to the calling goroutine (see session.go), so distinct
+// goroutines can profile concurrently without cross-talk — the property
+// the parallel characterization sweep builds on. Within one goroutine
+// the profiler keeps its original shape: a stack of active records with
+// cheap increment fast paths, and a single gate check per hook when no
+// profiling is active anywhere. One session still serves exactly one
+// goroutine (an MCU has one core, so a kernel ROI never spans
+// goroutines); goroutines spawned inside a ROI are not supported.
 package profile
 
 // Counts is one instruction-mix record: the number of floating-point,
@@ -51,69 +55,72 @@ func (c Counts) Scale(k float64) Counts {
 	}
 }
 
-// cur points at the active record, or is nil when profiling is off.
-var cur *Counts
-
-// Begin activates a fresh record and returns it. The returned pointer stays
-// live until End (or a subsequent Begin) and accumulates every hooked
-// operation executed in between.
+// Begin activates a fresh record on the calling goroutine and returns
+// it. The returned pointer stays live until the matching End and
+// accumulates every hooked operation the goroutine executes in between.
 func Begin() *Counts {
-	c := &Counts{}
-	cur = c
-	return c
+	return ensureSession().push(false)
 }
 
-// End deactivates profiling. The record returned by the matching Begin
-// retains its final values.
+// End deactivates the innermost record begun on the calling goroutine.
+// The record returned by the matching Begin retains its final values.
+// End without a matching Begin is a no-op.
 func End() {
-	cur = nil
+	s := current()
+	if s == nil {
+		return
+	}
+	if s.pop() {
+		s.drop()
+	}
 }
 
-// Active reports whether a profiling record is currently attached.
-func Active() bool { return cur != nil }
+// Active reports whether the calling goroutine has a profiling record
+// attached.
+func Active() bool { return current() != nil }
 
-// Collect runs fn with a fresh record active and returns the resulting
-// counts. Any previously active record is suspended for the duration and
-// then credited with fn's counts, so nested Collects compose additively.
+// Collect runs fn with a fresh record active on the calling goroutine
+// and returns the resulting counts. Any enclosing record is suspended
+// for the duration and then credited with fn's counts, so nested
+// Collects compose additively. Collects on distinct goroutines are
+// fully isolated from one another.
 func Collect(fn func()) Counts {
-	prev := cur
-	c := Counts{}
-	cur = &c
+	s := ensureSession()
+	rec := s.push(true)
 	defer func() {
-		cur = prev
-		if prev != nil {
-			prev.Add(c)
+		if s.pop() {
+			s.drop()
 		}
 	}()
 	fn()
-	return c
+	return *rec
 }
 
 // AddF records n floating-point operations.
 func AddF(n uint64) {
-	if cur != nil {
-		cur.F += n
+	if s := current(); s != nil {
+		s.top.F += n
 	}
 }
 
 // AddI records n integer operations.
 func AddI(n uint64) {
-	if cur != nil {
-		cur.I += n
+	if s := current(); s != nil {
+		s.top.I += n
 	}
 }
 
 // AddM records n memory operations.
 func AddM(n uint64) {
-	if cur != nil {
-		cur.M += n
+	if s := current(); s != nil {
+		s.top.M += n
 	}
 }
 
 // AddB records n branch operations.
 func AddB(n uint64) {
-	if cur != nil {
-		cur.B += n
+	if s := current(); s != nil {
+		s.top.B += n
 	}
 }
 
@@ -121,7 +128,7 @@ func AddB(n uint64) {
 // Kernels whose inner loops are modeled analytically (rather than hooked
 // op-by-op) use this to charge their cost in one call.
 func AddCounts(c Counts) {
-	if cur != nil {
-		cur.Add(c)
+	if s := current(); s != nil {
+		s.top.Add(c)
 	}
 }

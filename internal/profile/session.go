@@ -1,0 +1,189 @@
+package profile
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+	_ "unsafe" // go:linkname
+)
+
+// Goroutine-scoped profiling sessions.
+//
+// The hooks (AddF &c.) fire from deep inside the scalar and matrix
+// layers with no context value to thread a recorder through, so the
+// active record must be ambient — but a process-global record would
+// make concurrent harness runs cross-talk. Go offers no public
+// goroutine-local storage; what it does offer is goroutine-attached
+// pprof labels. A session therefore installs a unique label set on its
+// goroutine through the public runtime/pprof API (keeping the pointer
+// meaningful to the CPU profiler, which may dereference it as a label
+// map) and uses the raw label pointer — read via the runtime's own
+// push-linknamed accessor, one pointer load from the g struct — as the
+// key into a copy-on-write session registry.
+//
+// Costs, by path:
+//   - no session anywhere in the process: one atomic load per hook;
+//   - sessions elsewhere, none on this goroutine: plus one label read;
+//   - session on this goroutine: plus one registry lookup.
+// BenchmarkProfileHookOverhead (bench_test.go) tracks all three.
+//
+// A session belongs to exactly one goroutine. Goroutines spawned while
+// a session is active inherit the pprof labels and would race on the
+// record; each simulated MCU is single-core, so kernel ROIs must stay
+// single-goroutine (see DESIGN.md "Parallel sweep & caching").
+
+//go:linkname runtime_getProfLabel runtime/pprof.runtime_getProfLabel
+func runtime_getProfLabel() unsafe.Pointer
+
+//go:linkname runtime_setProfLabel runtime/pprof.runtime_setProfLabel
+func runtime_setProfLabel(p unsafe.Pointer)
+
+// sessionLabel is the pprof label key carried by profiling goroutines;
+// under `go test -cpuprofile` samples inside a ROI show up tagged with
+// the session id.
+const sessionLabel = "entobench.profile.session"
+
+// frame is one active record on a session's stack.
+type frame struct {
+	rec *Counts
+	// credit: fold this record into the enclosing one on pop, the
+	// additive composition of nested Collects.
+	credit bool
+}
+
+// session is the profiling state of one goroutine: a stack of active
+// records (top cached for the hook path) plus the label-pointer key
+// that locates it from a hook.
+type session struct {
+	key  unsafe.Pointer // goroutine's label pointer while the session lives
+	prev unsafe.Pointer // label pointer to restore when the session ends
+	top  *Counts        // stack's innermost record; invariant: non-nil while registered
+	stack []frame
+}
+
+var (
+	// sessionCount gates the hooks: zero means no session exists
+	// anywhere, so unprofiled execution pays one atomic load per hook.
+	sessionCount atomic.Int64
+	// sessions maps label pointer → session. Readers load the map
+	// lock-free; writers copy-on-write under sessionsMu (session
+	// creation and teardown are per characterization cell — rare).
+	sessions   atomic.Pointer[map[unsafe.Pointer]*session]
+	sessionsMu sync.Mutex
+	sessionSeq atomic.Uint64
+	// solo caches the session when exactly one is live — the serial
+	// sweep and any lone profiled goroutine. The hook path then
+	// resolves with a pointer compare instead of a map lookup, which
+	// profiling showed dominating sweep time. Maintained under
+	// sessionsMu; nil whenever the live count differs from one. A
+	// goroutine always finds its own session: a solo miss falls through
+	// to the registry map, and its own registration is ordered before
+	// any of its hooks.
+	solo atomic.Pointer[session]
+)
+
+// current returns the calling goroutine's session, or nil.
+func current() *session {
+	if sessionCount.Load() == 0 {
+		return nil
+	}
+	key := runtime_getProfLabel()
+	if key == nil {
+		return nil
+	}
+	if s := solo.Load(); s != nil && s.key == key {
+		return s
+	}
+	m := sessions.Load()
+	if m == nil {
+		return nil
+	}
+	return (*m)[key]
+}
+
+// ensureSession returns the calling goroutine's session, creating and
+// registering one if needed.
+func ensureSession() *session {
+	if s := current(); s != nil {
+		return s
+	}
+	s := &session{prev: runtime_getProfLabel()}
+	id := strconv.FormatUint(sessionSeq.Add(1), 10)
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels(sessionLabel, id)))
+	s.key = runtime_getProfLabel()
+
+	sessionsMu.Lock()
+	next := make(map[unsafe.Pointer]*session, sessionCount.Load()+1)
+	if old := sessions.Load(); old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[s.key] = s
+	sessions.Store(&next)
+	updateSolo(next)
+	sessionsMu.Unlock()
+	sessionCount.Add(1)
+	return s
+}
+
+// updateSolo refreshes the single-session fast-path cache; the caller
+// holds sessionsMu.
+func updateSolo(m map[unsafe.Pointer]*session) {
+	if len(m) == 1 {
+		for _, v := range m {
+			solo.Store(v)
+		}
+		return
+	}
+	solo.Store(nil)
+}
+
+// drop unregisters the session and restores the goroutine's previous
+// pprof labels. Must be called from the owning goroutine with an empty
+// stack.
+func (s *session) drop() {
+	sessionsMu.Lock()
+	next := make(map[unsafe.Pointer]*session, sessionCount.Load())
+	if old := sessions.Load(); old != nil {
+		for k, v := range *old {
+			if k != s.key {
+				next[k] = v
+			}
+		}
+	}
+	sessions.Store(&next)
+	updateSolo(next)
+	sessionsMu.Unlock()
+	sessionCount.Add(-1)
+	runtime_setProfLabel(s.prev)
+}
+
+// push activates a fresh record on top of the stack.
+func (s *session) push(credit bool) *Counts {
+	rec := &Counts{}
+	s.stack = append(s.stack, frame{rec: rec, credit: credit})
+	s.top = rec
+	return rec
+}
+
+// pop deactivates the innermost record, crediting the enclosing record
+// when the frame asks for it, and reports whether the stack is empty.
+func (s *session) pop() bool {
+	n := len(s.stack) - 1
+	f := s.stack[n]
+	s.stack = s.stack[:n]
+	if n == 0 {
+		s.top = nil
+		return true
+	}
+	s.top = s.stack[n-1].rec
+	if f.credit {
+		s.top.Add(*f.rec)
+	}
+	return false
+}

@@ -1,0 +1,136 @@
+package profile
+
+import (
+	"sync"
+	"testing"
+)
+
+// Sessions on distinct goroutines must not cross-talk: each goroutine
+// hammers its own Collect with a distinctive op mix and must get
+// exactly its own counts back, even with dozens of sessions live at
+// once. Run under -race this is also the data-race proof for the
+// parallel characterization engine.
+func TestConcurrentCollectIsolation(t *testing.T) {
+	const goroutines = 32
+	const iters = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				f := uint64(g + 1)
+				i := uint64(2*g + 1)
+				m := uint64(3*g + 1)
+				b := uint64(it + 1)
+				got := Collect(func() {
+					AddF(f)
+					AddI(i)
+					AddM(m)
+					AddB(b)
+					AddCounts(Counts{F: f})
+				})
+				want := Counts{F: 2 * f, I: i, M: m, B: b}
+				if got != want {
+					t.Errorf("goroutine %d iter %d: got %+v, want %+v", g, it, got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if sessionCount.Load() != 0 {
+		t.Fatalf("sessions leaked: %d still registered", sessionCount.Load())
+	}
+}
+
+// Nested Collects must stay additive inside each goroutine while many
+// goroutines nest concurrently.
+func TestConcurrentNestedCollect(t *testing.T) {
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := uint64(g + 1)
+			var inner Counts
+			outer := Collect(func() {
+				AddF(n)
+				inner = Collect(func() { AddI(4 * n) })
+				AddB(2 * n)
+			})
+			if inner != (Counts{I: 4 * n}) {
+				t.Errorf("goroutine %d: inner = %+v", g, inner)
+			}
+			if outer != (Counts{F: n, I: 4 * n, B: 2 * n}) {
+				t.Errorf("goroutine %d: outer = %+v", g, outer)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Hooks on a goroutine with no session must stay no-ops while other
+// goroutines are mid-session — the "profiling elsewhere" fast path.
+func TestHooksIgnoreOtherGoroutinesSessions(t *testing.T) {
+	start := make(chan struct{})
+	release := make(chan struct{})
+	var got Counts
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got = Collect(func() {
+			AddF(7)
+			close(start)
+			<-release
+		})
+	}()
+	<-start
+	// This goroutine has no session: nothing may land anywhere.
+	AddF(100)
+	AddI(100)
+	if Active() {
+		t.Error("Active() true on a goroutine with no session")
+	}
+	close(release)
+	wg.Wait()
+	if got != (Counts{F: 7}) {
+		t.Fatalf("foreign hooks leaked into session: %+v", got)
+	}
+}
+
+// Begin/End sessions must release their registry entry so the global
+// hook gate returns to its zero fast path.
+func TestBeginEndReleasesSession(t *testing.T) {
+	before := sessionCount.Load()
+	rec := Begin()
+	AddM(3)
+	End()
+	if rec.M != 3 {
+		t.Fatalf("rec.M = %d, want 3", rec.M)
+	}
+	if sessionCount.Load() != before {
+		t.Fatalf("session count %d, want %d", sessionCount.Load(), before)
+	}
+}
+
+// A panic inside Collect must still unwind the session.
+func TestCollectUnwindsOnPanic(t *testing.T) {
+	before := sessionCount.Load()
+	func() {
+		defer func() { _ = recover() }()
+		Collect(func() { panic("kernel exploded") })
+	}()
+	if sessionCount.Load() != before {
+		t.Fatalf("session leaked across panic: %d vs %d", sessionCount.Load(), before)
+	}
+	if Active() {
+		t.Fatal("Active() true after panicked Collect")
+	}
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mcu"
+)
+
+// Shared characterization cache. The full suite sweep is the most
+// expensive computation in the repo and its result is deterministic, so
+// every consumer in one process — table3, table4, sweep, the ento
+// wrappers, the experiment writer — shares a single memoized run
+// instead of re-sweeping per table. The first caller pays; concurrent
+// callers block on the same run rather than duplicating it.
+var sweepCache struct {
+	mu   sync.Mutex
+	done bool
+	c    Characterization
+	err  error
+}
+
+// RunCharacterization returns the full Table III/IV suite sweep,
+// computing it at most once per process with the default worker count
+// (GOMAXPROCS). Callers must treat the shared records as read-only.
+func RunCharacterization() (Characterization, error) {
+	return RunCharacterizationWorkers(0)
+}
+
+// RunCharacterizationWorkers is RunCharacterization with an explicit
+// worker-pool size for the first (cache-filling) run; workers <= 0
+// means GOMAXPROCS. The worker count never changes the result (see
+// core.CharacterizeSuite), so later callers share the cached sweep
+// regardless of the count they ask for.
+func RunCharacterizationWorkers(workers int) (Characterization, error) {
+	sweepCache.mu.Lock()
+	defer sweepCache.mu.Unlock()
+	if !sweepCache.done {
+		sweepCache.c, sweepCache.err = RunCharacterizationUncached(workers)
+		sweepCache.done = true
+	}
+	return sweepCache.c, sweepCache.err
+}
+
+// RunCharacterizationUncached always recomputes the sweep, bypassing
+// and leaving untouched the process cache. Benchmarks and determinism
+// tests use it; everything else should go through RunCharacterization.
+func RunCharacterizationUncached(workers int) (Characterization, error) {
+	recs, err := core.CharacterizeSuite(core.Suite(), mcu.TableIVSet(), workers)
+	return Characterization{Records: recs}, err
+}
+
+// InvalidateCharacterization drops the cached sweep so the next
+// RunCharacterization recomputes it — the explicit invalidation hook
+// for tests and for callers that mutate the modeled cost parameters.
+func InvalidateCharacterization() {
+	sweepCache.mu.Lock()
+	sweepCache.done = false
+	sweepCache.c = Characterization{}
+	sweepCache.err = nil
+	sweepCache.mu.Unlock()
+}

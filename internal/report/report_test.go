@@ -273,3 +273,63 @@ func TestCS4Shapes(t *testing.T) {
 		t.Error("Fig 5 output missing up3pt")
 	}
 }
+
+// The parallel engine must be invisible in the output: the rendered
+// tables are byte-identical for serial and parallel sweeps across
+// worker counts (the issue's -j 1/2/8 matrix).
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	render := func(c report.Characterization) string {
+		var buf bytes.Buffer
+		c.WriteTable3(&buf)
+		c.WriteTable4(&buf)
+		return buf.String()
+	}
+	base, err := report.RunCharacterizationUncached(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(base)
+	for _, workers := range []int{2, 8} {
+		c, err := report.RunCharacterizationUncached(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := render(c); got != want {
+			t.Fatalf("-j %d output differs from serial sweep", workers)
+		}
+		if c.Datapoints() != base.Datapoints() {
+			t.Fatalf("-j %d datapoints = %d, serial = %d", workers, c.Datapoints(), base.Datapoints())
+		}
+	}
+}
+
+// One process pays for one sweep: repeated RunCharacterization calls
+// must share the memoized records until explicitly invalidated.
+func TestSweepCacheMemoizes(t *testing.T) {
+	a, err := report.RunCharacterization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := report.RunCharacterizationWorkers(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) == 0 || &a.Records[0] != &b.Records[0] {
+		t.Fatal("second call did not reuse the cached sweep records")
+	}
+	report.InvalidateCharacterization()
+	c, err := report.RunCharacterization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &c.Records[0] == &a.Records[0] {
+		t.Fatal("invalidation did not force a fresh sweep")
+	}
+	// The fresh sweep still agrees with the old one.
+	var wasBuf, nowBuf bytes.Buffer
+	a.WriteTable4(&wasBuf)
+	c.WriteTable4(&nowBuf)
+	if wasBuf.String() != nowBuf.String() {
+		t.Fatal("re-swept Table IV differs from the cached one")
+	}
+}

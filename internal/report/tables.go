@@ -14,20 +14,10 @@ type Characterization struct {
 	Records []core.Record
 }
 
-// RunCharacterization characterizes the entire suite on the Table IV
-// cores. This is the "more than 400 measured datapoints" sweep: every
-// kernel × {M4, M33, M7} × {cache on, off} plus the static proxy runs.
-func RunCharacterization() (Characterization, error) {
-	var out Characterization
-	for _, spec := range core.Suite() {
-		rec, err := core.Characterize(spec, mcu.TableIVSet())
-		if err != nil {
-			return out, err
-		}
-		out.Records = append(out.Records, rec)
-	}
-	return out, nil
-}
+// The "more than 400 measured datapoints" sweep — every kernel × {M4,
+// M33, M7} × {cache on, off} plus the static proxy runs — lives in
+// cache.go: RunCharacterization memoizes it per process and fans the
+// cells across a worker pool (core.CharacterizeSuite).
 
 // Datapoints counts the measurement cells in the sweep.
 func (c Characterization) Datapoints() int {
