@@ -1,16 +1,23 @@
 // Command entobench is the suite's command-line front end: list
-// kernels, run individual benchmarks, and regenerate every table and
-// figure of the paper from the live suite.
+// kernels, run individual benchmarks, regenerate every table and figure
+// of the paper from the live suite, and export the full
+// characterization in machine-readable form.
 //
 // Usage:
 //
 //	entobench list                 # kernels with stage/category/dataset
 //	entobench archs                # Table V
-//	entobench run <kernel> [-arch M4] [-nocache]
+//	entobench run <kernel> [-arch M4] [-nocache] [-csv FILE]
 //	entobench table3 | table4 | table5 | table6 | table7 | table8
 //	entobench fig3 | fig4 [-step N] | fig5 [-n N]
-//	entobench sweep [-j N]         # the full >400-datapoint characterization,
+//	entobench sweep [-j N] [-json] [-trace FILE] [-progress]
+//	                               # the full >400-datapoint characterization,
 //	                               # fanned across N worker goroutines
+//	entobench closedloop           # Section VI-E task-level demo
+//
+// The command table below (var commands) is the single source of truth
+// for the usage text and the README command reference; a test keeps all
+// three in sync.
 package main
 
 import (
@@ -21,79 +28,108 @@ import (
 	"text/tabwriter"
 
 	"repro/ento"
+	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
+
+// command is one entobench subcommand: its spelling(s), the synopsis of
+// its arguments and flags, a one-line summary, and the implementation.
+type command struct {
+	name    string
+	aliases []string
+	args    string // argument/flag synopsis, "" when the command takes none
+	summary string
+	run     func(args []string) error
+}
+
+// commands drives the dispatch switch-equivalent, the usage text, and
+// the README command reference (TestUsageListsEveryCommand).
+var commands = []command{
+	{name: "list", summary: "kernels in the suite (stage, category, dataset)",
+		run: func([]string) error { return list() }},
+	{name: "archs", aliases: []string{"table5"}, summary: "modeled Cortex-M cores (Table V)",
+		run: func([]string) error { ento.WriteTable5(os.Stdout); return nil }},
+	{name: "run", args: "<kernel> [-arch M4] [-nocache] [-csv FILE]",
+		summary: "run one kernel through the full measurement pipeline",
+		run:     run},
+	{name: "table3", summary: "static metrics for the whole suite",
+		run: func([]string) error { return ento.WriteTable3(os.Stdout) }},
+	{name: "table4", summary: "dynamic metrics for the whole suite",
+		run: func([]string) error { return ento.WriteTable4(os.Stdout) }},
+	{name: "table6", summary: "perception energy/peak power across datasets (Case Study #1)",
+		run: func([]string) error { return ento.WriteTable6(os.Stdout) }},
+	{name: "fig3", summary: "perception cycle-count series (Case Study #1)",
+		run: func([]string) error { return ento.WriteFig3(os.Stdout) }},
+	{name: "table7", summary: "attitude filter precision/energy (Case Study #2)",
+		run: func([]string) error { ento.WriteTable7(os.Stdout); return nil }},
+	{name: "fig4", args: "[-step N]", summary: "fixed-point failure-rate sweep (Case Study #2)",
+		run: fig4},
+	{name: "table8", summary: "FLOPs vs measured cycles/energy (Case Study #3)",
+		run: func([]string) error { return ento.WriteTable8(os.Stdout) }},
+	{name: "fig5", args: "[-n N]", summary: "relative-pose solver panels (Case Study #4)",
+		run: fig5},
+	{name: "sweep", args: "[-j N] [-json] [-trace FILE] [-progress]",
+		summary: "full characterization with the datapoint count",
+		run:     sweep},
+	{name: "closedloop", summary: "Section VI-E demo: task-level metrics + compute bill",
+		run: func([]string) error { return closedLoop() }},
+}
+
+// lookup resolves a command by name or alias.
+func lookup(name string) (command, bool) {
+	for _, c := range commands {
+		if c.name == name {
+			return c, true
+		}
+		for _, a := range c.aliases {
+			if a == name {
+				return c, true
+			}
+		}
+	}
+	return command{}, false
+}
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
-	cmd := os.Args[1]
-	args := os.Args[2:]
-	var err error
-	switch cmd {
-	case "list":
-		err = list()
-	case "archs", "table5":
-		ento.WriteTable5(os.Stdout)
-	case "run":
-		err = run(args)
-	case "table3":
-		err = ento.WriteTable3(os.Stdout)
-	case "table4":
-		err = ento.WriteTable4(os.Stdout)
-	case "table6":
-		err = ento.WriteTable6(os.Stdout)
-	case "fig3":
-		err = ento.WriteFig3(os.Stdout)
-	case "table7":
-		ento.WriteTable7(os.Stdout)
-	case "fig4":
-		fs := flag.NewFlagSet("fig4", flag.ExitOnError)
-		step := fs.Int("step", 2, "fraction-bit stride of the sweep (1 = full)")
-		_ = fs.Parse(args)
-		ento.WriteFig4(os.Stdout, *step)
-	case "table8":
-		err = ento.WriteTable8(os.Stdout)
-	case "fig5":
-		fs := flag.NewFlagSet("fig5", flag.ExitOnError)
-		n := fs.Int("n", 50, "synthetic problems per datapoint (paper: 1000)")
-		_ = fs.Parse(args)
-		err = ento.WriteFig5(os.Stdout, *n)
-	case "sweep":
-		err = sweep(args)
-	case "closedloop":
-		err = closedLoop()
-	default:
+	cmd, ok := lookup(os.Args[1])
+	if !ok {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
+	if err := cmd.run(os.Args[2:]); err != nil {
 		fmt.Fprintln(os.Stderr, "entobench:", err)
 		os.Exit(1)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: entobench <command>
+// usageText renders the command reference from the table.
+func usageText() string {
+	var b strings.Builder
+	b.WriteString("usage: entobench <command>\n\ncommands:\n")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	for _, c := range commands {
+		name := c.name
+		if len(c.aliases) > 0 {
+			name += " (" + strings.Join(c.aliases, ", ") + ")"
+		}
+		if c.args != "" {
+			name += " " + c.args
+		}
+		fmt.Fprintf(tw, "  %s\t%s\n", name, c.summary)
+	}
+	tw.Flush()
+	return b.String()
+}
 
-commands:
-  list      kernels in the suite (stage, category, dataset)
-  archs     modeled Cortex-M cores (Table V)
-  run       run one kernel: entobench run <kernel> [-arch M4] [-nocache]
-  table3    static metrics for the whole suite
-  table4    dynamic metrics for the whole suite
-  table6    perception energy/peak power across datasets (Case Study #1)
-  fig3      perception cycle-count series (Case Study #1)
-  table7    attitude filter precision/energy (Case Study #2)
-  fig4      fixed-point failure-rate sweep (Case Study #2) [-step N]
-  table8    FLOPs vs measured cycles/energy (Case Study #3)
-  fig5      relative-pose solver panels (Case Study #4) [-n N]
-  sweep     full characterization with the datapoint count [-j N]
-  closedloop  Section VI-E demo: task-level metrics + compute bill`)
+func usage() {
+	fmt.Fprint(os.Stderr, usageText())
 }
 
 func list() error {
@@ -194,6 +230,25 @@ func run(args []string) error {
 	return nil
 }
 
+func fig4(args []string) error {
+	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
+	step := fs.Int("step", 2, "fraction-bit stride of the sweep (1 = full)")
+	if err := fs.Parse(reorderArgs(fs, args)); err != nil {
+		return err
+	}
+	ento.WriteFig4(os.Stdout, *step)
+	return nil
+}
+
+func fig5(args []string) error {
+	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	n := fs.Int("n", 50, "synthetic problems per datapoint (paper: 1000)")
+	if err := fs.Parse(reorderArgs(fs, args)); err != nil {
+		return err
+	}
+	return ento.WriteFig5(os.Stdout, *n)
+}
+
 func closedLoop() error {
 	fmt.Println("Closed-loop hover-square mission (Section VI-E roadmap)")
 	fmt.Println()
@@ -211,19 +266,69 @@ func closedLoop() error {
 	return tw.Flush()
 }
 
+// sweep runs the full characterization. -json swaps the human tables on
+// stdout for the versioned JSON export; -trace additionally writes a
+// Chrome trace_event file of the run; -progress keeps a live status
+// line on stderr (never stdout, so piped output stays clean).
 func sweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	j := fs.Int("j", 0, "characterization worker goroutines (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit the versioned JSON export instead of tables")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON file of the sweep")
+	progress := fs.Bool("progress", false, "live progress line on stderr")
 	if err := fs.Parse(reorderArgs(fs, args)); err != nil {
 		return err
 	}
-	c, err := report.RunCharacterizationWorkers(*j)
+
+	opts := core.SweepOptions{Workers: *j}
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.NewProgress(os.Stderr, "sweep")
+		opts.Progress = prog.Update
+	}
+	if *tracePath != "" {
+		obs.StartTrace()
+	}
+	c, err := report.RunCharacterizationOpts(opts)
+	if prog != nil {
+		prog.Done()
+	}
+	if *tracePath != "" {
+		if terr := writeTrace(*tracePath); terr != nil && err == nil {
+			err = terr
+		}
+	}
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return c.WriteJSON(os.Stdout)
 	}
 	c.WriteTable3(os.Stdout)
 	fmt.Println()
 	c.WriteTable4(os.Stdout)
 	fmt.Printf("\nTotal measured datapoints: %d (paper: >400)\n", c.Datapoints())
+	return nil
+}
+
+// writeTrace stops the active trace and saves it as a chrome://tracing
+// loadable file.
+func writeTrace(path string) error {
+	tr := obs.StopTrace()
+	if tr == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", len(tr.Spans), path)
 	return nil
 }

@@ -3,7 +3,9 @@ package main
 import (
 	"flag"
 	"io"
+	"os"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -66,5 +68,97 @@ func TestRunFlagOrderings(t *testing.T) {
 		if fs.Lookup("nocache").Value.String() != "true" {
 			t.Fatalf("args %v: nocache not set", args)
 		}
+	}
+}
+
+// TestUsageListsEveryCommand keeps the three command references in
+// sync: the commands table (source of truth), the generated usage
+// text, and the README "Command reference" table. Adding a command or
+// flag to the table without updating the README fails here; editing
+// the README without the table fails the row count.
+func TestUsageListsEveryCommand(t *testing.T) {
+	text := usageText()
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scope to the Command reference section: other README tables use
+	// the same row shape.
+	section := string(readme)
+	if i := strings.Index(section, "## Command reference"); i >= 0 {
+		section = section[i:]
+	} else {
+		t.Fatal("README lost its Command reference section")
+	}
+	if j := strings.Index(section[1:], "\n## "); j >= 0 {
+		section = section[:j+1]
+	}
+	lines := strings.Split(section, "\n")
+
+	readmeRow := func(name string) (string, bool) {
+		prefix := "| `" + name + "`"
+		for _, l := range lines {
+			if strings.HasPrefix(l, prefix) {
+				return l, true
+			}
+		}
+		return "", false
+	}
+
+	for _, c := range commands {
+		if c.run == nil {
+			t.Errorf("%s: nil run func", c.name)
+		}
+		if got, ok := lookup(c.name); !ok || got.name != c.name {
+			t.Errorf("lookup(%q) failed", c.name)
+		}
+		for _, a := range c.aliases {
+			if got, ok := lookup(a); !ok || got.name != c.name {
+				t.Errorf("alias %q does not resolve to %q", a, c.name)
+			}
+		}
+
+		if !strings.Contains(text, c.name) {
+			t.Errorf("usage text missing command %q", c.name)
+		}
+		if !strings.Contains(text, c.summary) {
+			t.Errorf("usage text missing summary for %q", c.name)
+		}
+		if c.args != "" && !strings.Contains(text, c.args) {
+			t.Errorf("usage text missing argument synopsis for %q", c.name)
+		}
+
+		row, ok := readmeRow(c.name)
+		if !ok {
+			t.Errorf("README command reference missing a row for %q", c.name)
+			continue
+		}
+		if !strings.Contains(row, c.summary) {
+			t.Errorf("README row for %q lost its summary:\n%s", c.name, row)
+		}
+		if c.args != "" && !strings.Contains(row, "`"+c.args+"`") {
+			t.Errorf("README row for %q out of sync with its flags (want %q):\n%s",
+				c.name, c.args, row)
+		}
+		for _, a := range c.aliases {
+			if !strings.Contains(row, "`"+a+"`") {
+				t.Errorf("README row for %q does not mention alias %q:\n%s", c.name, a, row)
+			}
+		}
+	}
+
+	// No stale rows: exactly one row per command.
+	var rows int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "| `") {
+			rows++
+		}
+	}
+	if rows != len(commands) {
+		t.Errorf("README has %d command rows, command table has %d", rows, len(commands))
+	}
+
+	if _, ok := lookup("no-such-command"); ok {
+		t.Error("lookup accepted an unknown command")
 	}
 }

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	entoreport [-o EXPERIMENTS.md] [-fig5n 50] [-fig4step 2] [-j N]
+//	entoreport [-o EXPERIMENTS.md] [-fig5n 50] [-fig4step 2] [-j N] [-json FILE]
+//
+// -json additionally saves the machine-readable characterization export
+// (the same sweep the report renders as Tables III/IV) to FILE — the
+// BENCH_*.json artifacts perf-trajectory tooling diffs across commits;
+// see docs/observability.md for the schema.
 package main
 
 import (
@@ -23,12 +28,19 @@ func main() {
 	fig5n := flag.Int("fig5n", 50, "problems per Fig 5 datapoint (paper: 1000)")
 	fig4step := flag.Int("fig4step", 2, "Fig 4 fraction-bit stride (1 = full sweep)")
 	j := flag.Int("j", 0, "characterization worker goroutines (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "also write the characterization JSON export to this file")
 	flag.Parse()
 
 	var buf bytes.Buffer
 	if err := generate(&buf, *fig5n, *fig4step, *j); err != nil {
 		fmt.Fprintln(os.Stderr, "entoreport:", err)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "entoreport:", err)
+			os.Exit(1)
+		}
 	}
 	if *out == "" {
 		os.Stdout.Write(buf.Bytes())
@@ -38,6 +50,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "entoreport:", err)
 		os.Exit(1)
 	}
+}
+
+// writeJSON saves the characterization export. The sweep is memoized
+// per process, so this reuses the run generate already paid for.
+func writeJSON(path string) error {
+	c, err := report.RunCharacterization()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func generate(buf *bytes.Buffer, fig5n, fig4step, workers int) error {

@@ -125,6 +125,21 @@ func Sweep(workers int) (Characterization, error) {
 // or table writer recomputes it.
 func InvalidateSweep() { report.InvalidateCharacterization() }
 
+// WriteJSON runs (or reuses) the full suite sweep and writes it as the
+// versioned, schema-stable JSON export — the machine-readable
+// counterpart of WriteTable3/WriteTable4, and the format cross-run perf
+// tooling diffs (see docs/observability.md for the schema and its
+// compatibility promise). The bytes are deterministic: identical for
+// any worker count and byte-stable under an unmarshal/re-marshal round
+// trip.
+func WriteJSON(w io.Writer) error {
+	c, err := report.RunCharacterization()
+	if err != nil {
+		return err
+	}
+	return c.WriteJSON(w)
+}
+
 // Precision selectors for RunProblem.
 const (
 	PrecF32   = mcu.PrecF32

@@ -3,6 +3,7 @@ package ento_test
 import (
 	"bytes"
 	"errors"
+	"repro/internal/report"
 	"strings"
 	"testing"
 
@@ -118,5 +119,25 @@ func TestWriteTable7(t *testing.T) {
 	ento.WriteTable7(&buf)
 	if !strings.Contains(buf.String(), "q7.24") {
 		t.Error("Table VII missing the fixed-point rows")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ento.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := report.ReadJSONReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ento.WriteJSON output does not parse back: %v", err)
+	}
+	if rep.Schema != report.JSONSchema || rep.Version != report.JSONVersion {
+		t.Fatalf("envelope = %s v%d", rep.Schema, rep.Version)
+	}
+	if len(rep.Kernels) != len(ento.Suite()) {
+		t.Fatalf("exported %d kernels, suite has %d", len(rep.Kernels), len(ento.Suite()))
+	}
+	if rep.Datapoints == 0 {
+		t.Fatal("datapoint count missing")
 	}
 }

@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/mcu"
+	"repro/internal/obs"
 	"repro/internal/profile"
 )
 
@@ -22,6 +24,14 @@ import (
 // Determinism: every job writes into a pre-assigned slot of the
 // pre-sized records slice, so the assembled output is identical — byte
 // for byte once rendered — for any worker count, including 1.
+//
+// Observability: when a trace is active (obs.StartTrace) every job
+// emits an obs span — sweep.static or sweep.cell — on its worker's lane
+// with the kernel/arch/cache identity and its queue wait (time between
+// sweep start, when all jobs are ready, and job pickup); the whole call
+// emits one sweep span on lane 0. Tracing off costs one atomic load per
+// job. SweepOptions.Progress, when set, is invoked after every finished
+// job; docs/observability.md is the reference for the span vocabulary.
 
 // jobStatic marks a job as the per-kernel static-proxy run rather than
 // an (arch, cache) measurement cell.
@@ -37,6 +47,19 @@ type job struct {
 	err   error
 }
 
+// SweepOptions configures a characterization sweep beyond the specs and
+// architectures themselves. The zero value is the default sweep.
+type SweepOptions struct {
+	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0). The
+	// worker count never changes the assembled records.
+	Workers int
+	// Progress, when non-nil, is called after every finished job with
+	// the number of completed jobs and the total. It is invoked
+	// concurrently from pool workers and must be goroutine-safe
+	// ((*obs.Progress).Update qualifies).
+	Progress func(done, total int)
+}
+
 // CharacterizeSuite characterizes specs across archs using a bounded
 // worker pool and returns one Record per spec, in specs order, with
 // cells in the serial (arch-major, cache on/off) order. workers <= 0
@@ -47,6 +70,12 @@ type job struct {
 // alongside the error of the earliest job (in serial execution order)
 // that failed; remaining jobs are abandoned best-effort.
 func CharacterizeSuite(specs []Spec, archs []mcu.Arch, workers int) ([]Record, error) {
+	return CharacterizeSuiteOpts(specs, archs, SweepOptions{Workers: workers})
+}
+
+// CharacterizeSuiteOpts is CharacterizeSuite with full sweep options.
+func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([]Record, error) {
+	sweepStart := time.Now()
 	records := make([]Record, len(specs))
 	var jobs []job
 	for i, spec := range specs {
@@ -65,6 +94,7 @@ func CharacterizeSuite(specs []Spec, archs []mcu.Arch, workers int) ([]Record, e
 		records[i].Cells = make([]ArchRun, n)
 	}
 
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -73,28 +103,49 @@ func CharacterizeSuite(specs []Spec, archs []mcu.Arch, workers int) ([]Record, e
 	}
 
 	var failed atomic.Bool
+	var done atomic.Int64
+	total := len(jobs)
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for j := range idx {
 				if failed.Load() {
 					continue // fail fast; abandoned jobs keep err == nil
 				}
-				if err := runJob(records, &jobs[j]); err != nil {
+				if obs.TraceEnabled() {
+					start := time.Now()
+					err := runJob(records, &jobs[j])
+					recordJobSpan(&jobs[j], records, start, sweepStart, lane)
+					if err != nil {
+						jobs[j].err = err
+						failed.Store(true)
+					}
+				} else if err := runJob(records, &jobs[j]); err != nil {
 					jobs[j].err = err
 					failed.Store(true)
 				}
+				if opts.Progress != nil {
+					opts.Progress(int(done.Add(1)), total)
+				} else {
+					done.Add(1)
+				}
 			}
-		}()
+		}(w + 1)
 	}
 	for j := range jobs {
 		idx <- j
 	}
 	close(idx)
 	wg.Wait()
+	if obs.TraceEnabled() {
+		obs.RecordSpan(obs.SpanSweep, sweepStart, time.Now(), 0,
+			obs.Arg{Key: "kernels", Val: fmt.Sprint(len(specs))},
+			obs.Arg{Key: "jobs", Val: fmt.Sprint(total)},
+			obs.Arg{Key: "workers", Val: fmt.Sprint(workers)})
+	}
 
 	// Report the earliest failure in serial job order so the error a
 	// caller sees does not depend on worker scheduling.
@@ -104,6 +155,31 @@ func CharacterizeSuite(specs []Spec, archs []mcu.Arch, workers int) ([]Record, e
 		}
 	}
 	return records, nil
+}
+
+// recordJobSpan emits the sweep.static / sweep.cell span of one
+// executed job on the given worker lane. Queue wait is the time the job
+// sat ready before pickup: all jobs exist when the sweep starts, so it
+// is measured from the sweep start to the job's execution start.
+func recordJobSpan(j *job, records []Record, start, sweepStart time.Time, lane int) {
+	end := time.Now()
+	queueUS := fmt.Sprintf("%.1f", float64(start.Sub(sweepStart).Microseconds()))
+	kernel := records[j.spec].Spec.Name
+	if j.cell == jobStatic {
+		obs.RecordSpan(obs.SpanSweepStatic, start, end, lane,
+			obs.Arg{Key: "kernel", Val: kernel},
+			obs.Arg{Key: "queue_wait_us", Val: queueUS})
+		return
+	}
+	cache := "off"
+	if j.cache {
+		cache = "on"
+	}
+	obs.RecordSpan(obs.SpanSweepCell, start, end, lane,
+		obs.Arg{Key: "kernel", Val: kernel},
+		obs.Arg{Key: "arch", Val: j.arch.Name},
+		obs.Arg{Key: "cache", Val: cache},
+		obs.Arg{Key: "queue_wait_us", Val: queueUS})
 }
 
 // runJob executes one sweep job and writes its pre-assigned slot.

@@ -11,7 +11,18 @@ import (
 	"fmt"
 
 	"repro/internal/mcu"
+	"repro/internal/obs"
 	"repro/internal/profile"
+)
+
+// Harness-level observability counters (docs/observability.md).
+var (
+	// ctrRuns counts complete measurement runs.
+	ctrRuns = obs.NewCounter(obs.CounterHarnessRuns)
+	// ctrHostReps counts ROI Solve invocations the host actually
+	// executed — the profiled rep plus the validation reps — as opposed
+	// to the analytically scaled rep count the trace reports.
+	ctrHostReps = obs.NewCounter(obs.CounterHarnessHostReps)
 )
 
 // Problem mirrors the paper's EntoProblem interface: how inputs are
@@ -103,6 +114,7 @@ type Result struct {
 // setup → warm-up → ROI (profiled reps) → model → trace synthesis →
 // trace analysis → validation.
 func Run(p Problem, arch mcu.Arch, prec mcu.Precision, cfg Config) (Result, error) {
+	ctrRuns.Inc()
 	res := Result{Kernel: p.Name(), Arch: arch, Precision: prec, CacheOn: cfg.CacheOn}
 	if err := p.Setup(); err != nil {
 		return res, fmt.Errorf("harness: setup %s: %w", p.Name(), err)
@@ -143,6 +155,7 @@ func Run(p Problem, arch mcu.Arch, prec mcu.Precision, cfg Config) (Result, erro
 	for i := 0; i < extra; i++ {
 		p.Solve()
 	}
+	ctrHostReps.Add(uint64(1 + extra)) // the profiled rep + validation reps
 
 	// Synthesize the measurement traces and run the analysis pipeline.
 	trace, events := SynthesizeTrace(res.Model, arch, cfg.CacheOn, reps, int64(len(p.Name())))

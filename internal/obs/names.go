@@ -1,0 +1,58 @@
+package obs
+
+// Canonical span and counter names. This file is the single source of
+// truth for the observable surface: NewCounter refuses names missing
+// from AllCounters, and the docs-sync test asserts that
+// docs/observability.md documents exactly these names.
+
+// Span names emitted by the sweep engine.
+const (
+	// SpanSweep covers one whole CharacterizeSuite call, coordinator
+	// goroutine (tid 0), from job construction to record assembly.
+	SpanSweep = "sweep"
+	// SpanSweepStatic is one per-kernel static-proxy job.
+	SpanSweepStatic = "sweep.static"
+	// SpanSweepCell is one (kernel, arch, cache) measurement cell.
+	SpanSweepCell = "sweep.cell"
+)
+
+// Counter names.
+const (
+	// CounterSweepCacheHit counts calls served by the memoized
+	// process-level sweep (report.RunCharacterization and friends).
+	CounterSweepCacheHit = "sweep.cache.hit"
+	// CounterSweepCacheMiss counts cache-filling sweep runs.
+	CounterSweepCacheMiss = "sweep.cache.miss"
+	// CounterProfileSessions counts goroutine-scoped profiling sessions
+	// created (profile.ensureSession).
+	CounterProfileSessions = "profile.sessions.created"
+	// CounterHarnessRuns counts full harness measurement runs
+	// (harness.Run calls).
+	CounterHarnessRuns = "harness.runs"
+	// CounterHarnessHostReps counts kernel Solve invocations the host
+	// actually executed inside ROIs (profiled + validation reps; the
+	// analytically scaled reps are not executed and not counted).
+	CounterHarnessHostReps = "harness.reps.host"
+)
+
+// AllSpans is every span name the repo can emit, in docs order.
+var AllSpans = []string{SpanSweep, SpanSweepStatic, SpanSweepCell}
+
+// AllCounters is every counter name the repo can register, in docs
+// order.
+var AllCounters = []string{
+	CounterSweepCacheHit,
+	CounterSweepCacheMiss,
+	CounterProfileSessions,
+	CounterHarnessRuns,
+	CounterHarnessHostReps,
+}
+
+func knownCounterName(name string) bool {
+	for _, n := range AllCounters {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The canonical counters are registered by the packages that own them
+// (harness, profile, report), which the external docsync test pulls
+// into this test binary. White-box tests therefore exercise Counter
+// mechanics on directly constructed values and registry behaviour on
+// the already-registered set.
+
+func TestCounterMechanics(t *testing.T) {
+	c := &Counter{name: "scratch"}
+	if c.Value() != 0 {
+		t.Fatalf("fresh counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("after Inc+Add(41): %d", c.Value())
+	}
+	if c.Name() != "scratch" {
+		t.Fatalf("Name() = %q", c.Name())
+	}
+}
+
+func TestRegistryHoldsAllCanonicalCounters(t *testing.T) {
+	got := map[string]bool{}
+	for _, name := range RegisteredCounterNames() {
+		got[name] = true
+	}
+	for _, name := range AllCounters {
+		if !got[name] {
+			t.Errorf("canonical counter %q not registered (owning package not linked or constant unused)", name)
+		}
+	}
+}
+
+func TestCountersSnapshotAndReset(t *testing.T) {
+	counterRegistry.mu.Lock()
+	c := counterRegistry.m[CounterHarnessRuns]
+	counterRegistry.mu.Unlock()
+	if c == nil {
+		t.Fatal("harness.runs not registered")
+	}
+	c.Add(7)
+	if Counters()[CounterHarnessRuns] == 0 {
+		t.Fatal("snapshot missed the increment")
+	}
+	ResetCounters()
+	if v := Counters()[CounterHarnessRuns]; v != 0 {
+		t.Fatalf("after reset: %d", v)
+	}
+}
+
+func TestNewCounterRejectsUnknownAndDuplicate(t *testing.T) {
+	mustPanic := func(name, why string) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("NewCounter(%q) did not panic (%s)", name, why)
+			}
+		}()
+		NewCounter(name)
+	}
+	mustPanic("not.a.declared.counter", "undeclared name")
+	mustPanic(CounterHarnessRuns, "duplicate registration")
+}
+
+func TestTraceRecordsAndSorts(t *testing.T) {
+	StartTrace()
+	base := time.Now()
+	// Record out of order; StopTrace must sort by start.
+	RecordSpan("b", base.Add(2*time.Millisecond), base.Add(3*time.Millisecond), 2)
+	RecordSpan("a", base, base.Add(time.Millisecond), 1, Arg{Key: "kernel", Val: "madgwick"})
+	tr := StopTrace()
+	if tr == nil || len(tr.Spans) != 2 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if tr.Spans[0].Name != "a" || tr.Spans[1].Name != "b" {
+		t.Fatalf("not sorted by start: %+v", tr.Spans)
+	}
+	if tr.Spans[0].DurNS != time.Millisecond.Nanoseconds() {
+		t.Fatalf("dur = %d", tr.Spans[0].DurNS)
+	}
+	if TraceEnabled() {
+		t.Fatal("tracing still enabled after StopTrace")
+	}
+}
+
+func TestRecordSpanDisabledIsNoOp(t *testing.T) {
+	if TraceEnabled() {
+		t.Fatal("trace unexpectedly active")
+	}
+	RecordSpan("ghost", time.Now(), time.Now(), 0)
+	StartTrace()
+	tr := StopTrace()
+	if len(tr.Spans) != 0 {
+		t.Fatalf("disabled RecordSpan leaked a span: %+v", tr.Spans)
+	}
+}
+
+func TestStopTraceWithoutStart(t *testing.T) {
+	if tr := StopTrace(); tr != nil {
+		t.Fatalf("StopTrace without StartTrace = %+v", tr)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	StartTrace()
+	base := time.Now()
+	RecordSpan(SpanSweepCell, base, base.Add(5*time.Millisecond), 1,
+		Arg{Key: "kernel", Val: "madgwick"}, Arg{Key: "arch", Val: "M4"})
+	RecordSpan(SpanSweep, base, base.Add(6*time.Millisecond), 0)
+	tr := StopTrace()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var metas, complete int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			metas++
+			if e.Name != "thread_name" {
+				t.Errorf("metadata event %q", e.Name)
+			}
+		case "X":
+			complete++
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+		if e.Name == SpanSweepCell {
+			if e.Args["kernel"] != "madgwick" || e.Args["arch"] != "M4" {
+				t.Errorf("cell args = %v", e.Args)
+			}
+			if e.Dur < 4999 || e.Dur > 5001 { // microseconds
+				t.Errorf("cell dur = %v µs, want ~5000", e.Dur)
+			}
+		}
+	}
+	if metas != 2 || complete != 2 { // lanes 0 and 1 named, two spans
+		t.Fatalf("events: %d metadata, %d complete; want 2 and 2", metas, complete)
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "sweep")
+	p.Update(1, 4)
+	p.Update(2, 4) // inside the rate-limit window: dropped
+	p.Update(4, 4) // final update always renders
+	p.Done()
+	out := buf.String()
+	if !strings.Contains(out, "\r[sweep] 1/4 cells (25%)") {
+		t.Fatalf("first update missing: %q", out)
+	}
+	if strings.Contains(out, "2/4") {
+		t.Fatalf("rate-limited update rendered: %q", out)
+	}
+	if !strings.Contains(out, "4/4 cells (100%)") {
+		t.Fatalf("final update missing: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Done() did not terminate the line: %q", out)
+	}
+	before := buf.Len()
+	p.Update(5, 5) // after Done: ignored
+	if buf.Len() != before {
+		t.Fatal("update after Done wrote output")
+	}
+}
+
+func TestProgressNeverRenderedStaysSilent(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "idle")
+	p.Done()
+	if buf.Len() != 0 {
+		t.Fatalf("Done on silent progress wrote %q", buf.String())
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span tracing. One process-global collector, gated by an atomic flag:
+// instrumented code asks TraceEnabled first and skips clock reads and
+// argument construction entirely when tracing is off, so the sweep's
+// hot path pays one atomic load. Spans are complete events — recorded
+// once, at their end — which keeps the collector a mutex-guarded append
+// and needs no per-goroutine state.
+
+// Arg is one key/value annotation on a span (kernel name, arch, …).
+type Arg struct{ Key, Val string }
+
+// Span is one completed timed region. Times are nanoseconds relative to
+// the StartTrace call, so exported traces start at t=0.
+type Span struct {
+	Name    string
+	StartNS int64
+	DurNS   int64
+	// TID is the logical thread lane the span renders on in a trace
+	// viewer: 0 for the sweep coordinator, 1..N for pool workers.
+	TID  int
+	Args []Arg
+}
+
+var (
+	traceOn atomic.Bool
+	traceMu sync.Mutex
+	trace   *Trace
+)
+
+// Trace is a finished span collection, ready for export.
+type Trace struct {
+	start time.Time
+	Spans []Span
+}
+
+// TraceEnabled reports whether a trace is being collected. Instrumented
+// code must check it before doing any per-span work.
+func TraceEnabled() bool { return traceOn.Load() }
+
+// StartTrace begins collecting spans into a fresh process-global trace.
+// Starting while a trace is active discards the earlier spans.
+func StartTrace() {
+	traceMu.Lock()
+	trace = &Trace{start: time.Now()}
+	traceMu.Unlock()
+	traceOn.Store(true)
+}
+
+// StopTrace ends collection and returns the finished trace, sorted by
+// start time (ties by lane then name) so export order is deterministic.
+// It returns nil if no trace was active.
+func StopTrace() *Trace {
+	traceOn.Store(false)
+	traceMu.Lock()
+	t := trace
+	trace = nil
+	traceMu.Unlock()
+	if t == nil {
+		return nil
+	}
+	sort.SliceStable(t.Spans, func(i, j int) bool {
+		a, b := t.Spans[i], t.Spans[j]
+		if a.StartNS != b.StartNS {
+			return a.StartNS < b.StartNS
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.Name < b.Name
+	})
+	return t
+}
+
+// RecordSpan appends one completed span to the active trace; it is a
+// no-op when tracing is off (but callers should gate on TraceEnabled to
+// avoid building the arguments at all).
+func RecordSpan(name string, start, end time.Time, tid int, args ...Arg) {
+	if !traceOn.Load() {
+		return
+	}
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	if trace == nil {
+		return
+	}
+	trace.Spans = append(trace.Spans, Span{
+		Name:    name,
+		StartNS: start.Sub(trace.start).Nanoseconds(),
+		DurNS:   end.Sub(start).Nanoseconds(),
+		TID:     tid,
+		Args:    args,
+	})
+}
+
+// chromeEvent is one trace_event record; see the Trace Event Format
+// spec (the format chrome://tracing and Perfetto load).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the trace in Chrome trace_event JSON (object
+// form, complete "X" events plus thread-name metadata), loadable by
+// chrome://tracing and Perfetto.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	const pid = 1
+	lanes := map[int]bool{}
+	events := make([]chromeEvent, 0, len(t.Spans)+4)
+	for _, s := range t.Spans {
+		lanes[s.TID] = true
+		var args map[string]string
+		if len(s.Args) > 0 {
+			args = make(map[string]string, len(s.Args))
+			for _, a := range s.Args {
+				args[a.Key] = a.Val
+			}
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "sweep",
+			Ph:   "X",
+			TS:   float64(s.StartNS) / 1e3,
+			Dur:  float64(s.DurNS) / 1e3,
+			PID:  pid,
+			TID:  s.TID,
+			Args: args,
+		})
+	}
+	tids := make([]int, 0, len(lanes))
+	for tid := range lanes {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	meta := make([]chromeEvent, 0, len(tids))
+	for _, tid := range tids {
+		name := "coordinator"
+		if tid > 0 {
+			name = "worker " + strconv.Itoa(tid)
+		}
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]string{"name": name},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: append(meta, events...), DisplayTimeUnit: "ms"})
+}

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"unsafe"
 	_ "unsafe" // go:linkname
+
+	"repro/internal/obs"
 )
 
 // Goroutine-scoped profiling sessions.
@@ -58,11 +60,16 @@ type frame struct {
 // records (top cached for the hook path) plus the label-pointer key
 // that locates it from a hook.
 type session struct {
-	key  unsafe.Pointer // goroutine's label pointer while the session lives
-	prev unsafe.Pointer // label pointer to restore when the session ends
-	top  *Counts        // stack's innermost record; invariant: non-nil while registered
+	key   unsafe.Pointer // goroutine's label pointer while the session lives
+	prev  unsafe.Pointer // label pointer to restore when the session ends
+	top   *Counts        // stack's innermost record; invariant: non-nil while registered
 	stack []frame
 }
+
+// ctrSessions counts session creations — one per characterization cell
+// in a sweep, so a sweep's value approximates its job count
+// (docs/observability.md).
+var ctrSessions = obs.NewCounter(obs.CounterProfileSessions)
 
 var (
 	// sessionCount gates the hooks: zero means no session exists
@@ -110,6 +117,7 @@ func ensureSession() *session {
 	if s := current(); s != nil {
 		return s
 	}
+	ctrSessions.Inc()
 	s := &session{prev: runtime_getProfLabel()}
 	id := strconv.FormatUint(sessionSeq.Add(1), 10)
 	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),

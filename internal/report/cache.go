@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcu"
+	"repro/internal/obs"
 )
 
 // Shared characterization cache. The full suite sweep is the most
@@ -20,6 +21,13 @@ var sweepCache struct {
 	err  error
 }
 
+// Cache observability counters (docs/observability.md): how often the
+// memo answered versus how often a sweep actually ran.
+var (
+	ctrCacheHit  = obs.NewCounter(obs.CounterSweepCacheHit)
+	ctrCacheMiss = obs.NewCounter(obs.CounterSweepCacheMiss)
+)
+
 // RunCharacterization returns the full Table III/IV suite sweep,
 // computing it at most once per process with the default worker count
 // (GOMAXPROCS). Callers must treat the shared records as read-only.
@@ -33,12 +41,22 @@ func RunCharacterization() (Characterization, error) {
 // core.CharacterizeSuite), so later callers share the cached sweep
 // regardless of the count they ask for.
 func RunCharacterizationWorkers(workers int) (Characterization, error) {
+	return RunCharacterizationOpts(core.SweepOptions{Workers: workers})
+}
+
+// RunCharacterizationOpts is the memoized sweep with full options.
+// Options only shape the cache-filling run: a cache hit returns the
+// shared result without invoking opts.Progress.
+func RunCharacterizationOpts(opts core.SweepOptions) (Characterization, error) {
 	sweepCache.mu.Lock()
 	defer sweepCache.mu.Unlock()
-	if !sweepCache.done {
-		sweepCache.c, sweepCache.err = RunCharacterizationUncached(workers)
-		sweepCache.done = true
+	if sweepCache.done {
+		ctrCacheHit.Inc()
+		return sweepCache.c, sweepCache.err
 	}
+	ctrCacheMiss.Inc()
+	sweepCache.c, sweepCache.err = RunCharacterizationUncachedOpts(opts)
+	sweepCache.done = true
 	return sweepCache.c, sweepCache.err
 }
 
@@ -46,7 +64,13 @@ func RunCharacterizationWorkers(workers int) (Characterization, error) {
 // and leaving untouched the process cache. Benchmarks and determinism
 // tests use it; everything else should go through RunCharacterization.
 func RunCharacterizationUncached(workers int) (Characterization, error) {
-	recs, err := core.CharacterizeSuite(core.Suite(), mcu.TableIVSet(), workers)
+	return RunCharacterizationUncachedOpts(core.SweepOptions{Workers: workers})
+}
+
+// RunCharacterizationUncachedOpts is RunCharacterizationUncached with
+// full sweep options.
+func RunCharacterizationUncachedOpts(opts core.SweepOptions) (Characterization, error) {
+	recs, err := core.CharacterizeSuiteOpts(core.Suite(), mcu.TableIVSet(), opts)
 	return Characterization{Records: recs}, err
 }
 

@@ -1,0 +1,170 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Machine-readable characterization export. Tables III/IV render for
+// humans; this schema is the vendor-neutral result format other tooling
+// consumes — regression trackers diffing BENCH_*.json across commits,
+// plotting scripts, dashboards. The encoding is deliberately boring:
+// structs only (no maps, so key order is fixed), units spelled out in
+// field names, and a version field governed by the compatibility
+// promise in docs/observability.md. Output is deterministic — the same
+// suite produces byte-identical JSON at any worker count — and
+// round-trips: unmarshal into JSONReport and re-marshal reproduces the
+// bytes exactly.
+
+// JSONSchema and JSONVersion identify the export format. Version bumps
+// only on breaking changes (renaming/removing a field, changing a unit
+// or meaning); adding fields is backwards-compatible and does not bump.
+const (
+	JSONSchema  = "entobench.characterization"
+	JSONVersion = 1
+)
+
+// JSONReport is the top-level characterization export.
+type JSONReport struct {
+	Schema     string       `json:"schema"`
+	Version    int          `json:"version"`
+	Datapoints int          `json:"datapoints"`
+	Kernels    []JSONKernel `json:"kernels"`
+}
+
+// JSONCounts is an F/I/M/B instruction-mix record.
+type JSONCounts struct {
+	F uint64 `json:"f"`
+	I uint64 `json:"i"`
+	M uint64 `json:"m"`
+	B uint64 `json:"b"`
+}
+
+// JSONKernel is the full characterization of one suite kernel.
+type JSONKernel struct {
+	Name         string     `json:"name"`
+	Stage        string     `json:"stage"`
+	Category     string     `json:"category"`
+	Dataset      string     `json:"dataset"`
+	Precision    string     `json:"precision"`
+	M7Only       bool       `json:"m7_only,omitempty"`
+	ClaimedFLOPs int        `json:"claimed_flops,omitempty"`
+	FlashBytes   int        `json:"flash_bytes"`
+	Static       JSONCounts `json:"static"`
+	Dynamic      JSONCounts `json:"dynamic"`
+	Valid        bool       `json:"valid"`
+	Error        string     `json:"error,omitempty"`
+	Cells        []JSONCell `json:"cells"`
+}
+
+// JSONCell is one (arch, cache) measurement cell.
+type JSONCell struct {
+	Arch     string          `json:"arch"`
+	CacheOn  bool            `json:"cache_on"`
+	Model    JSONModel       `json:"model"`
+	Measured JSONMeasurement `json:"measured"`
+}
+
+// JSONModel is the analytic cost-model estimate for a cell.
+type JSONModel struct {
+	Cycles      float64 `json:"cycles"`
+	LatencyUS   float64 `json:"latency_us"`
+	EnergyUJ    float64 `json:"energy_uj"`
+	AvgPowerMW  float64 `json:"avg_power_mw"`
+	PeakPowerMW float64 `json:"peak_power_mw"`
+}
+
+// JSONMeasurement is what the simulated trace pipeline recovered for a
+// cell (per-rep latency and energy, as in Table IV).
+type JSONMeasurement struct {
+	LatencyUS   float64 `json:"latency_us"`
+	EnergyUJ    float64 `json:"energy_uj"`
+	AvgPowerMW  float64 `json:"avg_power_mw"`
+	PeakPowerMW float64 `json:"peak_power_mw"`
+	Reps        int     `json:"reps"`
+}
+
+// JSONExport builds the export structure from a characterization.
+func (c Characterization) JSONExport() JSONReport {
+	rep := JSONReport{
+		Schema:     JSONSchema,
+		Version:    JSONVersion,
+		Datapoints: c.Datapoints(),
+		Kernels:    make([]JSONKernel, 0, len(c.Records)),
+	}
+	for _, r := range c.Records {
+		k := JSONKernel{
+			Name:         r.Spec.Name,
+			Stage:        string(r.Spec.Stage),
+			Category:     r.Spec.Category,
+			Dataset:      r.Spec.Dataset,
+			Precision:    r.Spec.Prec.String(),
+			M7Only:       r.Spec.M7Only,
+			ClaimedFLOPs: r.Spec.FLOPs,
+			FlashBytes:   r.Flash,
+			Static:       JSONCounts{F: r.Static.F, I: r.Static.I, M: r.Static.M, B: r.Static.B},
+			Dynamic:      JSONCounts{F: r.Dynamic.F, I: r.Dynamic.I, M: r.Dynamic.M, B: r.Dynamic.B},
+			Valid:        r.Valid,
+			Cells:        make([]JSONCell, 0, len(r.Cells)),
+		}
+		if r.ValidE != nil {
+			k.Error = r.ValidE.Error()
+		}
+		for _, cell := range r.Cells {
+			k.Cells = append(k.Cells, JSONCell{
+				Arch:    cell.Arch.Name,
+				CacheOn: cell.CacheOn,
+				Model: JSONModel{
+					Cycles:      cell.Model.Cycles,
+					LatencyUS:   cell.Model.LatencyS * 1e6,
+					EnergyUJ:    cell.Model.EnergyJ * 1e6,
+					AvgPowerMW:  cell.Model.AvgPowerW * 1e3,
+					PeakPowerMW: cell.Model.PeakPowerW * 1e3,
+				},
+				Measured: JSONMeasurement{
+					LatencyUS:   cell.Meas.LatencyS * 1e6,
+					EnergyUJ:    cell.Meas.EnergyJ * 1e6,
+					AvgPowerMW:  cell.Meas.AvgPowerW * 1e3,
+					PeakPowerMW: cell.Meas.PeakPowerW * 1e3,
+					Reps:        cell.Meas.Reps,
+				},
+			})
+		}
+		rep.Kernels = append(rep.Kernels, k)
+	}
+	return rep
+}
+
+// WriteJSON writes the versioned characterization export, indented,
+// with a trailing newline. The bytes are identical for any sweep worker
+// count and re-marshaling a parsed report reproduces them exactly.
+func (c Characterization) WriteJSON(w io.Writer) error {
+	return WriteJSONReport(w, c.JSONExport())
+}
+
+// WriteJSONReport renders an already-built report — the single encoder
+// both the export and the round-trip path share.
+func WriteJSONReport(w io.Writer, rep JSONReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadJSONReport parses a characterization export and verifies the
+// schema identifier and version, the entry point for cross-run tooling
+// (perf-trajectory diffs over BENCH_*.json files).
+func ReadJSONReport(r io.Reader) (JSONReport, error) {
+	var rep JSONReport
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return JSONReport{}, fmt.Errorf("report: parse JSON export: %w", err)
+	}
+	if rep.Schema != JSONSchema {
+		return JSONReport{}, fmt.Errorf("report: unknown schema %q (want %q)", rep.Schema, JSONSchema)
+	}
+	if rep.Version > JSONVersion {
+		return JSONReport{}, fmt.Errorf("report: schema version %d is newer than this build supports (%d)", rep.Version, JSONVersion)
+	}
+	return rep, nil
+}

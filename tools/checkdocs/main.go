@@ -1,0 +1,120 @@
+// Command checkdocs is the docs gate CI runs (.github/workflows/ci.yml):
+//
+//  1. every non-test package under internal/, ento/, and cmd/ must
+//     carry a package (godoc) comment;
+//  2. every relative markdown link in the repo root and docs/ must
+//     resolve to an existing file.
+//
+// It prints one line per violation and exits non-zero if any exist.
+// Run it from the repository root: go run ./tools/checkdocs
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	var problems []string
+	problems = append(problems, checkPackageComments([]string{"internal", "ento", "cmd"})...)
+	problems = append(problems, checkMarkdownLinks()...)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "checkdocs: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("checkdocs: ok")
+}
+
+// checkPackageComments walks the given roots and reports every non-test
+// package with no doc comment on any of its files.
+func checkPackageComments(roots []string) []string {
+	var problems []string
+	for _, root := range roots {
+		filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+			if err != nil || !info.IsDir() {
+				return nil
+			}
+			fset := token.NewFileSet()
+			pkgs, err := parser.ParseDir(fset, path, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: %v", path, err))
+				return nil
+			}
+			for name, pkg := range pkgs {
+				if strings.HasSuffix(name, "_test") {
+					continue
+				}
+				documented := false
+				for _, f := range pkg.Files {
+					if f.Doc != nil {
+						documented = true
+						break
+					}
+				}
+				if !documented {
+					problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", path, name))
+				}
+			}
+			return nil
+		})
+	}
+	return problems
+}
+
+// mdLink matches inline markdown links/images; the destination is
+// group 1. Angle-bracketed autolinks and reference-style links are out
+// of scope (the repo doesn't use them for files).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks verifies that relative link targets in root-level
+// and docs/ markdown files exist on disk.
+func checkMarkdownLinks() []string {
+	var files []string
+	for _, glob := range []string{"*.md", "docs/*.md"} {
+		m, _ := filepath.Glob(glob)
+		files = append(files, m...)
+	}
+	var problems []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", file, err))
+			continue
+		}
+		inFence := false
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+					continue
+				}
+				if i2 := strings.IndexByte(target, '#'); i2 >= 0 {
+					target = target[:i2]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(file), target)
+				if _, err := os.Stat(resolved); err != nil {
+					problems = append(problems, fmt.Sprintf("%s:%d: broken link %q", file, i+1, m[1]))
+				}
+			}
+		}
+	}
+	return problems
+}
