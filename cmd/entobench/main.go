@@ -11,6 +11,7 @@
 //	entobench table3 | table4 | table5 | table6 | table7 | table8
 //	entobench fig3 | fig4 [-step N] | fig5 [-n N]
 //	entobench sweep [-j N] [-json] [-trace FILE] [-progress]
+//	                [-cpuprofile FILE] [-memprofile FILE]
 //	                               # the full >400-datapoint characterization,
 //	                               # fanned across N worker goroutines
 //	entobench closedloop           # Section VI-E task-level demo
@@ -24,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 
@@ -71,7 +74,7 @@ var commands = []command{
 		run: func([]string) error { return ento.WriteTable8(os.Stdout) }},
 	{name: "fig5", args: "[-n N]", summary: "relative-pose solver panels (Case Study #4)",
 		run: fig5},
-	{name: "sweep", args: "[-j N] [-json] [-trace FILE] [-progress]",
+	{name: "sweep", args: "[-j N] [-json] [-trace FILE] [-progress] [-cpuprofile FILE] [-memprofile FILE]",
 		summary: "full characterization with the datapoint count",
 		run:     sweep},
 	{name: "closedloop", summary: "Section VI-E demo: task-level metrics + compute bill",
@@ -276,8 +279,38 @@ func sweep(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit the versioned JSON export instead of tables")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON file of the sweep")
 	progress := fs.Bool("progress", false, "live progress line on stderr")
+	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to FILE")
+	memProf := fs.String("memprofile", "", "write a pprof heap profile after the sweep to FILE")
 	if err := fs.Parse(reorderArgs(fs, args)); err != nil {
 		return err
+	}
+
+	// Host-side pprof hooks (docs/observability.md): the CPU profile
+	// covers the whole sweep; the heap profile snapshots after the run,
+	// post-GC, like go test's -memprofile.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", cerr)
+			}
+		}()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			if merr := writeMemProfile(path); merr != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", merr)
+			}
+		}()
 	}
 
 	opts := core.SweepOptions{Workers: *j}
@@ -309,6 +342,21 @@ func sweep(args []string) error {
 	c.WriteTable4(os.Stdout)
 	fmt.Printf("\nTotal measured datapoints: %d (paper: >400)\n", c.Datapoints())
 	return nil
+}
+
+// writeMemProfile forces a GC so the heap profile reflects live memory,
+// then writes it to path.
+func writeMemProfile(path string) error {
+	runtime.GC()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace stops the active trace and saves it as a chrome://tracing

@@ -1,0 +1,52 @@
+package core_test
+
+// Suite-level differential test for mat's bulk-accounting fast paths:
+// every kernel in the suite must record a byte-identical instruction
+// mix and validate identically whether the specialized loops or the
+// hooked generic reference loops are active. Together with
+// internal/mat's per-operation differential tests this pins the
+// exactness invariant end-to-end: a fast path that drifted by a single
+// op would shift some kernel's F/I/M/B mix and fail here.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixed"
+	"repro/internal/mat"
+	"repro/internal/profile"
+)
+
+func solveOnce(t *testing.T, spec core.Spec) (profile.Counts, fixed.Status, error) {
+	t.Helper()
+	p := spec.Factory()
+	if err := p.Setup(); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	fixed.ResetStatus()
+	cnt := profile.Collect(p.Solve)
+	return cnt, fixed.ResetStatus(), p.Validate()
+}
+
+func TestSuiteCountsMatchReferenceKernels(t *testing.T) {
+	for _, spec := range core.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			fastCnt, fastStatus, fastErr := solveOnce(t, spec)
+
+			prev := mat.SetReferenceKernels(true)
+			refCnt, refStatus, refErr := solveOnce(t, spec)
+			mat.SetReferenceKernels(prev)
+
+			if fastCnt != refCnt {
+				t.Errorf("counts diverge: fast=%+v reference=%+v", fastCnt, refCnt)
+			}
+			if fastStatus != refStatus {
+				t.Errorf("fixed-point status diverges: fast=%+v reference=%+v", fastStatus, refStatus)
+			}
+			if (fastErr == nil) != (refErr == nil) {
+				t.Errorf("validation diverges: fast=%v reference=%v", fastErr, refErr)
+			}
+		})
+	}
+}

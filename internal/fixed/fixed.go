@@ -133,16 +133,43 @@ func shiftTo(raw int64, from, to uint8) int64 {
 	}
 }
 
+// Modeled instruction-mix cost of each arithmetic operation, in integer
+// ops. The hooked methods charge exactly these values, and mat's bulk
+// fast paths use the same constants to charge whole loops analytically,
+// so the two accountings cannot drift apart.
+const (
+	CostAdd  = 1 // saturating add
+	CostSub  = 1 // saturating subtract
+	CostMul  = 2 // wide multiply + renormalizing shift
+	CostDiv  = 2 // pre-shift + 64/32 divide
+	CostNeg  = 1
+	CostAbs  = 1
+	CostSqrt = 16 // integer Newton iteration on the widened radicand
+)
+
 // Add returns a+b, saturating. Cost: one integer op.
 func (a Num) Add(b Num) Num {
-	profile.AddI(1)
+	profile.AddI(CostAdd)
+	return a.AddQuiet(b)
+}
+
+// AddQuiet is Add without the profiler hook — identical numerics and
+// Status side effects. The bulk fast paths in internal/mat run their
+// inner loops on the Quiet variants and charge the aggregate mix in one
+// call, using the Cost constants above.
+func (a Num) AddQuiet(b Num) Num {
 	x, y, f := a.align(b)
 	return Num{raw: clamp(x + y), frac: f}
 }
 
 // Sub returns a-b, saturating.
 func (a Num) Sub(b Num) Num {
-	profile.AddI(1)
+	profile.AddI(CostSub)
+	return a.SubQuiet(b)
+}
+
+// SubQuiet is Sub without the profiler hook.
+func (a Num) SubQuiet(b Num) Num {
 	x, y, f := a.align(b)
 	return Num{raw: clamp(x - y), frac: f}
 }
@@ -152,7 +179,12 @@ func (a Num) Sub(b Num) Num {
 // paper observes makes fixed point slower than hardware float on FPU
 // cores. Cost: two integer ops (mul + shift).
 func (a Num) Mul(b Num) Num {
-	profile.AddI(2)
+	profile.AddI(CostMul)
+	return a.MulQuiet(b)
+}
+
+// MulQuiet is Mul without the profiler hook.
+func (a Num) MulQuiet(b Num) Num {
 	x, y, f := a.align(b)
 	wide := x * y // fits: both operands are 32-bit range
 	if f > 0 {
@@ -164,7 +196,12 @@ func (a Num) Mul(b Num) Num {
 // Div returns a/b. Division by zero saturates toward the sign of a and
 // records a ZeroDivides event. Cost: two integer ops (shift + divide).
 func (a Num) Div(b Num) Num {
-	profile.AddI(2)
+	profile.AddI(CostDiv)
+	return a.DivQuiet(b)
+}
+
+// DivQuiet is Div without the profiler hook.
+func (a Num) DivQuiet(b Num) Num {
 	x, y, f := a.align(b)
 	if y == 0 {
 		status.ZeroDivides++
@@ -182,13 +219,23 @@ func (a Num) Div(b Num) Num {
 
 // Neg returns -a.
 func (a Num) Neg() Num {
-	profile.AddI(1)
+	profile.AddI(CostNeg)
+	return a.NegQuiet()
+}
+
+// NegQuiet is Neg without the profiler hook.
+func (a Num) NegQuiet() Num {
 	return Num{raw: clamp(-a.raw), frac: a.frac}
 }
 
 // Abs returns |a|.
 func (a Num) Abs() Num {
-	profile.AddI(1)
+	profile.AddI(CostAbs)
+	return a.AbsQuiet()
+}
+
+// AbsQuiet is Abs without the profiler hook.
+func (a Num) AbsQuiet() Num {
 	if a.raw < 0 {
 		return Num{raw: clamp(-a.raw), frac: a.frac}
 	}
@@ -200,7 +247,12 @@ func (a Num) Abs() Num {
 // inputs record a SqrtNeg event and return 0. Cost modeled as 16 integer
 // ops, approximating the iteration count of a 32-bit integer sqrt.
 func (a Num) Sqrt() Num {
-	profile.AddI(16)
+	profile.AddI(CostSqrt)
+	return a.SqrtQuiet()
+}
+
+// SqrtQuiet is Sqrt without the profiler hook.
+func (a Num) SqrtQuiet() Num {
 	if a.raw < 0 {
 		status.SqrtNeg++
 		return Num{raw: 0, frac: a.frac}
@@ -237,6 +289,11 @@ func isqrt64(v uint64) uint64 {
 // Less reports a < b. Cost: one branch/compare.
 func (a Num) Less(b Num) bool {
 	profile.AddB(1)
+	return a.LessQuiet(b)
+}
+
+// LessQuiet is Less without the profiler hook.
+func (a Num) LessQuiet(b Num) bool {
 	x, y, _ := a.align(b)
 	return x < y
 }
@@ -244,6 +301,11 @@ func (a Num) Less(b Num) bool {
 // LessEq reports a <= b.
 func (a Num) LessEq(b Num) bool {
 	profile.AddB(1)
+	return a.LessEqQuiet(b)
+}
+
+// LessEqQuiet is LessEq without the profiler hook.
+func (a Num) LessEqQuiet(b Num) bool {
 	x, y, _ := a.align(b)
 	return x <= y
 }

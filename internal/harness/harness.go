@@ -63,11 +63,23 @@ type Config struct {
 	// (DefaultMaxHostReps); negative means uncapped, i.e. execute every
 	// rep on the host like real hardware would.
 	MaxHostReps int
+	// MaxAutoReps caps the rep count the MinROITimeS auto-scaler may
+	// choose (Reps <= 0). Very fast kernels on slow modeled cores would
+	// otherwise demand millions of reps to fill the ROI window, which
+	// distorts the modeled energy totals without improving the probe's
+	// view. 0 means the default (DefaultMaxAutoReps); negative means
+	// uncapped. Explicit Reps values are never clamped.
+	MaxAutoReps int
 }
 
 // DefaultMaxHostReps is the default host-side ROI execution cap: the
 // profiled invocation plus two validation reps.
 const DefaultMaxHostReps = 3
+
+// DefaultMaxAutoReps is the default ceiling on auto-scaled reps: enough
+// for the 100 kHz probe to see hundreds of samples of even the fastest
+// kernel, matching the artifact's harness limit.
+const DefaultMaxAutoReps = 10000
 
 // DefaultConfig mirrors the artifact's benchmark defaults.
 func DefaultConfig() Config {
@@ -136,8 +148,12 @@ func Run(p Problem, arch mcu.Arch, prec mcu.Precision, cfg Config) (Result, erro
 			minT = 2e-3
 		}
 		reps = int(minT/res.Model.LatencyS) + 1
-		if reps > 10000 {
-			reps = 10000
+		maxAuto := cfg.MaxAutoReps
+		if maxAuto == 0 {
+			maxAuto = DefaultMaxAutoReps
+		}
+		if maxAuto > 0 && reps > maxAuto {
+			reps = maxAuto
 		}
 	}
 	// Execute the remaining reps for validation parity (the profiler

@@ -227,3 +227,55 @@ func TestMaxHostRepsNegativeUncaps(t *testing.T) {
 		t.Errorf("host solves = %d, want %d", p.solves, want)
 	}
 }
+
+// autoReps runs a tiny vvadd with the given auto-rep cap and returns the
+// rep count the MinROITimeS auto-scaler settled on.
+func autoReps(t *testing.T, maxAuto int) int {
+	t.Helper()
+	cfg := harness.DefaultConfig()
+	cfg.Reps = 0           // auto
+	cfg.MinROITimeS = 0.05 // wide ROI window: uncapped demand far exceeds the ceiling
+	cfg.MaxAutoReps = maxAuto
+	res, err := harness.Run(&vvadd{n: 16}, mcu.M4, mcu.PrecF32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Measured.Reps
+}
+
+// A 16-element vvadd finishes in well under a microsecond of modeled
+// time, so filling the 2 ms ROI window would demand far more than the
+// default ceiling — the auto-scaler must clamp to DefaultMaxAutoReps.
+func TestMaxAutoRepsDefaultCap(t *testing.T) {
+	if got := autoReps(t, 0); got != harness.DefaultMaxAutoReps {
+		t.Errorf("auto reps = %d, want default cap %d", got, harness.DefaultMaxAutoReps)
+	}
+}
+
+func TestMaxAutoRepsCustomCap(t *testing.T) {
+	if got := autoReps(t, 50); got != 50 {
+		t.Errorf("auto reps = %d, want custom cap 50", got)
+	}
+}
+
+// Negative MaxAutoReps removes the ceiling entirely.
+func TestMaxAutoRepsNegativeUncaps(t *testing.T) {
+	if got := autoReps(t, -1); got <= harness.DefaultMaxAutoReps {
+		t.Errorf("auto reps = %d, want above the default cap", got)
+	}
+}
+
+// Explicit rep counts are a user decision; the auto-rep ceiling must not
+// touch them.
+func TestMaxAutoRepsIgnoredForExplicitReps(t *testing.T) {
+	cfg := harness.DefaultConfig()
+	cfg.Reps = 2 * harness.DefaultMaxAutoReps
+	cfg.MaxAutoReps = 50
+	res, err := harness.Run(&vvadd{n: 16}, mcu.M4, mcu.PrecF32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured.Reps != cfg.Reps {
+		t.Errorf("reps = %d, want explicit %d", res.Measured.Reps, cfg.Reps)
+	}
+}

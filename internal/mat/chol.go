@@ -19,6 +19,14 @@ func CholeskyDecompose[T scalar.Real[T]](a Mat[T]) (*Cholesky[T], error) {
 	if a.Cols() != n {
 		return nil, errors.New("mat: Cholesky of non-square matrix")
 	}
+	if fastKernels() {
+		if c, ok, notPD := cholDecomposeFast(a); ok {
+			if notPD {
+				return nil, errors.New("mat: matrix not positive definite")
+			}
+			return c, nil
+		}
+	}
 	l := Zeros[T](n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
@@ -44,6 +52,11 @@ func (c *Cholesky[T]) L() Mat[T] { return c.l }
 
 // Solve returns x with A·x = b using forward/back substitution.
 func (c *Cholesky[T]) Solve(b Vec[T]) Vec[T] {
+	if fastKernels() {
+		if x, ok := cholSolveFast(c, b); ok {
+			return x
+		}
+	}
 	n := c.l.Rows()
 	// L·y = b
 	y := make(Vec[T], n)
@@ -91,6 +104,14 @@ func LDLTDecompose[T scalar.Real[T]](a Mat[T]) (*LDLT[T], error) {
 	if a.Cols() != n {
 		return nil, errors.New("mat: LDLT of non-square matrix")
 	}
+	if fastKernels() {
+		if f, ok, singular := ldltDecomposeFast(a); ok {
+			if singular {
+				return nil, ErrSingular
+			}
+			return f, nil
+		}
+	}
 	l := Identity(n, a.like())
 	d := make(Vec[T], n)
 	for j := 0; j < n; j++ {
@@ -115,6 +136,11 @@ func LDLTDecompose[T scalar.Real[T]](a Mat[T]) (*LDLT[T], error) {
 
 // Solve returns x with A·x = b.
 func (f *LDLT[T]) Solve(b Vec[T]) Vec[T] {
+	if fastKernels() {
+		if x, ok := ldltSolveFast(f, b); ok {
+			return x
+		}
+	}
 	n := len(f.d)
 	// L·y = b
 	y := make(Vec[T], n)

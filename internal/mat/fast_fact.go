@@ -1,0 +1,885 @@
+package mat
+
+// Specialized factorization loops (LU, Cholesky, LDLT, QR) for the
+// built-in scalar family.
+//
+// Unlike the dense products in fast.go, elimination loops have
+// data-dependent control flow — pivot swaps, singularity early-exits,
+// zero-column skips, sign branches — so their op counts cannot be a
+// single closed-form formula. Each implementation below is a 1:1
+// transcription of its hooked generic counterpart in lu.go/chol.go/qr.go
+// that replaces every hooked At/Set with a direct index plus an M+I
+// tally, and every hooked scalar method with native arithmetic (or a
+// fixed.Num Quiet call) plus its scalar.OpCosts tally, into one local
+// profile.Counts that the dispatcher flushes in a single AddCounts. The
+// charges therefore follow the exact control-flow path the reference
+// would have taken — including the partial charges of an early error
+// return — which the differential tests in fast_test.go verify count for
+// count.
+//
+// Every algorithm exists twice: once generic over the native float types
+// (operators compile to machine instructions and inline) and once for
+// fixed.Num (Quiet methods on a concrete type, also inlinable). A shared
+// generic shim would route arithmetic through dictionary-based method
+// calls, putting a call back in the inner loop — the very cost this file
+// exists to remove.
+
+import (
+	"math"
+
+	"repro/internal/fixed"
+	"repro/internal/profile"
+	"repro/internal/scalar"
+)
+
+// fastFamily reports whether T has specialized factorization loops.
+func fastFamily[T scalar.Real[T]]() bool {
+	_, ok := scalar.OpCostsOf[T]()
+	return ok
+}
+
+// --- LU decomposition ---
+
+// luNat factors d (n×n, row-major, modified in place) with partial
+// pivoting. ok=false reports a singular pivot; cnt then holds the
+// charges up to the point of detection, as the hooked path would have
+// recorded.
+func luNat[F native](cnt *profile.Counts, d []F, n int, piv []int) (sign int, ok bool) {
+	sign = 1
+	for k := 0; k < n; k++ {
+		p := k
+		cnt.M++
+		cnt.I++ // At(k,k)
+		cnt.F++ // Abs
+		best := d[k*n+k]
+		if best < 0 {
+			best = -best
+		}
+		for i := k + 1; i < n; i++ {
+			cnt.M++
+			cnt.I++ // At(i,k)
+			cnt.F++ // Abs
+			v := d[i*n+k]
+			if v < 0 {
+				v = -v
+			}
+			cnt.B++ // Less
+			if best < v {
+				best, p = v, i
+			}
+		}
+		cnt.B += uint64(n - k)
+		piv[k] = p
+		if p != k {
+			cnt.M += uint64(4 * n) // SwapRows
+			ri := d[p*n : p*n+n]
+			rj := d[k*n : k*n+n]
+			for t := range ri {
+				ri[t], rj[t] = rj[t], ri[t]
+			}
+			sign = -sign
+		}
+		cnt.M++
+		cnt.I++ // At(k,k)
+		pv := d[k*n+k]
+		if pv == 0 {
+			return sign, false
+		}
+		for i := k + 1; i < n; i++ {
+			cnt.M += 2
+			cnt.I += 2 // At(i,k) + Set(i,k)
+			cnt.F++    // Div
+			m := d[i*n+k] / pv
+			d[i*n+k] = m
+			for j := k + 1; j < n; j++ {
+				cnt.M += 3
+				cnt.I += 3 // At(i,j), At(k,j), Set(i,j)
+				cnt.F += 2 // Mul, Sub
+				d[i*n+j] = d[i*n+j] - m*d[k*n+j]
+			}
+		}
+	}
+	return sign, true
+}
+
+// luFix is luNat for fixed.Num.
+func luFix(cnt *profile.Counts, d []fixed.Num, n int, piv []int) (sign int, ok bool) {
+	sign = 1
+	for k := 0; k < n; k++ {
+		p := k
+		cnt.M++
+		cnt.I++                // At(k,k)
+		cnt.I += fixed.CostAbs // Abs
+		best := d[k*n+k].AbsQuiet()
+		for i := k + 1; i < n; i++ {
+			cnt.M++
+			cnt.I++                // At(i,k)
+			cnt.I += fixed.CostAbs // Abs
+			v := d[i*n+k].AbsQuiet()
+			cnt.B++ // Less
+			if best.LessQuiet(v) {
+				best, p = v, i
+			}
+		}
+		cnt.B += uint64(n - k)
+		piv[k] = p
+		if p != k {
+			cnt.M += uint64(4 * n) // SwapRows
+			ri := d[p*n : p*n+n]
+			rj := d[k*n : k*n+n]
+			for t := range ri {
+				ri[t], rj[t] = rj[t], ri[t]
+			}
+			sign = -sign
+		}
+		cnt.M++
+		cnt.I++ // At(k,k)
+		pv := d[k*n+k]
+		if pv.IsZero() {
+			return sign, false
+		}
+		for i := k + 1; i < n; i++ {
+			cnt.M += 2
+			cnt.I += 2             // At(i,k) + Set(i,k)
+			cnt.I += fixed.CostDiv // Div
+			m := d[i*n+k].DivQuiet(pv)
+			d[i*n+k] = m
+			for j := k + 1; j < n; j++ {
+				cnt.M += 3
+				cnt.I += 3                             // At(i,j), At(k,j), Set(i,j)
+				cnt.I += fixed.CostMul + fixed.CostSub // Mul, Sub
+				d[i*n+j] = d[i*n+j].SubQuiet(m.MulQuiet(d[k*n+j]))
+			}
+		}
+	}
+	return sign, true
+}
+
+// luDecomposeFast is the dispatcher behind LUDecompose. ok=false means T
+// has no fast path and the caller must run the hooked loop.
+func luDecomposeFast[T scalar.Real[T]](a Mat[T]) (f *LU[T], ok bool, err error) {
+	if !fastFamily[T]() {
+		return nil, false, nil
+	}
+	n := a.rows
+	lu := a.Clone() // hooked: charges its M term exactly like the reference
+	piv := make([]int, n)
+	var cnt profile.Counts
+	var sign int
+	var good bool
+	switch d := any(lu.d).(type) {
+	case []scalar.F32:
+		sign, good = luNat(&cnt, d, n, piv)
+	case []scalar.F64:
+		sign, good = luNat(&cnt, d, n, piv)
+	case []fixed.Num:
+		sign, good = luFix(&cnt, d, n, piv)
+	}
+	profile.AddCounts(cnt)
+	if !good {
+		return nil, true, ErrSingular
+	}
+	return &LU[T]{lu: lu, pivot: piv, sign: sign}, true, nil
+}
+
+// --- LU solve ---
+
+func luSolveNat[F native](cnt *profile.Counts, lu []F, n int, piv []int, b []F) []F {
+	cnt.M += uint64(2 * n) // b.Clone()
+	x := make([]F, n)
+	copy(x, b)
+	for k := 0; k < n; k++ {
+		if p := piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	for i := 1; i < n; i++ {
+		acc := x[i]
+		for j := 0; j < i; j++ {
+			cnt.M++
+			cnt.I++    // At(i,j)
+			cnt.F += 2 // Mul, Sub
+			acc = acc - lu[i*n+j]*x[j]
+		}
+		x[i] = acc
+	}
+	for i := n - 1; i >= 0; i-- {
+		acc := x[i]
+		for j := i + 1; j < n; j++ {
+			cnt.M++
+			cnt.I++    // At(i,j)
+			cnt.F += 2 // Mul, Sub
+			acc = acc - lu[i*n+j]*x[j]
+		}
+		cnt.M++
+		cnt.I++ // At(i,i)
+		cnt.F++ // Div
+		x[i] = acc / lu[i*n+i]
+	}
+	cnt.M += uint64(4 * n)
+	return x
+}
+
+func luSolveFix(cnt *profile.Counts, lu []fixed.Num, n int, piv []int, b []fixed.Num) []fixed.Num {
+	cnt.M += uint64(2 * n) // b.Clone()
+	x := make([]fixed.Num, n)
+	copy(x, b)
+	for k := 0; k < n; k++ {
+		if p := piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	for i := 1; i < n; i++ {
+		acc := x[i]
+		for j := 0; j < i; j++ {
+			cnt.M++
+			cnt.I++                                // At(i,j)
+			cnt.I += fixed.CostMul + fixed.CostSub // Mul, Sub
+			acc = acc.SubQuiet(lu[i*n+j].MulQuiet(x[j]))
+		}
+		x[i] = acc
+	}
+	for i := n - 1; i >= 0; i-- {
+		acc := x[i]
+		for j := i + 1; j < n; j++ {
+			cnt.M++
+			cnt.I++                                // At(i,j)
+			cnt.I += fixed.CostMul + fixed.CostSub // Mul, Sub
+			acc = acc.SubQuiet(lu[i*n+j].MulQuiet(x[j]))
+		}
+		cnt.M++
+		cnt.I++                // At(i,i)
+		cnt.I += fixed.CostDiv // Div
+		x[i] = acc.DivQuiet(lu[i*n+i])
+	}
+	cnt.M += uint64(4 * n)
+	return x
+}
+
+// luSolveFast is the dispatcher behind LU.Solve.
+func luSolveFast[T scalar.Real[T]](f *LU[T], b Vec[T]) (Vec[T], bool) {
+	n := f.lu.rows
+	var cnt profile.Counts
+	var x any
+	switch d := any(f.lu.d).(type) {
+	case []scalar.F32:
+		x = luSolveNat(&cnt, d, n, f.pivot, any([]T(b)).([]scalar.F32))
+	case []scalar.F64:
+		x = luSolveNat(&cnt, d, n, f.pivot, any([]T(b)).([]scalar.F64))
+	case []fixed.Num:
+		x = luSolveFix(&cnt, d, n, f.pivot, any([]T(b)).([]fixed.Num))
+	default:
+		return nil, false
+	}
+	profile.AddCounts(cnt)
+	return Vec[T](x.([]T)), true
+}
+
+// --- Cholesky decomposition ---
+
+func cholNat[F native](cnt *profile.Counts, a []F, l []F, n int) bool {
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			cnt.M++
+			cnt.I++ // a.At(i,j)
+			acc := a[i*n+j]
+			for k := 0; k < j; k++ {
+				cnt.M += 2
+				cnt.I += 2 // l.At(i,k), l.At(j,k)
+				cnt.F += 2 // Mul, Sub
+				acc = acc - l[i*n+k]*l[j*n+k]
+			}
+			if i == j {
+				cnt.B++ // LessEq
+				if acc <= 0 {
+					return false
+				}
+				cnt.F++ // Sqrt
+				cnt.M++
+				cnt.I++ // Set(i,i)
+				l[i*n+i] = F(math.Sqrt(float64(acc)))
+			} else {
+				cnt.M++
+				cnt.I++ // l.At(j,j)
+				cnt.F++ // Div
+				cnt.M++
+				cnt.I++ // Set(i,j)
+				l[i*n+j] = acc / l[j*n+j]
+			}
+		}
+	}
+	return true
+}
+
+func cholFix(cnt *profile.Counts, a []fixed.Num, l []fixed.Num, n int) bool {
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			cnt.M++
+			cnt.I++ // a.At(i,j)
+			acc := a[i*n+j]
+			for k := 0; k < j; k++ {
+				cnt.M += 2
+				cnt.I += 2                             // l.At(i,k), l.At(j,k)
+				cnt.I += fixed.CostMul + fixed.CostSub // Mul, Sub
+				acc = acc.SubQuiet(l[i*n+k].MulQuiet(l[j*n+k]))
+			}
+			if i == j {
+				cnt.B++ // LessEq
+				if acc.LessEqQuiet(acc.FromFloat(0)) {
+					return false
+				}
+				cnt.I += fixed.CostSqrt // Sqrt
+				cnt.M++
+				cnt.I++ // Set(i,i)
+				l[i*n+i] = acc.SqrtQuiet()
+			} else {
+				cnt.M++
+				cnt.I++                // l.At(j,j)
+				cnt.I += fixed.CostDiv // Div
+				cnt.M++
+				cnt.I++ // Set(i,j)
+				l[i*n+j] = acc.DivQuiet(l[j*n+j])
+			}
+		}
+	}
+	return true
+}
+
+// cholDecomposeFast is the dispatcher behind CholeskyDecompose.
+func cholDecomposeFast[T scalar.Real[T]](a Mat[T]) (c *Cholesky[T], ok bool, notPD bool) {
+	if !fastFamily[T]() {
+		return nil, false, false
+	}
+	n := a.rows
+	l := Zeros[T](n, n)
+	var cnt profile.Counts
+	good := false
+	switch d := any(a.d).(type) {
+	case []scalar.F32:
+		good = cholNat(&cnt, d, any(l.d).([]scalar.F32), n)
+	case []scalar.F64:
+		good = cholNat(&cnt, d, any(l.d).([]scalar.F64), n)
+	case []fixed.Num:
+		good = cholFix(&cnt, d, any(l.d).([]fixed.Num), n)
+	}
+	profile.AddCounts(cnt)
+	if !good {
+		return nil, true, true
+	}
+	return &Cholesky[T]{l: l}, true, false
+}
+
+// --- Cholesky solve ---
+
+func cholSolveNat[F native](cnt *profile.Counts, l []F, n int, b []F) []F {
+	y := make([]F, n)
+	for i := 0; i < n; i++ {
+		acc := b[i]
+		for j := 0; j < i; j++ {
+			cnt.M++
+			cnt.I++    // At(i,j)
+			cnt.F += 2 // Mul, Sub
+			acc = acc - l[i*n+j]*y[j]
+		}
+		cnt.M++
+		cnt.I++ // At(i,i)
+		cnt.F++ // Div
+		y[i] = acc / l[i*n+i]
+	}
+	x := make([]F, n)
+	for i := n - 1; i >= 0; i-- {
+		acc := y[i]
+		for j := i + 1; j < n; j++ {
+			cnt.M++
+			cnt.I++    // At(j,i)
+			cnt.F += 2 // Mul, Sub
+			acc = acc - l[j*n+i]*x[j]
+		}
+		cnt.M++
+		cnt.I++ // At(i,i)
+		cnt.F++ // Div
+		x[i] = acc / l[i*n+i]
+	}
+	return x
+}
+
+func cholSolveFix(cnt *profile.Counts, l []fixed.Num, n int, b []fixed.Num) []fixed.Num {
+	y := make([]fixed.Num, n)
+	for i := 0; i < n; i++ {
+		acc := b[i]
+		for j := 0; j < i; j++ {
+			cnt.M++
+			cnt.I++                                // At(i,j)
+			cnt.I += fixed.CostMul + fixed.CostSub // Mul, Sub
+			acc = acc.SubQuiet(l[i*n+j].MulQuiet(y[j]))
+		}
+		cnt.M++
+		cnt.I++                // At(i,i)
+		cnt.I += fixed.CostDiv // Div
+		y[i] = acc.DivQuiet(l[i*n+i])
+	}
+	x := make([]fixed.Num, n)
+	for i := n - 1; i >= 0; i-- {
+		acc := y[i]
+		for j := i + 1; j < n; j++ {
+			cnt.M++
+			cnt.I++                                // At(j,i)
+			cnt.I += fixed.CostMul + fixed.CostSub // Mul, Sub
+			acc = acc.SubQuiet(l[j*n+i].MulQuiet(x[j]))
+		}
+		cnt.M++
+		cnt.I++                // At(i,i)
+		cnt.I += fixed.CostDiv // Div
+		x[i] = acc.DivQuiet(l[i*n+i])
+	}
+	return x
+}
+
+// cholSolveFast is the dispatcher behind Cholesky.Solve.
+func cholSolveFast[T scalar.Real[T]](c *Cholesky[T], b Vec[T]) (Vec[T], bool) {
+	n := c.l.rows
+	var cnt profile.Counts
+	var x any
+	switch d := any(c.l.d).(type) {
+	case []scalar.F32:
+		x = cholSolveNat(&cnt, d, n, any([]T(b)).([]scalar.F32))
+	case []scalar.F64:
+		x = cholSolveNat(&cnt, d, n, any([]T(b)).([]scalar.F64))
+	case []fixed.Num:
+		x = cholSolveFix(&cnt, d, n, any([]T(b)).([]fixed.Num))
+	default:
+		return nil, false
+	}
+	profile.AddCounts(cnt)
+	return Vec[T](x.([]T)), true
+}
+
+// --- LDLT decomposition ---
+
+func ldltNat[F native](cnt *profile.Counts, a []F, l []F, dd []F, n int) bool {
+	for j := 0; j < n; j++ {
+		cnt.M++
+		cnt.I++ // a.At(j,j)
+		acc := a[j*n+j]
+		for k := 0; k < j; k++ {
+			cnt.M += 2
+			cnt.I += 2 // l.At(j,k) ×2
+			cnt.F += 3 // Mul, Mul, Sub
+			acc = acc - dd[k]*l[j*n+k]*l[j*n+k]
+		}
+		if acc == 0 {
+			return false
+		}
+		dd[j] = acc
+		for i := j + 1; i < n; i++ {
+			cnt.M++
+			cnt.I++ // a.At(i,j)
+			v := a[i*n+j]
+			for k := 0; k < j; k++ {
+				cnt.M += 2
+				cnt.I += 2 // l.At(i,k), l.At(j,k)
+				cnt.F += 3 // Mul, Mul, Sub
+				v = v - dd[k]*l[i*n+k]*l[j*n+k]
+			}
+			cnt.F++ // Div
+			cnt.M++
+			cnt.I++ // Set(i,j)
+			l[i*n+j] = v / dd[j]
+		}
+	}
+	return true
+}
+
+func ldltFix(cnt *profile.Counts, a []fixed.Num, l []fixed.Num, dd []fixed.Num, n int) bool {
+	for j := 0; j < n; j++ {
+		cnt.M++
+		cnt.I++ // a.At(j,j)
+		acc := a[j*n+j]
+		for k := 0; k < j; k++ {
+			cnt.M += 2
+			cnt.I += 2                               // l.At(j,k) ×2
+			cnt.I += 2*fixed.CostMul + fixed.CostSub // Mul, Mul, Sub
+			acc = acc.SubQuiet(dd[k].MulQuiet(l[j*n+k]).MulQuiet(l[j*n+k]))
+		}
+		if acc.IsZero() {
+			return false
+		}
+		dd[j] = acc
+		for i := j + 1; i < n; i++ {
+			cnt.M++
+			cnt.I++ // a.At(i,j)
+			v := a[i*n+j]
+			for k := 0; k < j; k++ {
+				cnt.M += 2
+				cnt.I += 2                               // l.At(i,k), l.At(j,k)
+				cnt.I += 2*fixed.CostMul + fixed.CostSub // Mul, Mul, Sub
+				v = v.SubQuiet(dd[k].MulQuiet(l[i*n+k]).MulQuiet(l[j*n+k]))
+			}
+			cnt.I += fixed.CostDiv // Div
+			cnt.M++
+			cnt.I++ // Set(i,j)
+			l[i*n+j] = v.DivQuiet(dd[j])
+		}
+	}
+	return true
+}
+
+// ldltDecomposeFast is the dispatcher behind LDLTDecompose.
+func ldltDecomposeFast[T scalar.Real[T]](a Mat[T]) (f *LDLT[T], ok bool, singular bool) {
+	if !fastFamily[T]() {
+		return nil, false, false
+	}
+	n := a.rows
+	// Identity(n, a.like()): n hooked diagonal Sets.
+	l := Zeros[T](n, n)
+	one := a.like().FromFloat(1)
+	var cnt profile.Counts
+	for i := 0; i < n; i++ {
+		cnt.M++
+		cnt.I++
+		l.d[i*n+i] = one
+	}
+	d := make(Vec[T], n)
+	good := false
+	switch ad := any(a.d).(type) {
+	case []scalar.F32:
+		good = ldltNat(&cnt, ad, any(l.d).([]scalar.F32), any([]T(d)).([]scalar.F32), n)
+	case []scalar.F64:
+		good = ldltNat(&cnt, ad, any(l.d).([]scalar.F64), any([]T(d)).([]scalar.F64), n)
+	case []fixed.Num:
+		good = ldltFix(&cnt, ad, any(l.d).([]fixed.Num), any([]T(d)).([]fixed.Num), n)
+	}
+	profile.AddCounts(cnt)
+	if !good {
+		return nil, true, true
+	}
+	return &LDLT[T]{l: l, d: d}, true, false
+}
+
+// --- LDLT solve ---
+
+func ldltSolveNat[F native](cnt *profile.Counts, l []F, dd []F, n int, b []F) []F {
+	y := make([]F, n)
+	for i := 0; i < n; i++ {
+		acc := b[i]
+		for j := 0; j < i; j++ {
+			cnt.M++
+			cnt.I++    // At(i,j)
+			cnt.F += 2 // Mul, Sub
+			acc = acc - l[i*n+j]*y[j]
+		}
+		y[i] = acc
+	}
+	x := make([]F, n)
+	for i := n - 1; i >= 0; i-- {
+		cnt.F++ // Div
+		acc := y[i] / dd[i]
+		for j := i + 1; j < n; j++ {
+			cnt.M++
+			cnt.I++    // At(j,i)
+			cnt.F += 2 // Mul, Sub
+			acc = acc - l[j*n+i]*x[j]
+		}
+		x[i] = acc
+	}
+	return x
+}
+
+func ldltSolveFix(cnt *profile.Counts, l []fixed.Num, dd []fixed.Num, n int, b []fixed.Num) []fixed.Num {
+	y := make([]fixed.Num, n)
+	for i := 0; i < n; i++ {
+		acc := b[i]
+		for j := 0; j < i; j++ {
+			cnt.M++
+			cnt.I++                                // At(i,j)
+			cnt.I += fixed.CostMul + fixed.CostSub // Mul, Sub
+			acc = acc.SubQuiet(l[i*n+j].MulQuiet(y[j]))
+		}
+		y[i] = acc
+	}
+	x := make([]fixed.Num, n)
+	for i := n - 1; i >= 0; i-- {
+		cnt.I += fixed.CostDiv // Div
+		acc := y[i].DivQuiet(dd[i])
+		for j := i + 1; j < n; j++ {
+			cnt.M++
+			cnt.I++                                // At(j,i)
+			cnt.I += fixed.CostMul + fixed.CostSub // Mul, Sub
+			acc = acc.SubQuiet(l[j*n+i].MulQuiet(x[j]))
+		}
+		x[i] = acc
+	}
+	return x
+}
+
+// ldltSolveFast is the dispatcher behind LDLT.Solve.
+func ldltSolveFast[T scalar.Real[T]](f *LDLT[T], b Vec[T]) (Vec[T], bool) {
+	n := len(f.d)
+	var cnt profile.Counts
+	var x any
+	switch ld := any(f.l.d).(type) {
+	case []scalar.F32:
+		x = ldltSolveNat(&cnt, ld, any([]T(f.d)).([]scalar.F32), n, any([]T(b)).([]scalar.F32))
+	case []scalar.F64:
+		x = ldltSolveNat(&cnt, ld, any([]T(f.d)).([]scalar.F64), n, any([]T(b)).([]scalar.F64))
+	case []fixed.Num:
+		x = ldltSolveFix(&cnt, ld, any([]T(f.d)).([]fixed.Num), n, any([]T(b)).([]fixed.Num))
+	default:
+		return nil, false
+	}
+	profile.AddCounts(cnt)
+	return Vec[T](x.([]T)), true
+}
+
+// --- QR decomposition ---
+
+func qrNat[F native](cnt *profile.Counts, d []F, m, n int, rdiag []F) {
+	for k := 0; k < n; k++ {
+		var nrm F
+		for i := k; i < m; i++ {
+			cnt.M++
+			cnt.I++ // At(i,k)
+			v := d[i*n+k]
+			cnt.F += 2 // Mul, Add
+			nrm = nrm + v*v
+		}
+		cnt.F++ // Sqrt
+		nrm = F(math.Sqrt(float64(nrm)))
+		if nrm == 0 {
+			rdiag[k] = nrm
+			continue
+		}
+		cnt.M++
+		cnt.I++ // At(k,k)
+		cnt.B++ // Less
+		if d[k*n+k] < 0 {
+			cnt.F++ // Neg
+			nrm = -nrm
+		}
+		cnt.F++ // Div
+		invN := 1 / nrm
+		for i := k; i < m; i++ {
+			cnt.M += 2
+			cnt.I += 2 // At(i,k) + Set(i,k)
+			cnt.F++    // Mul
+			d[i*n+k] = d[i*n+k] * invN
+		}
+		cnt.M += 2
+		cnt.I += 2 // At(k,k) + Set(k,k)
+		cnt.F++    // Add
+		d[k*n+k] = d[k*n+k] + 1
+		for j := k + 1; j < n; j++ {
+			var s F
+			for i := k; i < m; i++ {
+				cnt.M += 2
+				cnt.I += 2 // At(i,k), At(i,j)
+				cnt.F += 2 // Mul, Add
+				s = s + d[i*n+k]*d[i*n+j]
+			}
+			cnt.F++ // Neg
+			cnt.M++
+			cnt.I++ // At(k,k)
+			cnt.F++ // Div
+			s = -s / d[k*n+k]
+			for i := k; i < m; i++ {
+				cnt.M += 3
+				cnt.I += 3 // At(i,j), At(i,k), Set(i,j)
+				cnt.F += 2 // Mul, Add
+				d[i*n+j] = d[i*n+j] + s*d[i*n+k]
+			}
+		}
+		cnt.F++ // Neg
+		rdiag[k] = -nrm
+	}
+}
+
+func qrFix(cnt *profile.Counts, d []fixed.Num, m, n int, rdiag []fixed.Num) {
+	for k := 0; k < n; k++ {
+		var nrm fixed.Num
+		for i := k; i < m; i++ {
+			cnt.M++
+			cnt.I++ // At(i,k)
+			v := d[i*n+k]
+			cnt.I += fixed.CostMul + fixed.CostAdd // Mul, Add
+			nrm = nrm.AddQuiet(v.MulQuiet(v))
+		}
+		cnt.I += fixed.CostSqrt // Sqrt
+		nrm = nrm.SqrtQuiet()
+		if nrm.IsZero() {
+			rdiag[k] = nrm
+			continue
+		}
+		cnt.M++
+		cnt.I++ // At(k,k)
+		cnt.B++ // Less
+		if d[k*n+k].LessQuiet(nrm.FromFloat(0)) {
+			cnt.I += fixed.CostNeg // Neg
+			nrm = nrm.NegQuiet()
+		}
+		cnt.I += fixed.CostDiv // Div
+		invN := nrm.FromFloat(1).DivQuiet(nrm)
+		for i := k; i < m; i++ {
+			cnt.M += 2
+			cnt.I += 2             // At(i,k) + Set(i,k)
+			cnt.I += fixed.CostMul // Mul
+			d[i*n+k] = d[i*n+k].MulQuiet(invN)
+		}
+		cnt.M += 2
+		cnt.I += 2             // At(k,k) + Set(k,k)
+		cnt.I += fixed.CostAdd // Add
+		d[k*n+k] = d[k*n+k].AddQuiet(nrm.FromFloat(1))
+		for j := k + 1; j < n; j++ {
+			var s fixed.Num
+			for i := k; i < m; i++ {
+				cnt.M += 2
+				cnt.I += 2                             // At(i,k), At(i,j)
+				cnt.I += fixed.CostMul + fixed.CostAdd // Mul, Add
+				s = s.AddQuiet(d[i*n+k].MulQuiet(d[i*n+j]))
+			}
+			cnt.I += fixed.CostNeg // Neg
+			cnt.M++
+			cnt.I++                // At(k,k)
+			cnt.I += fixed.CostDiv // Div
+			s = s.NegQuiet().DivQuiet(d[k*n+k])
+			for i := k; i < m; i++ {
+				cnt.M += 3
+				cnt.I += 3                             // At(i,j), At(i,k), Set(i,j)
+				cnt.I += fixed.CostMul + fixed.CostAdd // Mul, Add
+				d[i*n+j] = d[i*n+j].AddQuiet(s.MulQuiet(d[i*n+k]))
+			}
+		}
+		cnt.I += fixed.CostNeg // Neg
+		rdiag[k] = nrm.NegQuiet()
+	}
+}
+
+// qrDecomposeFast is the dispatcher behind QRDecompose.
+func qrDecomposeFast[T scalar.Real[T]](a Mat[T]) (f *QR[T], ok bool) {
+	if !fastFamily[T]() {
+		return nil, false
+	}
+	m, n := a.rows, a.cols
+	qr := a.Clone() // hooked: charges its M term exactly like the reference
+	rdiag := make(Vec[T], n)
+	var cnt profile.Counts
+	switch d := any(qr.d).(type) {
+	case []scalar.F32:
+		qrNat(&cnt, d, m, n, any([]T(rdiag)).([]scalar.F32))
+	case []scalar.F64:
+		qrNat(&cnt, d, m, n, any([]T(rdiag)).([]scalar.F64))
+	case []fixed.Num:
+		qrFix(&cnt, d, m, n, any([]T(rdiag)).([]fixed.Num))
+	}
+	profile.AddCounts(cnt)
+	return &QR[T]{qr: qr, rdiag: rdiag}, true
+}
+
+// --- QR solve ---
+
+func qrSolveNat[F native](cnt *profile.Counts, d []F, m, n int, rdiag []F, b []F) []F {
+	cnt.M += uint64(2 * m) // b.Clone()
+	y := make([]F, m)
+	copy(y, b)
+	for k := 0; k < n; k++ {
+		cnt.M++
+		cnt.I++ // At(k,k)
+		if d[k*n+k] == 0 {
+			continue
+		}
+		var s F
+		for i := k; i < m; i++ {
+			cnt.M++
+			cnt.I++    // At(i,k)
+			cnt.F += 2 // Mul, Add
+			s = s + d[i*n+k]*y[i]
+		}
+		cnt.F++ // Neg
+		cnt.M++
+		cnt.I++ // At(k,k)
+		cnt.F++ // Div
+		s = -s / d[k*n+k]
+		for i := k; i < m; i++ {
+			cnt.M++
+			cnt.I++    // At(i,k)
+			cnt.F += 2 // Mul, Add
+			y[i] = y[i] + s*d[i*n+k]
+		}
+	}
+	x := make([]F, n)
+	for i := n - 1; i >= 0; i-- {
+		acc := y[i]
+		for j := i + 1; j < n; j++ {
+			cnt.M++
+			cnt.I++    // At(i,j)
+			cnt.F += 2 // Mul, Sub
+			acc = acc - d[i*n+j]*x[j]
+		}
+		cnt.F++ // Div
+		x[i] = acc / rdiag[i]
+	}
+	return x
+}
+
+func qrSolveFix(cnt *profile.Counts, d []fixed.Num, m, n int, rdiag []fixed.Num, b []fixed.Num) []fixed.Num {
+	cnt.M += uint64(2 * m) // b.Clone()
+	y := make([]fixed.Num, m)
+	copy(y, b)
+	for k := 0; k < n; k++ {
+		cnt.M++
+		cnt.I++ // At(k,k)
+		if d[k*n+k].IsZero() {
+			continue
+		}
+		var s fixed.Num
+		for i := k; i < m; i++ {
+			cnt.M++
+			cnt.I++                                // At(i,k)
+			cnt.I += fixed.CostMul + fixed.CostAdd // Mul, Add
+			s = s.AddQuiet(d[i*n+k].MulQuiet(y[i]))
+		}
+		cnt.I += fixed.CostNeg // Neg
+		cnt.M++
+		cnt.I++                // At(k,k)
+		cnt.I += fixed.CostDiv // Div
+		s = s.NegQuiet().DivQuiet(d[k*n+k])
+		for i := k; i < m; i++ {
+			cnt.M++
+			cnt.I++                                // At(i,k)
+			cnt.I += fixed.CostMul + fixed.CostAdd // Mul, Add
+			y[i] = y[i].AddQuiet(s.MulQuiet(d[i*n+k]))
+		}
+	}
+	x := make([]fixed.Num, n)
+	for i := n - 1; i >= 0; i-- {
+		acc := y[i]
+		for j := i + 1; j < n; j++ {
+			cnt.M++
+			cnt.I++                                // At(i,j)
+			cnt.I += fixed.CostMul + fixed.CostSub // Mul, Sub
+			acc = acc.SubQuiet(d[i*n+j].MulQuiet(x[j]))
+		}
+		cnt.I += fixed.CostDiv // Div
+		x[i] = acc.DivQuiet(rdiag[i])
+	}
+	return x
+}
+
+// qrSolveFast is the dispatcher behind QR.Solve; the caller has already
+// performed the FullRank and length checks, which charge nothing.
+func qrSolveFast[T scalar.Real[T]](f *QR[T], b Vec[T]) (Vec[T], bool) {
+	m, n := f.qr.rows, f.qr.cols
+	var cnt profile.Counts
+	var x any
+	switch d := any(f.qr.d).(type) {
+	case []scalar.F32:
+		x = qrSolveNat(&cnt, d, m, n, any([]T(f.rdiag)).([]scalar.F32), any([]T(b)).([]scalar.F32))
+	case []scalar.F64:
+		x = qrSolveNat(&cnt, d, m, n, any([]T(f.rdiag)).([]scalar.F64), any([]T(b)).([]scalar.F64))
+	case []fixed.Num:
+		x = qrSolveFix(&cnt, d, m, n, any([]T(f.rdiag)).([]fixed.Num), any([]T(b)).([]fixed.Num))
+	default:
+		return nil, false
+	}
+	profile.AddCounts(cnt)
+	return Vec[T](x.([]T)), true
+}

@@ -25,6 +25,11 @@ func LUDecompose[T scalar.Real[T]](a Mat[T]) (*LU[T], error) {
 	if a.Cols() != n {
 		return nil, errors.New("mat: LU of non-square matrix")
 	}
+	if fastKernels() {
+		if f, ok, err := luDecomposeFast(a); ok {
+			return f, err
+		}
+	}
 	lu := a.Clone()
 	piv := make([]int, n)
 	sign := 1
@@ -61,6 +66,11 @@ func LUDecompose[T scalar.Real[T]](a Mat[T]) (*LU[T], error) {
 
 // Solve returns x with A·x = b.
 func (f *LU[T]) Solve(b Vec[T]) Vec[T] {
+	if fastKernels() {
+		if x, ok := luSolveFast(f, b); ok {
+			return x
+		}
+	}
 	n := f.lu.Rows()
 	x := b.Clone()
 	// Apply row permutation.

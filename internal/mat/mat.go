@@ -116,6 +116,9 @@ func (m Mat[T]) CopyFrom(src Mat[T]) {
 
 // Transpose returns mᵀ as a new matrix.
 func (m Mat[T]) Transpose() Mat[T] {
+	if fastKernels() {
+		return fastTranspose(m)
+	}
 	t := Zeros[T](m.cols, m.rows)
 	for i := 0; i < m.rows; i++ {
 		for j := 0; j < m.cols; j++ {
@@ -128,6 +131,11 @@ func (m Mat[T]) Transpose() Mat[T] {
 // Add returns m+b.
 func (m Mat[T]) Add(b Mat[T]) Mat[T] {
 	m.checkSameShape(b)
+	if fastKernels() {
+		if d, ok := fastAddSlice[T](m.d, b.d); ok {
+			return Mat[T]{rows: m.rows, cols: m.cols, d: d}
+		}
+	}
 	out := Zeros[T](m.rows, m.cols)
 	for i := range m.d {
 		out.d[i] = m.d[i].Add(b.d[i])
@@ -139,6 +147,11 @@ func (m Mat[T]) Add(b Mat[T]) Mat[T] {
 // Sub returns m-b.
 func (m Mat[T]) Sub(b Mat[T]) Mat[T] {
 	m.checkSameShape(b)
+	if fastKernels() {
+		if d, ok := fastSubSlice[T](m.d, b.d); ok {
+			return Mat[T]{rows: m.rows, cols: m.cols, d: d}
+		}
+	}
 	out := Zeros[T](m.rows, m.cols)
 	for i := range m.d {
 		out.d[i] = m.d[i].Sub(b.d[i])
@@ -149,6 +162,11 @@ func (m Mat[T]) Sub(b Mat[T]) Mat[T] {
 
 // Scale returns s·m.
 func (m Mat[T]) Scale(s T) Mat[T] {
+	if fastKernels() {
+		if d, ok := fastScaleSlice[T](m.d, s); ok {
+			return Mat[T]{rows: m.rows, cols: m.cols, d: d}
+		}
+	}
 	out := Zeros[T](m.rows, m.cols)
 	for i := range m.d {
 		out.d[i] = m.d[i].Mul(s)
@@ -161,6 +179,11 @@ func (m Mat[T]) Scale(s T) Mat[T] {
 func (m Mat[T]) Mul(b Mat[T]) Mat[T] {
 	if m.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	if fastKernels() {
+		if out, ok := fastMul(m, b); ok {
+			return out
+		}
 	}
 	out := Zeros[T](m.rows, b.cols)
 	for i := 0; i < m.rows; i++ {
@@ -183,6 +206,11 @@ func (m Mat[T]) Mul(b Mat[T]) Mat[T] {
 func (m Mat[T]) MulVec(v Vec[T]) Vec[T] {
 	if m.cols != len(v) {
 		panic(fmt.Sprintf("mat: MulVec shape mismatch %dx%d · %d", m.rows, m.cols, len(v)))
+	}
+	if fastKernels() {
+		if out, ok := fastMulVec(m, v); ok {
+			return out
+		}
 	}
 	out := make(Vec[T], m.rows)
 	for i := 0; i < m.rows; i++ {
@@ -281,6 +309,11 @@ func (m Mat[T]) Trace() T {
 
 // FrobNorm returns the Frobenius norm.
 func (m Mat[T]) FrobNorm() T {
+	if fastKernels() {
+		if v, ok := fastFrobSlice[T](m.d); ok {
+			return v
+		}
+	}
 	var acc T
 	for _, v := range m.d {
 		acc = acc.Add(v.Mul(v))
@@ -291,6 +324,11 @@ func (m Mat[T]) FrobNorm() T {
 
 // MaxAbs returns the largest absolute element value.
 func (m Mat[T]) MaxAbs() T {
+	if fastKernels() {
+		if v, ok := fastMaxAbsSlice[T](m.d); ok {
+			return v
+		}
+	}
 	var best T
 	for _, v := range m.d {
 		a := v.Abs()

@@ -19,6 +19,11 @@ func QRDecompose[T scalar.Real[T]](a Mat[T]) (*QR[T], error) {
 	if m < n {
 		return nil, errors.New("mat: QR requires rows >= cols")
 	}
+	if fastKernels() {
+		if f, ok := qrDecomposeFast(a); ok {
+			return f, nil
+		}
+	}
 	qr := a.Clone()
 	rdiag := make(Vec[T], n)
 	for k := 0; k < n; k++ {
@@ -112,6 +117,11 @@ func (f *QR[T]) Solve(b Vec[T]) (Vec[T], error) {
 	m, n := f.qr.Rows(), f.qr.Cols()
 	if len(b) != m {
 		return nil, errors.New("mat: QR Solve length mismatch")
+	}
+	if fastKernels() {
+		if x, ok := qrSolveFast(f, b); ok {
+			return x, nil
+		}
 	}
 	y := b.Clone()
 	// Apply Householder reflectors: y = Qᵀ·b.

@@ -24,6 +24,11 @@ func SVD[T scalar.Real[T]](a Mat[T]) SVDResult[T] {
 		r := SVD(a.Transpose())
 		return SVDResult[T]{U: r.V, S: r.S, V: r.U}
 	}
+	if fastKernels() {
+		if r, ok := svdFast(a); ok {
+			return r
+		}
+	}
 	like := a.like()
 	one := scalar.One(like)
 	two := like.FromFloat(2)

@@ -33,6 +33,11 @@ func (v Vec[T]) Clone() Vec[T] {
 // Add returns v+b.
 func (v Vec[T]) Add(b Vec[T]) Vec[T] {
 	v.checkLen(b)
+	if fastKernels() {
+		if d, ok := fastAddSlice[T](v, b); ok {
+			return d
+		}
+	}
 	out := make(Vec[T], len(v))
 	for i := range v {
 		out[i] = v[i].Add(b[i])
@@ -44,6 +49,11 @@ func (v Vec[T]) Add(b Vec[T]) Vec[T] {
 // Sub returns v-b.
 func (v Vec[T]) Sub(b Vec[T]) Vec[T] {
 	v.checkLen(b)
+	if fastKernels() {
+		if d, ok := fastSubSlice[T](v, b); ok {
+			return d
+		}
+	}
 	out := make(Vec[T], len(v))
 	for i := range v {
 		out[i] = v[i].Sub(b[i])
@@ -54,6 +64,11 @@ func (v Vec[T]) Sub(b Vec[T]) Vec[T] {
 
 // Scale returns s·v.
 func (v Vec[T]) Scale(s T) Vec[T] {
+	if fastKernels() {
+		if d, ok := fastScaleSlice[T](v, s); ok {
+			return d
+		}
+	}
 	out := make(Vec[T], len(v))
 	for i := range v {
 		out[i] = v[i].Mul(s)
@@ -66,6 +81,11 @@ func (v Vec[T]) Scale(s T) Vec[T] {
 // iterative solvers.
 func (v Vec[T]) AddScaled(s T, b Vec[T]) Vec[T] {
 	v.checkLen(b)
+	if fastKernels() {
+		if d, ok := fastAddScaledSlice[T](v, s, b); ok {
+			return d
+		}
+	}
 	out := make(Vec[T], len(v))
 	for i := range v {
 		out[i] = v[i].Add(s.Mul(b[i]))
@@ -77,6 +97,11 @@ func (v Vec[T]) AddScaled(s T, b Vec[T]) Vec[T] {
 // Dot returns v·b.
 func (v Vec[T]) Dot(b Vec[T]) T {
 	v.checkLen(b)
+	if fastKernels() {
+		if d, ok := fastDotSlice[T](v, b); ok {
+			return d
+		}
+	}
 	var acc T
 	for i := range v {
 		acc = acc.Add(v[i].Mul(b[i]))
@@ -103,6 +128,11 @@ func (v Vec[T]) Normalized() Vec[T] {
 
 // Neg returns -v.
 func (v Vec[T]) Neg() Vec[T] {
+	if fastKernels() {
+		if d, ok := fastNegSlice[T](v); ok {
+			return d
+		}
+	}
 	out := make(Vec[T], len(v))
 	for i := range v {
 		out[i] = v[i].Neg()
@@ -113,6 +143,11 @@ func (v Vec[T]) Neg() Vec[T] {
 
 // MaxAbs returns the largest absolute component.
 func (v Vec[T]) MaxAbs() T {
+	if fastKernels() {
+		if d, ok := fastMaxAbsSlice[T](v); ok {
+			return d
+		}
+	}
 	var best T
 	for _, x := range v {
 		a := x.Abs()

@@ -32,19 +32,28 @@ const fastMargin = 3
 
 // DetectFAST runs the FAST-9 segment test over the image and returns
 // corners after 3×3 non-maximum suppression on the arc score.
+//
+// The segment test touches every interior pixel five to twenty-one
+// times, so it accounts in bulk through a profile.Region: pixels are
+// read straight from g.Pix, and the exact per-pixel mix the hooked
+// loop charged — one center load, four compass loads, four integer
+// compares and branches, plus the full 16-ring cost for the pixels
+// that survive the compass reject — is tallied analytically.
 func DetectFAST(g *img.Gray, threshold int) []Keypoint {
+	reg := profile.Region()
+	defer reg.Close()
 	scores := make([]int, g.W*g.H)
 	var ring [16]int
+	candidates := uint64(0)
 	for y := fastMargin; y < g.H-fastMargin; y++ {
+		row := y * g.W
 		for x := fastMargin; x < g.W-fastMargin; x++ {
-			p := int(g.At(x, y))
+			p := int(g.Pix[row+x])
 			hi := p + threshold
 			lo := p - threshold
 			// High-speed reject on the four compass points.
-			profile.AddI(4)
-			profile.AddB(4)
-			n, s := int(g.At(x, y-3)), int(g.At(x, y+3))
-			e, w := int(g.At(x+3, y)), int(g.At(x-3, y))
+			n, s := int(g.Pix[row-3*g.W+x]), int(g.Pix[row+3*g.W+x])
+			e, w := int(g.Pix[row+x+3]), int(g.Pix[row+x-3])
 			// Any contiguous 9-arc of the 16-ring covers at least two of
 			// the four compass points, so fewer than two passing compass
 			// points rules a FAST-9 corner out.
@@ -54,26 +63,33 @@ func DetectFAST(g *img.Gray, threshold int) []Keypoint {
 				continue
 			}
 			// Full segment test.
+			candidates++
 			for i, off := range circleOffsets {
-				ring[i] = int(g.At(x+off[0], y+off[1]))
+				ring[i] = int(g.Pix[(y+off[1])*g.W+x+off[0]])
 			}
-			profile.AddI(32)
-			profile.AddB(32)
 			if sc := segmentScore(ring[:], p, threshold); sc > 0 {
-				scores[y*g.W+x] = sc
+				scores[row+x] = sc
 			}
 		}
 	}
+	// Every interior pixel paid 5 loads + 4 compares; candidates paid
+	// 16 ring loads plus the 32-compare arc-walk setup on top.
+	interior := uint64(g.H-2*fastMargin) * uint64(g.W-2*fastMargin)
+	reg.AddCounts(profile.Counts{
+		M: 5*interior + 16*candidates,
+		I: 4*interior + 32*candidates,
+		B: 4*interior + 32*candidates,
+	})
 	// 3×3 non-maximum suppression.
 	var out []Keypoint
+	scored := uint64(0)
 	for y := fastMargin; y < g.H-fastMargin; y++ {
 		for x := fastMargin; x < g.W-fastMargin; x++ {
 			sc := scores[y*g.W+x]
 			if sc == 0 {
 				continue
 			}
-			profile.AddM(9)
-			profile.AddB(8)
+			scored++
 			isMax := true
 			for dy := -1; dy <= 1 && isMax; dy++ {
 				for dx := -1; dx <= 1; dx++ {
@@ -91,6 +107,7 @@ func DetectFAST(g *img.Gray, threshold int) []Keypoint {
 			}
 		}
 	}
+	reg.AddCounts(profile.Counts{M: 9 * scored, B: 8 * scored})
 	return out
 }
 

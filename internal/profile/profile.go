@@ -44,15 +44,19 @@ func (c Counts) Sub(other Counts) Counts {
 	return Counts{F: c.F - other.F, I: c.I - other.I, M: c.M - other.M, B: c.B - other.B}
 }
 
-// Scale returns c with every class multiplied by k. Used by kernels that
-// model vectorized inner loops (e.g. the USADA8-based bbof-vec variant).
+// Scale returns c with every class multiplied by k, rounding half away
+// from zero. Used by kernels that model vectorized inner loops (e.g. the
+// USADA8-based bbof-vec variant); rounding rather than truncating keeps
+// modeled mixes from drifting low at non-integral k.
 func (c Counts) Scale(k float64) Counts {
-	return Counts{
-		F: uint64(float64(c.F) * k),
-		I: uint64(float64(c.I) * k),
-		M: uint64(float64(c.M) * k),
-		B: uint64(float64(c.B) * k),
+	round := func(v uint64) uint64 {
+		x := float64(v) * k
+		if x <= 0 {
+			return 0
+		}
+		return uint64(x + 0.5)
 	}
+	return Counts{F: round(c.F), I: round(c.I), M: round(c.M), B: round(c.B)}
 }
 
 // Begin activates a fresh record on the calling goroutine and returns

@@ -129,3 +129,27 @@ func TestPropSubAddRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Scale rounds half away from zero rather than truncating, so modeled
+// mixes do not drift low at non-integral scale factors; non-positive
+// products clamp to zero (counts are unsigned).
+func TestScaleRoundsHalfAwayFromZero(t *testing.T) {
+	cases := []struct {
+		in   Counts
+		k    float64
+		want Counts
+	}{
+		{Counts{F: 3, I: 5, M: 7, B: 9}, 0.5, Counts{F: 2, I: 3, M: 4, B: 5}},
+		{Counts{F: 1, I: 1, M: 1, B: 1}, 0.25, Counts{}},
+		{Counts{F: 2, I: 2, M: 2, B: 2}, 0.25, Counts{F: 1, I: 1, M: 1, B: 1}},
+		{Counts{F: 10, I: 10, M: 10, B: 10}, 1.0 / 3, Counts{F: 3, I: 3, M: 3, B: 3}},
+		{Counts{F: 100}, 0, Counts{}},
+		{Counts{F: 100}, -1, Counts{}},
+		{Counts{F: 7}, 1.5, Counts{F: 11}}, // 10.5 rounds up, away from zero
+	}
+	for _, tc := range cases {
+		if got := tc.in.Scale(tc.k); got != tc.want {
+			t.Errorf("%+v.Scale(%v) = %+v, want %+v", tc.in, tc.k, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package scalar
+
+import (
+	"repro/internal/fixed"
+	"repro/internal/profile"
+)
+
+// OpCosts is the per-operation instruction-mix price of one scalar
+// implementation: exactly what each hooked Real method charges the
+// profiler per call. The bulk fast paths in internal/mat use these
+// tables to charge whole inner loops analytically — N calls of an op
+// cost N times its entry — so bulk accounting and per-op hooks cannot
+// disagree without a differential test catching it.
+type OpCosts struct {
+	Add  profile.Counts
+	Sub  profile.Counts
+	Mul  profile.Counts
+	Div  profile.Counts
+	Neg  profile.Counts
+	Abs  profile.Counts
+	Sqrt profile.Counts
+	// Cmp is the price of Less/LessEq (one branch/compare for every
+	// built-in scalar type).
+	Cmp profile.Counts
+}
+
+// FloatOpCosts prices F32 and F64: every arithmetic method is one F op
+// (the MCU model charges double-precision penalties downstream, not
+// here), comparisons are one branch.
+var FloatOpCosts = OpCosts{
+	Add:  profile.Counts{F: 1},
+	Sub:  profile.Counts{F: 1},
+	Mul:  profile.Counts{F: 1},
+	Div:  profile.Counts{F: 1},
+	Neg:  profile.Counts{F: 1},
+	Abs:  profile.Counts{F: 1},
+	Sqrt: profile.Counts{F: 1},
+	Cmp:  profile.Counts{B: 1},
+}
+
+// FixedOpCosts prices fixed.Num, built from the same Cost constants its
+// hooked methods charge.
+var FixedOpCosts = OpCosts{
+	Add:  profile.Counts{I: fixed.CostAdd},
+	Sub:  profile.Counts{I: fixed.CostSub},
+	Mul:  profile.Counts{I: fixed.CostMul},
+	Div:  profile.Counts{I: fixed.CostDiv},
+	Neg:  profile.Counts{I: fixed.CostNeg},
+	Abs:  profile.Counts{I: fixed.CostAbs},
+	Sqrt: profile.Counts{I: fixed.CostSqrt},
+	Cmp:  profile.Counts{B: 1},
+}
+
+// OpCostsOf returns the cost table for T. ok is false for scalar types
+// outside the built-in family (custom Real implementations), which have
+// no bulk fast path and keep the per-op hooked accounting.
+func OpCostsOf[T Real[T]]() (c OpCosts, ok bool) {
+	var z T
+	switch any(z).(type) {
+	case F32, F64:
+		return FloatOpCosts, true
+	case fixed.Num:
+		return FixedOpCosts, true
+	}
+	return OpCosts{}, false
+}
+
+// ScaleCounts returns cost repeated n times — the aggregate charge of n
+// identical operations.
+func ScaleCounts(cost profile.Counts, n uint64) profile.Counts {
+	return profile.Counts{F: cost.F * n, I: cost.I * n, M: cost.M * n, B: cost.B * n}
+}
