@@ -7,13 +7,16 @@
 //
 //	entobench list                 # kernels with stage/category/dataset
 //	entobench archs                # Table V
-//	entobench run <kernel> [-arch M4] [-nocache] [-csv FILE]
+//	entobench run <kernel> [-arch M4] [-boards FILE] [-nocache] [-csv FILE]
 //	entobench table3 | table4 | table5 | table6 | table7 | table8
 //	entobench fig3 | fig4 [-step N] | fig5 [-n N]
-//	entobench sweep [-j N] [-json] [-trace FILE] [-progress]
+//	entobench sweep [-j N] [-boards FILE] [-archs LIST] [-json]
+//	                [-trace FILE] [-progress]
 //	                [-cpuprofile FILE] [-memprofile FILE]
 //	                               # the full >400-datapoint characterization,
-//	                               # fanned across N worker goroutines
+//	                               # fanned across N worker goroutines;
+//	                               # -boards loads user board files and
+//	                               # -archs picks the cores (set name or list)
 //	entobench closedloop           # Section VI-E task-level demo
 //
 // The command table below (var commands) is the single source of truth
@@ -33,6 +36,7 @@ import (
 	"repro/ento"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/mcu"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -55,7 +59,7 @@ var commands = []command{
 		run: func([]string) error { return list() }},
 	{name: "archs", aliases: []string{"table5"}, summary: "modeled Cortex-M cores (Table V)",
 		run: func([]string) error { ento.WriteTable5(os.Stdout); return nil }},
-	{name: "run", args: "<kernel> [-arch M4] [-nocache] [-csv FILE]",
+	{name: "run", args: "<kernel> [-arch M4] [-boards FILE] [-nocache] [-csv FILE]",
 		summary: "run one kernel through the full measurement pipeline",
 		run:     run},
 	{name: "table3", summary: "static metrics for the whole suite",
@@ -74,7 +78,7 @@ var commands = []command{
 		run: func([]string) error { return ento.WriteTable8(os.Stdout) }},
 	{name: "fig5", args: "[-n N]", summary: "relative-pose solver panels (Case Study #4)",
 		run: fig5},
-	{name: "sweep", args: "[-j N] [-json] [-trace FILE] [-progress] [-cpuprofile FILE] [-memprofile FILE]",
+	{name: "sweep", args: "[-j N] [-boards FILE] [-archs LIST] [-json] [-trace FILE] [-progress] [-cpuprofile FILE] [-memprofile FILE]",
 		summary: "full characterization with the datapoint count",
 		run:     sweep},
 	{name: "closedloop", summary: "Section VI-E demo: task-level metrics + compute bill",
@@ -190,12 +194,37 @@ func reorderArgs(fs *flag.FlagSet, args []string) []string {
 	return append(flags, pos...)
 }
 
+// loadBoardFiles registers every board file in a comma-separated list
+// and returns the boards they defined, in file order.
+func loadBoardFiles(list string) ([]mcu.Arch, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var loaded []mcu.Arch
+	for _, path := range strings.Split(list, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		archs, err := mcu.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		loaded = append(loaded, archs...)
+	}
+	return loaded, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	arch := fs.String("arch", "M4", "target core: M0+, M4, M33, M7")
+	arch := fs.String("arch", "M4", "target core: M0+, M4, M33, M7, or a custom board")
+	boards := fs.String("boards", "", "comma-separated board files to load before resolving -arch")
 	nocache := fs.Bool("nocache", false, "disable the I/D caches")
 	csvPath := fs.String("csv", "", "append the measurement to a CSV log")
 	if err := fs.Parse(reorderArgs(fs, args)); err != nil {
+		return err
+	}
+	if _, err := loadBoardFiles(*boards); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
@@ -269,19 +298,46 @@ func closedLoop() error {
 	return tw.Flush()
 }
 
-// sweep runs the full characterization. -json swaps the human tables on
-// stdout for the versioned JSON export; -trace additionally writes a
-// Chrome trace_event file of the run; -progress keeps a live status
-// line on stderr (never stdout, so piped output stays clean).
+// resolveSweepArchs loads any -boards files and resolves the -archs
+// query into the sweep's board selection. A nil result means the
+// default Table IV set, which keeps the memoized sweep path; with
+// -boards but no -archs the loaded customs ride alongside the default
+// set so a bare `sweep -boards custom.json` characterizes them too.
+func resolveSweepArchs(boardFiles, query string) ([]mcu.Arch, error) {
+	loaded, err := loadBoardFiles(boardFiles)
+	if err != nil {
+		return nil, err
+	}
+	if query != "" {
+		return mcu.ResolveArchs(query)
+	}
+	if len(loaded) == 0 {
+		return nil, nil
+	}
+	return append(mcu.TableIVSet(), loaded...), nil
+}
+
+// sweep runs the full characterization. -boards/-archs swap the default
+// Table IV cores for a user-defined board selection; -json swaps the
+// human tables on stdout for the versioned JSON export; -trace
+// additionally writes a Chrome trace_event file of the run; -progress
+// keeps a live status line on stderr (never stdout, so piped output
+// stays clean).
 func sweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	j := fs.Int("j", 0, "characterization worker goroutines (0 = GOMAXPROCS)")
+	boardFiles := fs.String("boards", "", "comma-separated board files to load before the sweep")
+	archsQ := fs.String("archs", "", "board selection: a set name or comma-separated board names")
 	jsonOut := fs.Bool("json", false, "emit the versioned JSON export instead of tables")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON file of the sweep")
 	progress := fs.Bool("progress", false, "live progress line on stderr")
 	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to FILE")
 	memProf := fs.String("memprofile", "", "write a pprof heap profile after the sweep to FILE")
 	if err := fs.Parse(reorderArgs(fs, args)); err != nil {
+		return err
+	}
+	archs, err := resolveSweepArchs(*boardFiles, *archsQ)
+	if err != nil {
 		return err
 	}
 
@@ -322,7 +378,12 @@ func sweep(args []string) error {
 	if *tracePath != "" {
 		obs.StartTrace()
 	}
-	c, err := report.RunCharacterizationOpts(opts)
+	var c report.Characterization
+	if archs == nil {
+		c, err = report.RunCharacterizationOpts(opts)
+	} else {
+		c, err = report.RunCharacterizationForArchs(archs, opts)
+	}
 	if prog != nil {
 		prog.Done()
 	}

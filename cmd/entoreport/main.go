@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	entoreport [-o EXPERIMENTS.md] [-fig5n 50] [-fig4step 2] [-j N] [-json FILE]
+//	entoreport [-o EXPERIMENTS.md] [-fig5n 50] [-fig4step 2] [-j N]
+//	           [-json FILE] [-boards FILE] [-archs LIST]
 //
 // -json additionally saves the machine-readable characterization export
 // (the same sweep the report renders as Tables III/IV) to FILE — the
 // BENCH_*.json artifacts perf-trajectory tooling diffs across commits;
-// see docs/observability.md for the schema.
+// see docs/observability.md for the schema. -boards loads user board
+// files into the registry and -archs selects the cores Tables III/IV
+// (and the JSON export) cover; the case studies keep their paper-fixed
+// core sets.
 package main
 
 import (
@@ -17,9 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/ento"
+	"repro/internal/core"
+	"repro/internal/mcu"
 	"repro/internal/report"
 )
 
@@ -29,15 +36,22 @@ func main() {
 	fig4step := flag.Int("fig4step", 2, "Fig 4 fraction-bit stride (1 = full sweep)")
 	j := flag.Int("j", 0, "characterization worker goroutines (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "also write the characterization JSON export to this file")
+	boards := flag.String("boards", "", "comma-separated board files to load before the sweep")
+	archsQ := flag.String("archs", "", "board selection for Tables III/IV: a set name or comma-separated board names")
 	flag.Parse()
 
+	c, err := runSweep(*boards, *archsQ, *j)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "entoreport:", err)
+		os.Exit(1)
+	}
 	var buf bytes.Buffer
-	if err := generate(&buf, *fig5n, *fig4step, *j); err != nil {
+	if err := generate(&buf, c, *fig5n, *fig4step); err != nil {
 		fmt.Fprintln(os.Stderr, "entoreport:", err)
 		os.Exit(1)
 	}
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath); err != nil {
+		if err := writeJSON(*jsonPath, c); err != nil {
 			fmt.Fprintln(os.Stderr, "entoreport:", err)
 			os.Exit(1)
 		}
@@ -52,13 +66,31 @@ func main() {
 	}
 }
 
-// writeJSON saves the characterization export. The sweep is memoized
-// per process, so this reuses the run generate already paid for.
-func writeJSON(path string) error {
-	c, err := report.RunCharacterization()
-	if err != nil {
-		return err
+// runSweep resolves the board selection and runs (or reuses) the suite
+// characterization: the memoized default sweep when no -boards/-archs
+// were given, an uncached explicit-arch sweep otherwise.
+func runSweep(boardFiles, archsQ string, workers int) (report.Characterization, error) {
+	for _, path := range strings.Split(boardFiles, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		if _, err := mcu.LoadFile(path); err != nil {
+			return report.Characterization{}, err
+		}
 	}
+	if archsQ == "" {
+		return report.RunCharacterizationWorkers(workers)
+	}
+	archs, err := mcu.ResolveArchs(archsQ)
+	if err != nil {
+		return report.Characterization{}, err
+	}
+	return report.RunCharacterizationForArchs(archs, core.SweepOptions{Workers: workers})
+}
+
+// writeJSON saves the characterization export of the sweep the report
+// already paid for.
+func writeJSON(path string, c report.Characterization) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -70,17 +102,13 @@ func writeJSON(path string) error {
 	return f.Close()
 }
 
-func generate(buf *bytes.Buffer, fig5n, fig4step, workers int) error {
+func generate(buf *bytes.Buffer, c report.Characterization, fig5n, fig4step int) error {
 	fmt.Fprintf(buf, "# EntoBench-Go experiment log\n\nGenerated %s by cmd/entoreport.\n\n",
 		time.Now().UTC().Format(time.RFC3339))
 	fmt.Fprintln(buf, "```")
 	ento.WriteTable5(buf)
 	fmt.Fprintln(buf, "```")
 
-	c, err := report.RunCharacterizationWorkers(workers)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(buf, "\nFull sweep: %d measured datapoints (paper claims >400).\n\n```\n", c.Datapoints())
 	c.WriteTable3(buf)
 	fmt.Fprintln(buf)

@@ -42,6 +42,12 @@ type (
 	Config = harness.Config
 	// Arch is a modeled Cortex-M core.
 	Arch = mcu.Arch
+	// ModelParams is the serializable cost/power model a board file
+	// supplies for an Arch (see DESIGN.md §11 for the schema).
+	ModelParams = mcu.ModelParams
+	// BoardFile is the on-disk board-definition format consumed by
+	// LoadBoards and `entobench sweep -boards`.
+	BoardFile = mcu.BoardFile
 	// Estimate is the analytic cost-model output.
 	Estimate = mcu.Estimate
 )
@@ -60,11 +66,37 @@ func Suite() []Spec { return core.Suite() }
 // Kernel finds a suite kernel by name.
 func Kernel(name string) (Spec, bool) { return core.ByName(name) }
 
-// Archs returns the modeled cores (M0+, M4, M33, M7).
+// Archs returns every registered core: the modeled references (M0+,
+// M4, M33, M7) plus any boards registered or loaded in this process.
 func Archs() []Arch { return mcu.All() }
 
-// ArchByName resolves a core by short name ("M4", "m33", ...).
+// Boards is Archs under the framework's user-facing name: the full
+// board registry in registration order.
+func Boards() []Arch { return mcu.All() }
+
+// ArchByName resolves a core by short name ("M4", "m33", a custom
+// board's name, ...), case-insensitively.
 func ArchByName(name string) (Arch, bool) { return mcu.ByName(name) }
+
+// RegisterArch validates and registers a user-defined board. After
+// registration the board resolves everywhere a reference core does:
+// ArchByName, Run, ArchSet queries, and sweeps.
+func RegisterArch(a Arch) error { return mcu.Register(a) }
+
+// LoadBoards registers every board (and named set) declared in a board
+// file — the library form of `entobench sweep -boards FILE`. The file
+// is validated as a whole: one bad board registers nothing.
+func LoadBoards(path string) ([]Arch, error) { return mcu.LoadFile(path) }
+
+// ArchSet resolves an architecture query: a set name ("tableiv",
+// "cs2", "all", or one declared in a board file) or a comma-separated
+// list of board names. The empty query is the default Table IV set.
+func ArchSet(query string) ([]Arch, error) { return mcu.ResolveArchs(query) }
+
+// RegisterKernel adds an external kernel spec to the suite; it then
+// appears in Suite, ByName lookups, and every sweep, after the curated
+// Table III rows.
+func RegisterKernel(s Spec) error { return core.Register(s) }
 
 // DefaultConfig returns the standard harness configuration.
 func DefaultConfig() Config { return harness.DefaultConfig() }
@@ -81,8 +113,8 @@ func Run(kernel, archName string, cacheOn bool) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("ento: unknown architecture %q", archName)
 	}
-	if spec.M7Only && arch.Name != "M7" {
-		return Result{}, fmt.Errorf("ento: %s exceeds the %s's SRAM (M7 only)", kernel, arch.Name)
+	if !spec.Fits(arch) {
+		return Result{}, fmt.Errorf("ento: %s does not fit the %s's %d KB SRAM", kernel, arch.Name, arch.SRAMKB)
 	}
 	cfg := harness.DefaultConfig()
 	cfg.CacheOn = cacheOn
@@ -124,6 +156,14 @@ func Sweep(workers int) (Characterization, error) {
 // InvalidateSweep drops the process-level sweep memo so the next Sweep
 // or table writer recomputes it.
 func InvalidateSweep() { report.InvalidateCharacterization() }
+
+// SweepOn characterizes the full suite across an explicit board
+// selection — e.g. the result of ArchSet or LoadBoards — bypassing the
+// process memo, which only covers the default Table IV set. Like
+// Sweep, the result is identical for every worker count.
+func SweepOn(archs []Arch, workers int) (Characterization, error) {
+	return report.RunCharacterizationForArchs(archs, core.SweepOptions{Workers: workers})
+}
 
 // WriteJSON runs (or reuses) the full suite sweep and writes it as the
 // versioned, schema-stable JSON export — the machine-readable

@@ -21,16 +21,17 @@ func ExampleRun() {
 	// ops: F=74 M=102
 }
 
-// Enumerating the suite mirrors `entobench list`.
+// Enumerating the suite mirrors `entobench list`. The 31 curated Table
+// III kernels always lead Suite(); kernels added via RegisterKernel
+// append after them.
 func ExampleSuite() {
 	perStage := map[string]int{}
-	for _, s := range ento.Suite() {
+	for _, s := range ento.Suite()[:31] {
 		perStage[string(s.Stage)]++
 	}
-	fmt.Printf("P=%d S=%d C=%d total=%d\n",
-		perStage["P"], perStage["S"], perStage["C"], len(ento.Suite()))
+	fmt.Printf("P=%d S=%d C=%d\n", perStage["P"], perStage["S"], perStage["C"])
 	// Output:
-	// P=6 S=20 C=5 total=31
+	// P=6 S=20 C=5
 }
 
 // Characterize produces the Table III/IV record for one kernel.

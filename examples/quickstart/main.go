@@ -26,7 +26,7 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Core\tCache\tLatency (µs)\tEnergy (µJ)\tPeak power (mW)\tValid")
 	for _, arch := range ento.Archs() {
-		if spec.M7Only && arch.Name != "M7" {
+		if !spec.Fits(arch) {
 			continue
 		}
 		for _, cache := range []bool{true, false} {

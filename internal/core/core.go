@@ -6,6 +6,8 @@
 package core
 
 import (
+	"math"
+
 	"repro/internal/harness"
 	"repro/internal/mcu"
 	"repro/internal/profile"
@@ -34,6 +36,11 @@ type Spec struct {
 	// M7Only marks kernels whose footprint exceeds the M4/M33 SRAM
 	// (sift in the paper).
 	M7Only bool
+	// MinSRAMKB, when set, is the smallest SRAM (KB) the kernel's
+	// dataset fits in — the data-driven form of M7Only that also admits
+	// user boards with enough memory. Zero means no constraint beyond
+	// M7Only.
+	MinSRAMKB int
 	// Factory builds the canonical benchmark problem.
 	Factory func() harness.Problem
 	// StaticFactory builds the reduced canonical problem whose dynamic
@@ -42,23 +49,18 @@ type Spec struct {
 	StaticFactory func() harness.Problem
 }
 
-// Suite returns all kernels in Table III order.
-func Suite() []Spec {
-	var out []Spec
-	out = append(out, perceptionSpecs()...)
-	out = append(out, estimationSpecs()...)
-	out = append(out, controlSpecs()...)
-	return out
-}
-
-// ByName finds a spec.
-func ByName(name string) (Spec, bool) {
-	for _, s := range Suite() {
-		if s.Name == name {
-			return s, true
-		}
+// Fits reports whether the kernel's dataset fits on the given core.
+// A MinSRAMKB bound compares against the board's SRAM, so a custom
+// board with enough memory runs even the big kernels; the legacy
+// M7Only flag alone restricts to the reference M7.
+func (s Spec) Fits(a mcu.Arch) bool {
+	if s.MinSRAMKB > 0 {
+		return a.SRAMKB >= s.MinSRAMKB
 	}
-	return Spec{}, false
+	if s.M7Only {
+		return a.Name == "M7"
+	}
+	return true
 }
 
 // ArchRun is one (architecture, cache) characterization cell.
@@ -105,46 +107,13 @@ func compressStatic(c profile.Counts) profile.Counts {
 		}
 		x := float64(v)
 		// x^0.62 maps 1e2..1e7 onto ~2e1..2e4.
-		y := pow(x, 0.62)
+		y := math.Pow(x, 0.62)
 		if y < 1 {
 			y = 1
 		}
 		return uint64(y)
 	}
 	return profile.Counts{F: comp(c.F), I: comp(c.I), M: comp(c.M), B: comp(c.B)}
-}
-
-// pow is a minimal x^p for positive x (avoids importing math here).
-func pow(x, p float64) float64 {
-	// exp(p·ln x) via the stdlib would be clearer; keep the import
-	// surface small with a simple log/exp pair.
-	return expF(p * lnF(x))
-}
-
-func lnF(x float64) float64 {
-	// Reduce to [1,2) and use atanh series.
-	k := 0
-	for x >= 2 {
-		x /= 2
-		k++
-	}
-	for x < 1 {
-		x *= 2
-		k--
-	}
-	t := (x - 1) / (x + 1)
-	t2 := t * t
-	s := t * (1 + t2*(1.0/3+t2*(1.0/5+t2*(1.0/7+t2/9))))
-	return 2*s + float64(k)*0.6931471805599453
-}
-
-func expF(x float64) float64 {
-	// exp via squaring of (1+x/1024)^1024.
-	v := 1 + x/1024
-	for i := 0; i < 10; i++ {
-		v *= v
-	}
-	return v
 }
 
 // Cell finds the (arch, cache) entry in a record.

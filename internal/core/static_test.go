@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/profile"
+)
+
+// compressStatic feeds Table III and the flash proxy, so its outputs
+// are pinned: a change here silently shifts every static metric in the
+// report. The values are math.Pow(x, 0.62) truncated, per class.
+func TestCompressStaticPinned(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 1}, // sub-1 results clamp to 1 for any nonzero input
+		{100, 17},
+		{12345, 344},
+		{1000000, 5248},
+		{98765432, 90501},
+		{1 << 40, 29210829},
+	}
+	for _, c := range cases {
+		in := profile.Counts{F: c.in, I: c.in, M: c.in, B: c.in}
+		got := compressStatic(in)
+		want := profile.Counts{F: c.want, I: c.want, M: c.want, B: c.want}
+		if got != want {
+			t.Errorf("compressStatic(%d) = %+v, want %d per class", c.in, got, c.want)
+		}
+	}
+	// Classes compress independently.
+	mixed := compressStatic(profile.Counts{F: 100, I: 12345, M: 0, B: 1000000})
+	if (mixed != profile.Counts{F: 17, I: 344, M: 0, B: 5248}) {
+		t.Errorf("mixed compressStatic = %+v", mixed)
+	}
+	// Monotone in the input: the cross-kernel size ordering survives.
+	if compressStatic(profile.Counts{F: 500}).F >= compressStatic(profile.Counts{F: 50000}).F {
+		t.Error("compressStatic not monotone")
+	}
+}

@@ -83,7 +83,7 @@ func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([
 		jobs = append(jobs, job{spec: i, cell: jobStatic})
 		n := 0
 		for _, arch := range archs {
-			if spec.M7Only && arch.Name != "M7" {
+			if !spec.Fits(arch) {
 				continue
 			}
 			for _, cache := range []bool{true, false} {

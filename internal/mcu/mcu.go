@@ -1,7 +1,8 @@
 // Package mcu models the ARM Cortex-M cores EntoBench characterizes:
-// M0+, M4, M33, and M7. It converts the instruction-class operation
-// counts recorded by the profiler into cycles, latency, energy, and peak
-// power for a given numeric precision and cache configuration.
+// M0+, M4, M33, and M7 by default, plus any user-defined board loaded
+// at runtime. It converts the instruction-class operation counts
+// recorded by the profiler into cycles, latency, energy, and peak power
+// for a given numeric precision and cache configuration.
 //
 // The paper measures real STM32 boards (Table V: NUCLEO-G474RE,
 // NUCLEO-U575ZIQ, NUCLEO-H7A3ZIQ); this package is the documented
@@ -18,9 +19,20 @@
 //     workloads because everything is soft-float ("race to idle").
 //   - Fixed point beats soft-float on the M0+ but loses to hardware
 //     float on FPU cores (a shift after every multiply).
+//
+// The four reference cores are not Go literals: they are declared in
+// the embedded boards.json spec and loaded through the same validated
+// registry (see registry.go) that accepts user board files, so "add a
+// board" never means editing this package. DESIGN.md §11 documents the
+// board-file schema.
 package mcu
 
-import "repro/internal/profile"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/profile"
+)
 
 // Precision identifies the numeric format a kernel ran in. The cost of an
 // F-class operation depends on it: hardware single, hardware/emulated
@@ -56,38 +68,177 @@ const (
 	SPDP                  // M7 (H7A3): hardware single and double
 )
 
-// Arch is one Cortex-M core model.
-type Arch struct {
-	Name     string  // "M0+", "M4", "M33", "M7"
-	Board    string  // reference board in the paper
-	ISA      string  // architecture revision
-	ClockHz  float64 // active clock
-	FPU      FPUKind
-	SRAMKB   int
-	HasCache bool // real I/D caches (M7, M33) vs flash accelerator (M4)
+// String renders the board-file spelling of the FPU kind.
+func (k FPUKind) String() string {
+	switch k {
+	case NoFPU:
+		return "none"
+	case SPOnly:
+		return "sp"
+	case SPDP:
+		return "sp+dp"
+	default:
+		return fmt.Sprintf("FPUKind(%d)", int(k))
+	}
+}
 
-	// Pipeline cost model: cycles per operation class.
-	cpiF32 float64 // hardware single-precision op
-	cpiF64 float64 // double-precision op (hardware or soft)
-	cpiI   float64 // integer ALU op
-	cpiB   float64 // branch, cache/flash-dependent penalty added below
+// MarshalText encodes the FPU kind as its board-file spelling.
+func (k FPUKind) MarshalText() ([]byte, error) {
+	switch k {
+	case NoFPU, SPOnly, SPDP:
+		return []byte(k.String()), nil
+	}
+	return nil, fmt.Errorf("mcu: invalid FPU kind %d", int(k))
+}
+
+// UnmarshalText parses the board-file FPU spelling ("none", "sp",
+// "sp+dp"); unknown kinds are rejected with the accepted vocabulary.
+func (k *FPUKind) UnmarshalText(text []byte) error {
+	switch strings.ToLower(string(text)) {
+	case "none", "soft":
+		*k = NoFPU
+	case "sp", "sp-only":
+		*k = SPOnly
+	case "sp+dp", "spdp":
+		*k = SPDP
+	default:
+		return fmt.Errorf("mcu: unknown FPU kind %q (want \"none\", \"sp\", or \"sp+dp\")", text)
+	}
+	return nil
+}
+
+// ModelParams is the serializable pipeline cost and power model of one
+// core — the calibrated numbers a board file supplies. Cycle costs are
+// cycles per operation class; powers are watts. The static_* factors
+// are the per-ISA static-mix adjustment (Table III's small per-column
+// deltas); zero means 1.0 (identity).
+type ModelParams struct {
+	// Cycles per hardware single-precision / double-precision / integer
+	// ALU / branch operation.
+	CPIF32 float64 `json:"cpi_f32"`
+	CPIF64 float64 `json:"cpi_f64"`
+	CPII   float64 `json:"cpi_i"`
+	CPIB   float64 `json:"cpi_b"`
 	// Memory access cycles with cache enabled / disabled.
-	memOn, memOff float64
+	MemOn  float64 `json:"mem_on"`
+	MemOff float64 `json:"mem_off"`
 	// Extra branch penalty with caches disabled (refetch from flash).
-	branchOffPenalty float64
+	BranchOffPenalty float64 `json:"branch_off_penalty"`
 	// Superscalar issue factor applied to F/I/B work (M7 dual-issue).
-	ipc float64
+	IPC float64 `json:"ipc"`
 	// Soft-float multipliers (applied when the FPU can't do the format).
-	softF32, softF64 float64
+	SoftF32 float64 `json:"soft_f32"`
+	SoftF64 float64 `json:"soft_f64"`
+	// Power model (watts). Base is idle-at-speed; the dyn terms scale
+	// with the fraction of F and M work to produce workload-dependent
+	// draw, with caches on and off.
+	BasePowerOnW  float64 `json:"base_power_on_w"`
+	BasePowerOffW float64 `json:"base_power_off_w"`
+	DynFOnW       float64 `json:"dyn_f_on_w"`
+	DynMOnW       float64 `json:"dyn_m_on_w"`
+	DynFOffW      float64 `json:"dyn_f_off_w"`
+	DynMOffW      float64 `json:"dyn_m_off_w"`
+	// Static instruction-mix adjustment per class (0 = identity).
+	StaticF float64 `json:"static_f,omitempty"`
+	StaticI float64 `json:"static_i,omitempty"`
+	StaticM float64 `json:"static_m,omitempty"`
+	StaticB float64 `json:"static_b,omitempty"`
+}
 
-	// Power model (watts). Base is idle-at-speed; dynF/dynM scale with
-	// the fraction of F and M work to produce workload-dependent draw.
-	basePowerOn  float64
-	basePowerOff float64
-	dynFOn       float64
-	dynMOn       float64
-	dynFOff      float64
-	dynMOff      float64
+// Validate checks the cost and power model for physical sanity: the
+// checks a hand-written board file is most likely to trip.
+func (m ModelParams) Validate() error {
+	pos := []struct {
+		name string
+		v    float64
+	}{
+		{"cpi_f32", m.CPIF32}, {"cpi_f64", m.CPIF64}, {"cpi_i", m.CPII},
+		{"cpi_b", m.CPIB}, {"mem_on", m.MemOn}, {"mem_off", m.MemOff},
+		{"ipc", m.IPC},
+		{"base_power_on_w", m.BasePowerOnW}, {"base_power_off_w", m.BasePowerOffW},
+	}
+	for _, p := range pos {
+		if p.v <= 0 {
+			return fmt.Errorf("model %s = %g, must be positive", p.name, p.v)
+		}
+	}
+	nonNeg := []struct {
+		name string
+		v    float64
+	}{
+		{"branch_off_penalty", m.BranchOffPenalty},
+		{"dyn_f_on_w", m.DynFOnW}, {"dyn_m_on_w", m.DynMOnW},
+		{"dyn_f_off_w", m.DynFOffW}, {"dyn_m_off_w", m.DynMOffW},
+	}
+	for _, p := range nonNeg {
+		if p.v < 0 {
+			return fmt.Errorf("model %s = %g, must be non-negative", p.name, p.v)
+		}
+	}
+	if m.SoftF32 < 1 || m.SoftF64 < 1 {
+		return fmt.Errorf("model soft_f32/soft_f64 = %g/%g, soft-float multipliers must be >= 1", m.SoftF32, m.SoftF64)
+	}
+	if m.MemOff < m.MemOn {
+		return fmt.Errorf("model mem_off %g < mem_on %g: disabling caches cannot make memory faster", m.MemOff, m.MemOn)
+	}
+	if r := m.BasePowerOffW / m.BasePowerOnW; r < 0.2 || r > 5 {
+		return fmt.Errorf("model base_power_off_w/base_power_on_w = %.2f, implausible (want within 0.2..5)", r)
+	}
+	for _, s := range []struct {
+		name string
+		v    float64
+	}{{"static_f", m.StaticF}, {"static_i", m.StaticI}, {"static_m", m.StaticM}, {"static_b", m.StaticB}} {
+		if s.v != 0 && (s.v < 0.5 || s.v > 1.5) {
+			return fmt.Errorf("model %s = %g, static-mix factors are small per-ISA deltas (want 0.5..1.5, or 0 for identity)", s.name, s.v)
+		}
+	}
+	return nil
+}
+
+// Arch is one Cortex-M core model: identity plus its calibrated
+// ModelParams. Values are declared in a board file (the embedded
+// boards.json for the four reference cores, user JSON for customs) and
+// enter the process through the registry in registry.go.
+type Arch struct {
+	Name     string  `json:"name"`     // "M4", "M7", or a custom short name
+	Board    string  `json:"board"`    // reference board in the paper
+	ISA      string  `json:"isa"`      // architecture revision
+	ClockHz  float64 `json:"clock_hz"` // active clock
+	FPU      FPUKind `json:"fpu"`
+	SRAMKB   int     `json:"sram_kb"`
+	HasCache bool    `json:"has_cache"` // real I/D caches (M7, M33) vs flash accelerator (M4)
+
+	// Model holds the calibrated cost and power parameters.
+	Model ModelParams `json:"model"`
+
+	// Source records where the definition came from — "builtin", a board
+	// file path, or "registered" — and flows into the JSON export's
+	// model-provenance block. The registry sets it; board files cannot.
+	Source string `json:"-"`
+}
+
+// Validate checks the identity fields and the model; it is what
+// Register runs before admitting any board.
+func (a Arch) Validate() error {
+	if strings.TrimSpace(a.Name) == "" {
+		return fmt.Errorf("board has no name")
+	}
+	if strings.ContainsAny(a.Name, ", \t\n") {
+		return fmt.Errorf("board name %q must not contain commas or whitespace (names are CLI query tokens)", a.Name)
+	}
+	if a.ClockHz <= 0 {
+		return fmt.Errorf("clock_hz = %g, must be positive", a.ClockHz)
+	}
+	if a.SRAMKB <= 0 {
+		return fmt.Errorf("sram_kb = %d, must be positive", a.SRAMKB)
+	}
+	if a.FPU < NoFPU || a.FPU > SPDP {
+		return fmt.Errorf("invalid FPU kind %d", int(a.FPU))
+	}
+	if err := a.Model.Validate(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Estimate is the modeled dynamic cost of one kernel invocation.
@@ -114,37 +265,39 @@ func (e Estimate) PeakPowerMW() float64 { return e.PeakPowerW * 1e3 }
 // cyclesPerF returns the modeled cost of one F-class op at the given
 // precision on this core.
 func (a Arch) cyclesPerF(prec Precision) float64 {
+	m := a.Model
 	switch a.FPU {
 	case NoFPU:
 		if prec == PrecF64 {
-			return a.cpiF32 * a.softF64
+			return m.CPIF32 * m.SoftF64
 		}
-		return a.cpiF32 * a.softF32
+		return m.CPIF32 * m.SoftF32
 	case SPOnly:
 		if prec == PrecF64 {
-			return a.cpiF64 * a.softF64
+			return m.CPIF64 * m.SoftF64
 		}
-		return a.cpiF32
+		return m.CPIF32
 	default: // SPDP
 		if prec == PrecF64 {
-			return a.cpiF64
+			return m.CPIF64
 		}
-		return a.cpiF32
+		return m.CPIF32
 	}
 }
 
 // Cycles converts an op-count record into modeled core cycles.
 func (a Arch) Cycles(c profile.Counts, prec Precision, cacheOn bool) float64 {
-	mem := a.memOn
-	branch := a.cpiB
+	m := a.Model
+	mem := m.MemOn
+	branch := m.CPIB
 	if !cacheOn {
-		mem = a.memOff
-		branch += a.branchOffPenalty
+		mem = m.MemOff
+		branch += m.BranchOffPenalty
 	}
-	compute := float64(c.F)*a.cyclesPerF(prec) + float64(c.I)*a.cpiI + float64(c.B)*branch
+	compute := float64(c.F)*a.cyclesPerF(prec) + float64(c.I)*m.CPII + float64(c.B)*branch
 	// Superscalar issue hides some compute latency; memory stalls do not
 	// dual-issue.
-	cycles := compute/a.ipc + float64(c.M)*mem
+	cycles := compute/m.IPC + float64(c.M)*mem
 	if cycles < 1 {
 		cycles = 1
 	}
@@ -163,9 +316,10 @@ func (a Arch) Estimate(c profile.Counts, prec Precision, cacheOn bool) Estimate 
 	fFrac := float64(c.F) / total
 	mFrac := float64(c.M) / total
 
-	base, dynF, dynM := a.basePowerOn, a.dynFOn, a.dynMOn
+	m := a.Model
+	base, dynF, dynM := m.BasePowerOnW, m.DynFOnW, m.DynMOnW
 	if !cacheOn {
-		base, dynF, dynM = a.basePowerOff, a.dynFOff, a.dynMOff
+		base, dynF, dynM = m.BasePowerOffW, m.DynFOffW, m.DynMOffW
 	}
 	avg := base + dynF*fFrac + dynM*mFrac
 	// Peak power: the average plus the burst headroom the current probe
@@ -187,31 +341,30 @@ func (a Arch) Estimate(c profile.Counts, prec Precision, cacheOn bool) Estimate 
 // run current at full clock, no workload-specific adders) — the figure
 // FLOP-based energy estimates multiply by in the literature Case Study
 // #3 re-examines.
-func (a Arch) NominalPowerW() float64 { return a.basePowerOn }
+func (a Arch) NominalPowerW() float64 { return a.Model.BasePowerOnW }
 
 // StaticAdjust maps a canonical op-count record to this architecture's
 // modeled static instruction mix. Per-ISA differences are small constant
-// factors: the M7 compiler schedule retires slightly fewer instructions
-// (wider issue lets the compiler fold address math), matching the small
-// per-column deltas in Table III.
+// factors carried in the board file (the M7 compiler schedule retires
+// slightly fewer instructions because wider issue lets the compiler
+// fold address math), matching the small per-column deltas in Table
+// III. Boards without static_* factors pass counts through unchanged.
 func (a Arch) StaticAdjust(c profile.Counts) profile.Counts {
-	switch a.Name {
-	case "M7":
-		return profile.Counts{
-			F: scaleU(c.F, 0.96), I: scaleU(c.I, 0.92),
-			M: scaleU(c.M, 0.95), B: scaleU(c.B, 0.88),
-		}
-	case "M33":
-		return profile.Counts{
-			F: scaleU(c.F, 1.02), I: scaleU(c.I, 0.99),
-			M: scaleU(c.M, 1.01), B: scaleU(c.B, 0.99),
-		}
-	default:
+	m := a.Model
+	if m.StaticF == 0 && m.StaticI == 0 && m.StaticM == 0 && m.StaticB == 0 {
 		return c
 	}
+	adj := func(v uint64, k float64) uint64 {
+		if k == 0 {
+			k = 1
+		}
+		return profile.ScaleRound(v, k)
+	}
+	return profile.Counts{
+		F: adj(c.F, m.StaticF), I: adj(c.I, m.StaticI),
+		M: adj(c.M, m.StaticM), B: adj(c.B, m.StaticB),
+	}
 }
-
-func scaleU(v uint64, k float64) uint64 { return uint64(float64(v)*k + 0.5) }
 
 // FlashBytes models the flash footprint of a kernel from its canonical
 // static mix: roughly four bytes per Thumb-2 instruction plus a fixed
@@ -221,98 +374,30 @@ func FlashBytes(static profile.Counts) int {
 	return 1024 + int(float64(static.Total())*3.9)
 }
 
-// The four reference cores. Clock and SRAM figures follow the boards in
-// the paper's Table V / artifact appendix; cost-model parameters are
-// calibrated to Table IV and Table VII (see package comment).
+// The four reference cores, resolved from the embedded boards.json at
+// package init. They remain exported values for convenience (tests and
+// tables use them directly); the registry is the source of truth.
 var (
 	// M0Plus models a Cortex-M0+ class part (the paper uses one for the
 	// attitude-filter case study): 2-stage pipeline, no FPU, no cache.
-	M0Plus = Arch{
-		Name: "M0+", Board: "STM32G0 class", ISA: "ARMv6-M",
-		ClockHz: 48e6, FPU: NoFPU, SRAMKB: 36, HasCache: false,
-		cpiF32: 1.1, cpiF64: 1.1, cpiI: 1.15, cpiB: 2.5,
-		memOn: 2.2, memOff: 2.2, branchOffPenalty: 0,
-		ipc: 1.0, softF32: 28, softF64: 65,
-		basePowerOn: 0.0128, basePowerOff: 0.0128,
-		dynFOn: 0.004, dynMOn: 0.003, dynFOff: 0.004, dynMOff: 0.003,
-	}
-
+	M0Plus = mustBuiltin("M0+")
 	// M4 models the STM32G474 (NUCLEO-G474RE): 3-stage ARMv7E-M with SP
 	// FPU and only a small loosely coupled flash accelerator, so cache
 	// on/off barely matters.
-	M4 = Arch{
-		Name: "M4", Board: "STM32G474 (NUCLEO-G474RE)", ISA: "ARMv7E-M",
-		ClockHz: 170e6, FPU: SPOnly, SRAMKB: 128, HasCache: false,
-		cpiF32: 1.15, cpiF64: 1.15, cpiI: 1.05, cpiB: 2.2,
-		memOn: 1.9, memOff: 2.05, branchOffPenalty: 0.3,
-		ipc: 1.0, softF32: 1, softF64: 16,
-		basePowerOn: 0.104, basePowerOff: 0.102,
-		dynFOn: 0.030, dynMOn: 0.020, dynFOff: 0.028, dynMOff: 0.018,
-	}
-
+	M4 = mustBuiltin("M4")
 	// M33 models the STM32U575 (NUCLEO-U575ZIQ): ARMv8-M Mainline with
 	// I/D caches on a modern low-power process — the energy champion.
-	M33 = Arch{
-		Name: "M33", Board: "STM32U575 (NUCLEO-U575ZIQ)", ISA: "ARMv8-M",
-		ClockHz: 160e6, FPU: SPOnly, SRAMKB: 1024, HasCache: true,
-		cpiF32: 1.1, cpiF64: 1.1, cpiI: 1.0, cpiB: 2.0,
-		memOn: 1.6, memOff: 3.4, branchOffPenalty: 1.2,
-		ipc: 1.0, softF32: 1, softF64: 16,
-		basePowerOn: 0.0275, basePowerOff: 0.0268,
-		dynFOn: 0.009, dynMOn: 0.007, dynFOff: 0.009, dynMOff: 0.008,
-	}
-
+	M33 = mustBuiltin("M33")
 	// M7 models the STM32H7A3 (NUCLEO-H7A3ZIQ): 6-stage superscalar with
 	// branch prediction, DP FPU, real caches, and AXI-SRAM stack — fast,
 	// power-hungry, and acutely cache-sensitive.
-	M7 = Arch{
-		Name: "M7", Board: "STM32H7A3 (NUCLEO-H7A3ZIQ)", ISA: "ARMv7E-M",
-		ClockHz: 280e6, FPU: SPDP, SRAMKB: 1432, HasCache: true,
-		cpiF32: 1.05, cpiF64: 1.4, cpiI: 1.0, cpiB: 1.2,
-		memOn: 1.25, memOff: 6.5, branchOffPenalty: 2.5,
-		ipc: 1.55, softF32: 1, softF64: 1,
-		basePowerOn: 0.108, basePowerOff: 0.112,
-		dynFOn: 0.055, dynMOn: 0.050, dynFOff: 0.018, dynMOff: 0.012,
-	}
+	M7 = mustBuiltin("M7")
 )
 
 // TableIVSet returns the three cores every kernel is characterized on
-// (Section V of the paper).
-func TableIVSet() []Arch { return []Arch{M4, M33, M7} }
+// (Section V of the paper) — the registry's "tableiv" set.
+func TableIVSet() []Arch { return mustSet("tableiv") }
 
-// CaseStudy2Set returns the cores of the attitude-filter study (Table VII).
-func CaseStudy2Set() []Arch { return []Arch{M0Plus, M4, M33} }
-
-// All returns every modeled core.
-func All() []Arch { return []Arch{M0Plus, M4, M33, M7} }
-
-// ByName looks an architecture up by its short name ("M4", "m7", ...).
-func ByName(name string) (Arch, bool) {
-	for _, a := range All() {
-		if equalFold(a.Name, name) {
-			return a, true
-		}
-	}
-	return Arch{}, false
-}
-
-// equalFold is a tiny ASCII case-insensitive compare, avoiding a strings
-// import in this hot package.
-func equalFold(a, b string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := 0; i < len(a); i++ {
-		ca, cb := a[i], b[i]
-		if 'A' <= ca && ca <= 'Z' {
-			ca += 'a' - 'A'
-		}
-		if 'A' <= cb && cb <= 'Z' {
-			cb += 'a' - 'A'
-		}
-		if ca != cb {
-			return false
-		}
-	}
-	return true
-}
+// CaseStudy2Set returns the cores of the attitude-filter study (Table
+// VII) — the registry's "cs2" set.
+func CaseStudy2Set() []Arch { return mustSet("cs2") }

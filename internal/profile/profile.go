@@ -44,19 +44,28 @@ func (c Counts) Sub(other Counts) Counts {
 	return Counts{F: c.F - other.F, I: c.I - other.I, M: c.M - other.M, B: c.B - other.B}
 }
 
+// ScaleRound scales v by k and rounds half away from zero. It is the
+// single rounding rule every op-count rescale in the repo shares —
+// Counts.Scale here and the per-ISA static-mix adjustment in
+// internal/mcu — so modeled mixes never drift low under truncation at
+// non-integral k.
+func ScaleRound(v uint64, k float64) uint64 {
+	x := float64(v) * k
+	if x <= 0 {
+		return 0
+	}
+	return uint64(x + 0.5)
+}
+
 // Scale returns c with every class multiplied by k, rounding half away
 // from zero. Used by kernels that model vectorized inner loops (e.g. the
 // USADA8-based bbof-vec variant); rounding rather than truncating keeps
 // modeled mixes from drifting low at non-integral k.
 func (c Counts) Scale(k float64) Counts {
-	round := func(v uint64) uint64 {
-		x := float64(v) * k
-		if x <= 0 {
-			return 0
-		}
-		return uint64(x + 0.5)
+	return Counts{
+		F: ScaleRound(c.F, k), I: ScaleRound(c.I, k),
+		M: ScaleRound(c.M, k), B: ScaleRound(c.B, k),
 	}
-	return Counts{F: round(c.F), I: round(c.I), M: round(c.M), B: round(c.B)}
 }
 
 // Begin activates a fresh record on the calling goroutine and returns

@@ -60,6 +60,15 @@ func RunCharacterizationOpts(opts core.SweepOptions) (Characterization, error) {
 	return sweepCache.c, sweepCache.err
 }
 
+// RunCharacterizationForArchs sweeps the whole suite over an explicit
+// board selection — user boards, a named set, any mix — bypassing the
+// process memo, which only covers the default Table IV set. Output is
+// deterministic for any worker count, like every sweep.
+func RunCharacterizationForArchs(archs []mcu.Arch, opts core.SweepOptions) (Characterization, error) {
+	recs, err := core.CharacterizeSuiteOpts(core.Suite(), archs, opts)
+	return Characterization{Records: recs}, err
+}
+
 // RunCharacterizationUncached always recomputes the sweep, bypassing
 // and leaving untouched the process cache. Benchmarks and determinism
 // tests use it; everything else should go through RunCharacterization.

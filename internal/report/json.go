@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/mcu"
 )
 
 // Machine-readable characterization export. Tables III/IV render for
@@ -25,12 +27,30 @@ const (
 	JSONVersion = 1
 )
 
-// JSONReport is the top-level characterization export.
+// JSONReport is the top-level characterization export. Boards is the
+// additive (schema v1-compatible) model-provenance block: one entry per
+// core appearing in the cells, carrying where its definition came from
+// and the full cost-model parameters, so a result file is
+// self-describing even when produced with user board files.
 type JSONReport struct {
 	Schema     string       `json:"schema"`
 	Version    int          `json:"version"`
 	Datapoints int          `json:"datapoints"`
+	Boards     []JSONBoard  `json:"boards,omitempty"`
 	Kernels    []JSONKernel `json:"kernels"`
+}
+
+// JSONBoard is the model provenance of one core in the export.
+type JSONBoard struct {
+	Name     string          `json:"name"`
+	Board    string          `json:"board,omitempty"`
+	ISA      string          `json:"isa,omitempty"`
+	ClockMHz float64         `json:"clock_mhz"`
+	FPU      string          `json:"fpu"`
+	SRAMKB   int             `json:"sram_kb"`
+	HasCache bool            `json:"has_cache"`
+	Source   string          `json:"source"`
+	Model    mcu.ModelParams `json:"model"`
 }
 
 // JSONCounts is an F/I/M/B instruction-mix record.
@@ -85,13 +105,38 @@ type JSONMeasurement struct {
 	Reps        int     `json:"reps"`
 }
 
-// JSONExport builds the export structure from a characterization.
+// JSONExport builds the export structure from a characterization. The
+// boards block lists every distinct core in the cells in
+// first-appearance order; cores with no Source — the zero-valued Arch
+// stubs synthetic fixtures use — are skipped, which keeps the original
+// v1 golden byte-identical: provenance is strictly additive.
 func (c Characterization) JSONExport() JSONReport {
 	rep := JSONReport{
 		Schema:     JSONSchema,
 		Version:    JSONVersion,
 		Datapoints: c.Datapoints(),
 		Kernels:    make([]JSONKernel, 0, len(c.Records)),
+	}
+	seen := map[string]bool{}
+	for _, r := range c.Records {
+		for _, cell := range r.Cells {
+			a := cell.Arch
+			if a.Source == "" || seen[a.Name] {
+				continue
+			}
+			seen[a.Name] = true
+			rep.Boards = append(rep.Boards, JSONBoard{
+				Name:     a.Name,
+				Board:    a.Board,
+				ISA:      a.ISA,
+				ClockMHz: a.ClockHz / 1e6,
+				FPU:      a.FPU.String(),
+				SRAMKB:   a.SRAMKB,
+				HasCache: a.HasCache,
+				Source:   a.Source,
+				Model:    a.Model,
+			})
+		}
 	}
 	for _, r := range c.Records {
 		k := JSONKernel{

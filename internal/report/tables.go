@@ -29,37 +29,67 @@ func (c Characterization) Datapoints() int {
 	return n
 }
 
+// cellArchs lists the distinct cores appearing in the records' cells in
+// first-appearance order — the column set of Tables III and IV. A
+// default sweep yields M4, M33, M7; sweeps over user boards grow (or
+// replace) the columns with no renderer changes.
+func (c Characterization) cellArchs() []mcu.Arch {
+	var archs []mcu.Arch
+	seen := map[string]bool{}
+	for _, r := range c.Records {
+		for _, cell := range r.Cells {
+			if !seen[cell.Arch.Name] {
+				seen[cell.Arch.Name] = true
+				archs = append(archs, cell.Arch)
+			}
+		}
+	}
+	return archs
+}
+
 // WriteTable3 renders the static metrics: flash size and the F/I/M/B
-// static instruction-mix proxy per architecture.
+// static instruction-mix proxy per architecture in the sweep.
 func (c Characterization) WriteTable3(w io.Writer) {
 	header(w, "TABLE III — BENCHMARK SUITE STATIC METRICS (modeled proxy; see DESIGN.md)")
+	archs := c.cellArchs()
 	tw := newTab(w)
-	fmt.Fprintln(tw, "Stage\tKernel\tCategory\tDataset\tFlash\tM4 F/I/M/B\tM33 F/I/M/B\tM7 F/I/M/B")
+	head := "Stage\tKernel\tCategory\tDataset\tFlash"
+	for _, a := range archs {
+		head += "\t" + a.Name + " F/I/M/B"
+	}
+	fmt.Fprintln(tw, head)
 	for _, r := range c.Records {
-		m4 := mcu.M4.StaticAdjust(r.Static)
-		m33 := mcu.M33.StaticAdjust(r.Static)
-		m7 := mcu.M7.StaticAdjust(r.Static)
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d/%d/%d/%d\t%d/%d/%d/%d\t%d/%d/%d/%d\n",
-			r.Spec.Stage, r.Spec.Name, r.Spec.Category, r.Spec.Dataset, r.Flash,
-			m4.F, m4.I, m4.M, m4.B,
-			m33.F, m33.I, m33.M, m33.B,
-			m7.F, m7.I, m7.M, m7.B)
+		row := fmt.Sprintf("%s\t%s\t%s\t%s\t%d",
+			r.Spec.Stage, r.Spec.Name, r.Spec.Category, r.Spec.Dataset, r.Flash)
+		for _, a := range archs {
+			m := a.StaticAdjust(r.Static)
+			row += fmt.Sprintf("\t%d/%d/%d/%d", m.F, m.I, m.M, m.B)
+		}
+		fmt.Fprintln(tw, row)
 	}
 	tw.Flush()
 }
 
 // WriteTable4 renders the dynamic metrics: latency (µs), energy (µJ),
-// and peak power (mW) per core with caches on (C) and off (NC).
+// and peak power (mW) per core in the sweep with caches on (C) and off
+// (NC).
 func (c Characterization) WriteTable4(w io.Writer) {
 	header(w, "TABLE IV — DYNAMIC METRICS: LATENCY, ENERGY, PEAK POWER (cache on C / off NC)")
+	archs := c.cellArchs()
 	tw := newTab(w)
-	fmt.Fprintln(tw, "Stage\tKernel\tM4 lat C/NC\tM33 lat C/NC\tM7 lat C/NC\tM4 E C/NC\tM33 E C/NC\tM7 E C/NC\tM4 P C/NC\tM33 P C/NC\tM7 P C/NC")
+	head := "Stage\tKernel"
+	for _, label := range []string{"lat", "E", "P"} {
+		for _, a := range archs {
+			head += fmt.Sprintf("\t%s %s C/NC", a.Name, label)
+		}
+	}
+	fmt.Fprintln(tw, head)
 	for _, r := range c.Records {
 		row := fmt.Sprintf("%s\t%s", r.Spec.Stage, r.Spec.Name)
 		for _, metric := range []string{"lat", "energy", "peak"} {
-			for _, arch := range []string{"M4", "M33", "M7"} {
-				on, okOn := r.Cell(arch, true)
-				off, okOff := r.Cell(arch, false)
+			for _, a := range archs {
+				on, okOn := r.Cell(a.Name, true)
+				off, okOff := r.Cell(a.Name, false)
 				if !okOn || !okOff {
 					row += "\t-"
 					continue

@@ -3,7 +3,10 @@
 //  1. every non-test package under internal/, ento/, and cmd/ must
 //     carry a package (godoc) comment;
 //  2. every relative markdown link in the repo root and docs/ must
-//     resolve to an existing file.
+//     resolve to an existing file;
+//  3. the board-file schema documented in DESIGN.md §11 must cover
+//     every JSON field of mcu.BoardFile / mcu.Arch / mcu.ModelParams,
+//     so the Go structs and the docs cannot drift apart.
 //
 // It prints one line per violation and exits non-zero if any exist.
 // Run it from the repository root: go run ./tools/checkdocs
@@ -15,14 +18,18 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
+
+	"repro/internal/mcu"
 )
 
 func main() {
 	var problems []string
 	problems = append(problems, checkPackageComments([]string{"internal", "ento", "cmd"})...)
 	problems = append(problems, checkMarkdownLinks()...)
+	problems = append(problems, checkBoardSchemaDocs("DESIGN.md")...)
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, p)
 	}
@@ -67,6 +74,71 @@ func checkPackageComments(roots []string) []string {
 		})
 	}
 	return problems
+}
+
+// checkBoardSchemaDocs verifies the board-file schema documentation:
+// every JSON field the decoder accepts (the tags on mcu.BoardFile,
+// mcu.Arch, and mcu.ModelParams) must be named, in backticks, inside
+// the "Data-driven board & kernel registries" section of DESIGN.md.
+func checkBoardSchemaDocs(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	const heading = "board & kernel registries"
+	start := -1
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if strings.HasPrefix(line, "## ") && strings.Contains(line, heading) {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return []string{fmt.Sprintf("%s: no \"## ... %s\" section (the board-file schema must be documented)", path, heading)}
+	}
+	section := ""
+	for _, line := range lines[start+1:] {
+		if strings.HasPrefix(line, "## ") {
+			break
+		}
+		section += line + "\n"
+	}
+	var problems []string
+	for _, t := range []reflect.Type{
+		reflect.TypeOf(mcu.BoardFile{}),
+		reflect.TypeOf(mcu.Arch{}),
+		reflect.TypeOf(mcu.ModelParams{}),
+	} {
+		for _, tag := range jsonTags(t) {
+			if !strings.Contains(section, "`"+tag+"`") {
+				problems = append(problems, fmt.Sprintf(
+					"%s: board-schema section does not document %s field `%s`", path, t.Name(), tag))
+			}
+		}
+	}
+	return problems
+}
+
+// jsonTags lists the serialized field names of a struct type, skipping
+// unexported and json:"-" fields and stripping tag options.
+func jsonTags(t reflect.Type) []string {
+	var tags []string
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.PkgPath != "" {
+			continue
+		}
+		tag := f.Tag.Get("json")
+		if comma := strings.IndexByte(tag, ','); comma >= 0 {
+			tag = tag[:comma]
+		}
+		if tag == "" || tag == "-" {
+			continue
+		}
+		tags = append(tags, tag)
+	}
+	return tags
 }
 
 // mdLink matches inline markdown links/images; the destination is
