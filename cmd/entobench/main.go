@@ -25,9 +25,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -35,6 +39,7 @@ import (
 
 	"repro/ento"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/harness"
 	"repro/internal/mcu"
 	"repro/internal/obs"
@@ -78,7 +83,7 @@ var commands = []command{
 		run: func([]string) error { return ento.WriteTable8(os.Stdout) }},
 	{name: "fig5", args: "[-n N]", summary: "relative-pose solver panels (Case Study #4)",
 		run: fig5},
-	{name: "sweep", args: "[-j N] [-boards FILE] [-archs LIST] [-json] [-trace FILE] [-progress] [-cpuprofile FILE] [-memprofile FILE]",
+	{name: "sweep", args: "[-j N] [-boards FILE] [-archs LIST] [-json] [-trace FILE] [-progress] [-failfast] [-celltimeout DUR] [-cpuprofile FILE] [-memprofile FILE]",
 		summary: "full characterization with the datapoint count",
 		run:     sweep},
 	{name: "closedloop", summary: "Section VI-E demo: task-level metrics + compute bill",
@@ -104,6 +109,16 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
+	}
+	// Fault-injection hook for end-to-end robustness smoke runs (CI,
+	// docs/robustness.md): ENTOBENCH_FAULTINJECT=panic[,error,...]
+	// registers deliberately broken kernels before dispatch, exactly as
+	// a user's buggy kernel would arrive through ento.RegisterKernel.
+	if modes := os.Getenv("ENTOBENCH_FAULTINJECT"); modes != "" {
+		if err := faultinject.RegisterModes(modes); err != nil {
+			fmt.Fprintln(os.Stderr, "entobench:", err)
+			os.Exit(2)
+		}
 	}
 	cmd, ok := lookup(os.Args[1])
 	if !ok {
@@ -323,6 +338,13 @@ func resolveSweepArchs(boardFiles, query string) ([]mcu.Arch, error) {
 // additionally writes a Chrome trace_event file of the run; -progress
 // keeps a live status line on stderr (never stdout, so piped output
 // stays clean).
+//
+// Failure handling (DESIGN.md §12): a kernel that panics, errors, or
+// trips the -celltimeout watchdog costs only its own cells — the sweep
+// completes, the failures are summarized on stderr, the JSON export
+// carries a failures block with partial:true, and the exit code is
+// non-zero. -failfast restores stop-at-first-failure. SIGINT cancels
+// the sweep and still flushes the partial tables/JSON/trace.
 func sweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	j := fs.Int("j", 0, "characterization worker goroutines (0 = GOMAXPROCS)")
@@ -331,6 +353,8 @@ func sweep(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit the versioned JSON export instead of tables")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON file of the sweep")
 	progress := fs.Bool("progress", false, "live progress line on stderr")
+	failFast := fs.Bool("failfast", false, "stop dispatching cells after the first failure (default: contain failures per cell)")
+	cellTimeout := fs.Duration("celltimeout", 0, "per-cell watchdog: abandon any cell that takes longer (0 = off)")
 	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to FILE")
 	memProf := fs.String("memprofile", "", "write a pprof heap profile after the sweep to FILE")
 	if err := fs.Parse(reorderArgs(fs, args)); err != nil {
@@ -340,6 +364,12 @@ func sweep(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// SIGINT cancels the sweep context: in-flight cells finish (or are
+	// abandoned, when the watchdog is armed), the rest are skipped, and
+	// the partial result still flushes below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	// Host-side pprof hooks (docs/observability.md): the CPU profile
 	// covers the whole sweep; the heap profile snapshots after the run,
@@ -369,7 +399,12 @@ func sweep(args []string) error {
 		}()
 	}
 
-	opts := core.SweepOptions{Workers: *j}
+	opts := core.SweepOptions{
+		Workers:     *j,
+		FailFast:    *failFast,
+		CellTimeout: *cellTimeout,
+		Context:     ctx,
+	}
 	var prog *obs.Progress
 	if *progress {
 		prog = obs.NewProgress(os.Stderr, "sweep")
@@ -392,17 +427,46 @@ func sweep(args []string) error {
 			err = terr
 		}
 	}
-	if err != nil {
-		return err
+	if err != nil && len(c.Records) == 0 {
+		return err // nothing assembled — a plain failure, not a partial run
 	}
+	// Flush whatever the sweep assembled — the full dataset on a clean
+	// run, the healthy subset on a partial one — then summarize failures.
 	if *jsonOut {
-		return c.WriteJSON(os.Stdout)
+		if werr := c.WriteJSON(os.Stdout); werr != nil {
+			return werr
+		}
+	} else {
+		c.WriteTable3(os.Stdout)
+		fmt.Println()
+		c.WriteTable4(os.Stdout)
+		fmt.Printf("\nTotal measured datapoints: %d (paper: >400)\n", c.Datapoints())
 	}
-	c.WriteTable3(os.Stdout)
-	fmt.Println()
-	c.WriteTable4(os.Stdout)
-	fmt.Printf("\nTotal measured datapoints: %d (paper: >400)\n", c.Datapoints())
+	if err != nil {
+		return sweepFailureSummary(os.Stderr, c, err)
+	}
 	return nil
+}
+
+// sweepFailureSummary prints every failed/skipped cell to w and returns
+// the compact error the exit path reports (the partial output above
+// already flushed; the aggregate join with per-cell detail would drown
+// the terminal).
+func sweepFailureSummary(w io.Writer, c report.Characterization, err error) error {
+	failures := c.Failures()
+	var failed, skipped int
+	for _, f := range failures {
+		if f.Status == core.CellSkipped {
+			skipped++
+		} else {
+			failed++
+		}
+		fmt.Fprintf(w, "entobench: cell lost: %v\n", &f)
+	}
+	if errors.Is(err, context.Canceled) {
+		return fmt.Errorf("sweep interrupted: partial results flushed (%d cells failed, %d skipped)", failed, skipped)
+	}
+	return fmt.Errorf("sweep completed with %d failed and %d skipped cell(s); partial results flushed", failed, skipped)
 }
 
 // writeMemProfile forces a GC so the heap profile reflects live memory,

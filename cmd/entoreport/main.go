@@ -14,13 +14,20 @@
 // files into the registry and -archs selects the cores Tables III/IV
 // (and the JSON export) cover; the case studies keep their paper-fixed
 // core sets.
+//
+// SIGINT cancels the sweep; a partial characterization still flushes to
+// the -json file (marked partial:true, with a failures block) before
+// the process exits non-zero, so an interrupted overnight run is not a
+// total loss (DESIGN.md §12).
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -40,8 +47,23 @@ func main() {
 	archsQ := flag.String("archs", "", "board selection for Tables III/IV: a set name or comma-separated board names")
 	flag.Parse()
 
-	c, err := runSweep(*boards, *archsQ, *j)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	c, err := runSweep(ctx, *boards, *archsQ, *j)
 	if err != nil {
+		// Partial sweep: salvage what completed. The JSON export is the
+		// artifact overnight runs exist for, so flush it (partial:true)
+		// before exiting non-zero; the report itself is not generated
+		// from an incomplete dataset.
+		if *jsonPath != "" && len(c.Records) > 0 {
+			if werr := writeJSON(*jsonPath, c); werr != nil {
+				fmt.Fprintln(os.Stderr, "entoreport:", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "entoreport: partial export (%d failed/skipped cells) written to %s\n",
+					len(c.Failures()), *jsonPath)
+			}
+		}
 		fmt.Fprintln(os.Stderr, "entoreport:", err)
 		os.Exit(1)
 	}
@@ -68,8 +90,10 @@ func main() {
 
 // runSweep resolves the board selection and runs (or reuses) the suite
 // characterization: the memoized default sweep when no -boards/-archs
-// were given, an uncached explicit-arch sweep otherwise.
-func runSweep(boardFiles, archsQ string, workers int) (report.Characterization, error) {
+// were given, an uncached explicit-arch sweep otherwise. The context
+// cancels the sweep; the partial characterization comes back alongside
+// the error.
+func runSweep(ctx context.Context, boardFiles, archsQ string, workers int) (report.Characterization, error) {
 	for _, path := range strings.Split(boardFiles, ",") {
 		if path = strings.TrimSpace(path); path == "" {
 			continue
@@ -78,14 +102,15 @@ func runSweep(boardFiles, archsQ string, workers int) (report.Characterization, 
 			return report.Characterization{}, err
 		}
 	}
+	opts := core.SweepOptions{Workers: workers, Context: ctx}
 	if archsQ == "" {
-		return report.RunCharacterizationWorkers(workers)
+		return report.RunCharacterizationOpts(opts)
 	}
 	archs, err := mcu.ResolveArchs(archsQ)
 	if err != nil {
 		return report.Characterization{}, err
 	}
-	return report.RunCharacterizationForArchs(archs, core.SweepOptions{Workers: workers})
+	return report.RunCharacterizationForArchs(archs, opts)
 }
 
 // writeJSON saves the characterization export of the sweep the report

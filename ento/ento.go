@@ -50,6 +50,16 @@ type (
 	BoardFile = mcu.BoardFile
 	// Estimate is the analytic cost-model output.
 	Estimate = mcu.Estimate
+	// SweepOptions configures a characterization sweep: worker count,
+	// progress hook, fail-fast vs contained failures, the per-cell
+	// watchdog timeout, and a cancellation context (DESIGN.md §12).
+	SweepOptions = core.SweepOptions
+	// CellError is the provenance-carrying failure of one sweep cell
+	// (kernel, arch, cache, stage, status, underlying error).
+	CellError = core.CellError
+	// CellStatus classifies how a sweep cell ended (ok, failed,
+	// panicked, timed_out, skipped).
+	CellStatus = core.CellStatus
 )
 
 // Pipeline stages of the suite.
@@ -164,6 +174,28 @@ func InvalidateSweep() { report.InvalidateCharacterization() }
 func SweepOn(archs []Arch, workers int) (Characterization, error) {
 	return report.RunCharacterizationForArchs(archs, core.SweepOptions{Workers: workers})
 }
+
+// SweepOnOpts is SweepOn with full sweep options: progress reporting,
+// FailFast, the per-cell watchdog, and a cancellation context. With the
+// default options a registered kernel that panics or errors costs
+// exactly its own cells — the sweep completes, healthy records are
+// intact, and the error aggregates one CellError per failed cell
+// (extract them with CellErrors).
+func SweepOnOpts(archs []Arch, opts SweepOptions) (Characterization, error) {
+	return report.RunCharacterizationForArchs(archs, opts)
+}
+
+// SweepOpts is Sweep (the memoized default-board sweep) with full sweep
+// options. A partial result — contained failures, cancellation — is
+// returned but never memoized; see Characterization.Partial.
+func SweepOpts(opts SweepOptions) (Characterization, error) {
+	return report.RunCharacterizationOpts(opts)
+}
+
+// CellErrors extracts the per-cell failures from a sweep's aggregate
+// error, in deterministic serial sweep order. A nil error — or one that
+// is pure cancellation — yields nil.
+func CellErrors(err error) []*CellError { return core.CellErrors(err) }
 
 // WriteJSON runs (or reuses) the full suite sweep and writes it as the
 // versioned, schema-stable JSON export — the machine-readable

@@ -79,6 +79,56 @@ func main() {
 	tw.Flush()
 	fmt.Println("\nCompare with docs/expected-results in the artifact: same flow,")
 	fmt.Println("same GPIO-delimited ROI, same 100 kHz trace analysis.")
+
+	containedFailureDemo()
+}
+
+// broken is a deliberately buggy kernel — its Solve panics, the way a
+// mat shape mismatch or an out-of-bounds index would in a real port.
+type broken struct{}
+
+func (broken) Name() string    { return "custom-broken (demo)" }
+func (broken) Setup() error    { return nil }
+func (broken) Solve()          { panic("custom-broken: out-of-bounds index (deliberate)") }
+func (broken) Validate() error { return nil }
+
+// containedFailureDemo registers the broken kernel next to vvadd and
+// sweeps both on the M4: since the engine grew per-cell fault
+// containment (DESIGN.md §12), the panic costs only the broken kernel's
+// cells — the sweep completes, vvadd's numbers are intact, and the
+// aggregate error carries one CellError per lost cell.
+func containedFailureDemo() {
+	fmt.Println("\nContained failure: a buggy kernel no longer aborts the sweep")
+	fmt.Println()
+	for _, s := range []ento.Spec{
+		{Name: "custom-vvadd", Stage: ento.Control, Category: "Example", Dataset: "synthetic",
+			Prec: ento.PrecF32, Factory: func() ento.Problem { return &vvadd{n: 1024} }},
+		{Name: "custom-broken", Stage: ento.Control, Category: "Example", Dataset: "synthetic",
+			Prec: ento.PrecF32, Factory: func() ento.Problem { return broken{} }},
+	} {
+		if err := ento.RegisterKernel(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	archs, err := ento.ArchSet("M4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := ento.SweepOnOpts(archs, ento.SweepOptions{Workers: 2})
+	if err == nil {
+		log.Fatal("expected the broken kernel to surface cell errors")
+	}
+	for _, ce := range ento.CellErrors(err) {
+		fmt.Printf("  lost cell: %v\n", ce)
+	}
+	fmt.Printf("\nSweep still completed: %d healthy datapoints across %d kernels\n",
+		c.Datapoints(), len(c.Records))
+	for _, r := range c.Records {
+		if r.Spec.Name == "custom-vvadd" {
+			fmt.Printf("custom-vvadd on M4 (cache on): %.2f µs, %.3f µJ — unaffected by its neighbor\n",
+				r.Cells[0].Meas.LatencyS*1e6, r.Cells[0].Meas.EnergyJ*1e6)
+		}
+	}
 }
 
 func cacheCfg(on bool) ento.Config {

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"text/tabwriter"
 
@@ -61,15 +62,15 @@ func main() {
 		var inliers []int
 		var stats pose.RansacStats
 		var rerr float64
+		var ransacErr error
 		counts2 := profile.Collect(func() {
 			cfg := pose.DefaultRansacConfig()
 			cfg.Seed = int64(f + 1)
-			var err error
-			est, inliers, stats, err = pose.RelLoRansac(corrs, pose.U3PT[F], 3, cfg)
-			if err != nil {
-				panic(err)
-			}
+			est, inliers, stats, ransacErr = pose.RelLoRansac(corrs, pose.U3PT[F], 3, cfg)
 		})
+		if ransacErr != nil {
+			log.Fatalf("frame %d: LO-RANSAC: %v", f, ransacErr)
+		}
 		rerr = dataset.RotationErr(est, prob.Truth)
 		counts.Add(counts2)
 		total.Add(counts)

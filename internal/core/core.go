@@ -6,6 +6,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/harness"
@@ -63,26 +64,76 @@ func (s Spec) Fits(a mcu.Arch) bool {
 	return true
 }
 
-// ArchRun is one (architecture, cache) characterization cell.
+// CellStatus classifies how one sweep job ended. The zero value is
+// CellOK, so records built by hand (fixtures, single runs) read as
+// healthy without saying so.
+type CellStatus uint8
+
+// Cell outcomes, in escalating order of surprise.
+const (
+	// CellOK: the job ran and produced a measurement.
+	CellOK CellStatus = iota
+	// CellFailed: the job returned an error (setup, harness, analysis).
+	CellFailed
+	// CellPanicked: the kernel panicked; the sweep recovered it.
+	CellPanicked
+	// CellTimedOut: the per-cell watchdog (SweepOptions.CellTimeout)
+	// fired before the job produced a result.
+	CellTimedOut
+	// CellSkipped: the job never ran — an earlier failure tripped
+	// FailFast, or the sweep context was canceled first.
+	CellSkipped
+)
+
+// String renders the status the way the JSON export spells it.
+func (s CellStatus) String() string {
+	switch s {
+	case CellOK:
+		return "ok"
+	case CellFailed:
+		return "failed"
+	case CellPanicked:
+		return "panicked"
+	case CellTimedOut:
+		return "timed_out"
+	case CellSkipped:
+		return "skipped"
+	}
+	return fmt.Sprintf("cellstatus(%d)", uint8(s))
+}
+
+// ArchRun is one (architecture, cache) characterization cell. A cell
+// that did not complete carries its Status and Err with Arch/CacheOn
+// still identifying it; its measurement fields are zero and must not be
+// read as data (tables render such cells as "—", the JSON export moves
+// them to the failures block).
 type ArchRun struct {
 	Arch    mcu.Arch
 	CacheOn bool
 	Model   mcu.Estimate
 	Meas    harness.Measurement
+	Status  CellStatus
+	Err     error
 }
 
 // Record is the full characterization of one kernel: static proxy mix,
 // dynamic counts, and per-cell metrics. Dynamic, Valid, and ValidE come
 // from the record's reference cell — the first (arch, cache-on) run —
 // rather than from whichever cell happened to execute last.
+//
+// StaticStatus/StaticErr report the static-proxy job the same way a
+// cell's Status/Err do; when the reference cell did not complete,
+// Dynamic/Valid/ValidE stay zero and the cell's own Status says why.
 type Record struct {
-	Spec    Spec
-	Static  profile.Counts // canonical reduced-input mix (per-arch adjust applies)
-	Flash   int
-	Dynamic profile.Counts
-	Cells   []ArchRun
-	Valid   bool
-	ValidE  error
+	Spec         Spec
+	Static       profile.Counts // canonical reduced-input mix (per-arch adjust applies)
+	Flash        int
+	Dynamic      profile.Counts
+	Cells        []ArchRun
+	Valid        bool
+	ValidE       error
+	StaticStatus CellStatus
+	StaticErr    error
 }
 
 // Characterize measures a kernel across the given cores with caches on

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,25 +16,56 @@ import (
 	"repro/internal/profile"
 )
 
-// Parallel characterization engine. The (kernel × arch × cache) cells
-// of the Table III/IV sweep are independent — every job builds its own
-// problem instance from the spec factory, all dataset generators seed
-// local RNGs, and the profiler records into goroutine-scoped sessions —
-// so the sweep fans out across a bounded worker pool. Each *cell* stays
-// a single goroutine (a simulated MCU is single-core; its ROI must not
-// be split), so the parallelism is across cells only.
+// Parallel, fault-tolerant characterization engine. The (kernel × arch
+// × cache) cells of the Table III/IV sweep are independent — every job
+// builds its own problem instance from the spec factory, all dataset
+// generators seed local RNGs, and the profiler records into
+// goroutine-scoped sessions — so the sweep fans out across a bounded
+// worker pool. Each *cell* stays a single goroutine (a simulated MCU is
+// single-core; its ROI must not be split), so the parallelism is across
+// cells only.
+//
+// Failure model (DESIGN.md §12): a cell that panics, errors, or trips
+// the watchdog costs exactly its own slot. Panics are recovered with
+// the stack captured (PanicError), the cell is marked with a CellStatus
+// and its error, and the sweep keeps going; the aggregate error is a
+// deterministic serial-order errors.Join of one CellError per failed
+// job. SweepOptions.FailFast restores the historical
+// stop-at-first-failure behavior, with abandoned jobs explicitly marked
+// CellSkipped instead of left as zero-valued cells. A context
+// (SweepOptions.Context) cancels the sweep between jobs — and mid-job
+// when the watchdog is armed — which is how the CLIs turn SIGINT into a
+// flushed partial result.
 //
 // Determinism: every job writes into a pre-assigned slot of the
 // pre-sized records slice, so the assembled output is identical — byte
-// for byte once rendered — for any worker count, including 1.
+// for byte once rendered — for any worker count, including 1. With the
+// watchdog armed the job computes on a child goroutine and only the
+// worker commits the result, so an abandoned (timed-out) computation
+// can never race the assembly.
 //
-// Observability: when a trace is active (obs.StartTrace) every job
-// emits an obs span — sweep.static or sweep.cell — on its worker's lane
-// with the kernel/arch/cache identity and its queue wait (time between
-// sweep start, when all jobs are ready, and job pickup); the whole call
-// emits one sweep span on lane 0. Tracing off costs one atomic load per
-// job. SweepOptions.Progress, when set, is invoked after every finished
-// job; docs/observability.md is the reference for the span vocabulary.
+// Observability: when a trace is active (obs.StartTrace) every executed
+// job emits an obs span — sweep.static or sweep.cell — on its worker's
+// lane with the kernel/arch/cache identity and its queue wait (time
+// between sweep start, when all jobs are ready, and job pickup); the
+// whole call emits one sweep span on lane 0. Tracing off costs one
+// atomic load per job. SweepOptions.Progress, when set, is invoked
+// after every finished or skipped job; the failure-mode counters
+// sweep.cells_failed, sweep.panics_recovered, and sweep.cells_timed_out
+// are always on. docs/observability.md is the reference for the span
+// and counter vocabulary.
+
+// Sweep failure-mode counters (docs/observability.md).
+var (
+	// ctrCellsFailed counts jobs that ended in any error: plain
+	// failures, recovered panics, and watchdog timeouts (skips excluded).
+	ctrCellsFailed = obs.NewCounter(obs.CounterSweepCellsFailed)
+	// ctrPanicsRecovered counts kernel panics the sweep converted into
+	// per-cell errors.
+	ctrPanicsRecovered = obs.NewCounter(obs.CounterSweepPanicsRecovered)
+	// ctrCellsTimedOut counts jobs abandoned by the per-cell watchdog.
+	ctrCellsTimedOut = obs.NewCounter(obs.CounterSweepCellsTimedOut)
+)
 
 // jobStatic marks a job as the per-kernel static-proxy run rather than
 // an (arch, cache) measurement cell.
@@ -44,20 +78,116 @@ type job struct {
 	cell  int // index into Records[spec].Cells, or jobStatic
 	arch  mcu.Arch
 	cache bool
-	err   error
+	err   error // a *CellError after a failed run, nil otherwise
 }
 
 // SweepOptions configures a characterization sweep beyond the specs and
-// architectures themselves. The zero value is the default sweep.
+// architectures themselves. The zero value is the default sweep:
+// GOMAXPROCS workers, contained failures, no watchdog, no cancellation.
 type SweepOptions struct {
 	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0). The
 	// worker count never changes the assembled records.
 	Workers int
-	// Progress, when non-nil, is called after every finished job with
-	// the number of completed jobs and the total. It is invoked
-	// concurrently from pool workers and must be goroutine-safe
-	// ((*obs.Progress).Update qualifies).
-	Progress func(done, total int)
+	// Progress, when non-nil, is called after every job that finishes
+	// or is skipped, with the executed count, the skipped count, and
+	// the total; done+skipped reaches total exactly when the sweep
+	// drains. It is invoked concurrently from pool workers and must be
+	// goroutine-safe ((*obs.Progress).Update qualifies).
+	Progress func(done, skipped, total int)
+	// FailFast stops dispatching after the first failed job, the
+	// historical behavior. Jobs already running finish; jobs not yet
+	// started are marked CellSkipped (and reported as skipped to
+	// Progress, not silently counted as done). The default — FailFast
+	// false — contains each failure to its own cell and runs the sweep
+	// to completion.
+	FailFast bool
+	// CellTimeout, when positive, arms a per-job watchdog: a job that
+	// produces no result within the window is abandoned and its cell
+	// marked CellTimedOut, so a hung Solve loses its cell, not the
+	// sweep. The abandoned computation's goroutine is left to finish
+	// (or block) on its own — Go cannot kill it — but it computes on
+	// private state and its late result is discarded, never committed.
+	// Zero disables the watchdog (jobs run inline on the worker).
+	CellTimeout time.Duration
+	// Context, when non-nil, cancels the sweep: jobs not yet started
+	// are marked CellSkipped, and with CellTimeout armed a running job
+	// is abandoned mid-flight. The aggregate error then includes
+	// ctx.Err(), so callers can distinguish cancellation from kernel
+	// failures. Nil means context.Background().
+	Context context.Context
+}
+
+// PanicError is a recovered kernel panic: the panic value plus the
+// stack captured at recovery, preserved for post-mortems while keeping
+// Error() a single line (the stack would drown an errors.Join).
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value without the stack.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// CellError is the provenance-carrying failure of one sweep job: which
+// kernel, on which core and cache setting (zero Arch/Cache for the
+// static-proxy job), how it failed, and the underlying error.
+type CellError struct {
+	Kernel string
+	Arch   string // empty for the static-proxy job
+	Cache  bool
+	Stage  string // "static" or "cell"
+	Status CellStatus
+	Err    error
+}
+
+// Error identifies the cell and the failure on one line.
+func (e *CellError) Error() string {
+	if e.Stage == StageStatic {
+		return fmt.Sprintf("%s [static]: %s: %v", e.Kernel, e.Status, e.Err)
+	}
+	cache := "nocache"
+	if e.Cache {
+		cache = "cache"
+	}
+	return fmt.Sprintf("%s [%s %s]: %s: %v", e.Kernel, e.Arch, cache, e.Status, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As chains.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// CellError stages.
+const (
+	// StageStatic is the per-kernel static-proxy job.
+	StageStatic = "static"
+	// StageCell is an (arch, cache) measurement job.
+	StageCell = "cell"
+)
+
+// CellErrors extracts every CellError from a sweep's aggregate error,
+// walking errors.Join trees and single wraps. A nil error or one
+// carrying no cell failures (for example bare cancellation) yields nil.
+func CellErrors(err error) []*CellError {
+	var out []*CellError
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		if ce, ok := e.(*CellError); ok {
+			out = append(out, ce)
+			return
+		}
+		switch u := e.(type) {
+		case interface{ Unwrap() []error }:
+			for _, c := range u.Unwrap() {
+				walk(c)
+			}
+		case interface{ Unwrap() error }:
+			walk(u.Unwrap())
+		}
+	}
+	walk(err)
+	return out
 }
 
 // CharacterizeSuite characterizes specs across archs using a bounded
@@ -66,9 +196,10 @@ type SweepOptions struct {
 // means runtime.GOMAXPROCS(0). Output is identical for every worker
 // count.
 //
-// On failure the records are returned as far as they were assembled,
-// alongside the error of the earliest job (in serial execution order)
-// that failed; remaining jobs are abandoned best-effort.
+// Failures are contained per cell: every healthy record is returned in
+// full, failed cells carry their CellStatus, and the error aggregates
+// one CellError per failed job in serial order (see
+// CharacterizeSuiteOpts for fail-fast and watchdog variants).
 func CharacterizeSuite(specs []Spec, archs []mcu.Arch, workers int) ([]Record, error) {
 	return CharacterizeSuiteOpts(specs, archs, SweepOptions{Workers: workers})
 }
@@ -76,6 +207,10 @@ func CharacterizeSuite(specs []Spec, archs []mcu.Arch, workers int) ([]Record, e
 // CharacterizeSuiteOpts is CharacterizeSuite with full sweep options.
 func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([]Record, error) {
 	sweepStart := time.Now()
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	records := make([]Record, len(specs))
 	var jobs []job
 	for i, spec := range specs {
@@ -103,8 +238,13 @@ func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([
 	}
 
 	var failed atomic.Bool
-	var done atomic.Int64
+	var done, skipped atomic.Int64
 	total := len(jobs)
+	progress := func() {
+		if opts.Progress != nil {
+			opts.Progress(int(done.Load()), int(skipped.Load()), total)
+		}
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -112,26 +252,34 @@ func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([
 		go func(lane int) {
 			defer wg.Done()
 			for j := range idx {
-				if failed.Load() {
-					continue // fail fast; abandoned jobs keep err == nil
+				if (opts.FailFast && failed.Load()) || ctx.Err() != nil {
+					commitSkip(records, &jobs[j], ctx.Err())
+					skipped.Add(1)
+					progress()
+					continue
 				}
-				if obs.TraceEnabled() {
-					start := time.Now()
-					err := runJob(records, &jobs[j])
-					recordJobSpan(&jobs[j], records, start, sweepStart, lane)
-					if err != nil {
-						jobs[j].err = err
-						failed.Store(true)
-					}
-				} else if err := runJob(records, &jobs[j]); err != nil {
-					jobs[j].err = err
+				spec := records[jobs[j].spec].Spec
+				traced := obs.TraceEnabled()
+				start := time.Now()
+				res, status, err := executeJob(ctx, spec, &jobs[j], opts.CellTimeout)
+				if traced {
+					recordJobSpan(&jobs[j], records, start, sweepStart, lane, status)
+				}
+				commit(records, &jobs[j], res, status, err)
+				if status == CellSkipped {
+					// Canceled mid-job: the result (if any ever comes)
+					// is discarded; account it with the other skips.
+					skipped.Add(1)
+					progress()
+					continue
+				}
+				if err != nil {
+					jobs[j].err = cellError(spec, &jobs[j], status, err)
+					ctrCellsFailed.Inc()
 					failed.Store(true)
 				}
-				if opts.Progress != nil {
-					opts.Progress(int(done.Add(1)), total)
-				} else {
-					done.Add(1)
-				}
+				done.Add(1)
+				progress()
 			}
 		}(w + 1)
 	}
@@ -144,48 +292,133 @@ func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([
 		obs.RecordSpan(obs.SpanSweep, sweepStart, time.Now(), 0,
 			obs.Arg{Key: "kernels", Val: fmt.Sprint(len(specs))},
 			obs.Arg{Key: "jobs", Val: fmt.Sprint(total)},
-			obs.Arg{Key: "workers", Val: fmt.Sprint(workers)})
+			obs.Arg{Key: "workers", Val: fmt.Sprint(workers)},
+			obs.Arg{Key: "failed", Val: fmt.Sprint(countFailedJobs(jobs))},
+			obs.Arg{Key: "skipped", Val: fmt.Sprint(skipped.Load())})
 	}
 
-	// Report the earliest failure in serial job order so the error a
-	// caller sees does not depend on worker scheduling.
+	// Aggregate every distinct failure once, in serial job order, so the
+	// error a caller sees does not depend on worker scheduling; a
+	// canceled sweep also carries ctx.Err() so errors.Is(err,
+	// context.Canceled) holds.
+	var errs []error
 	for _, j := range jobs {
 		if j.err != nil {
-			return records, j.err
+			errs = append(errs, j.err)
 		}
 	}
-	return records, nil
+	if cerr := ctx.Err(); cerr != nil {
+		errs = append(errs, cerr)
+	}
+	return records, errors.Join(errs...)
 }
 
-// recordJobSpan emits the sweep.static / sweep.cell span of one
-// executed job on the given worker lane. Queue wait is the time the job
-// sat ready before pickup: all jobs exist when the sweep starts, so it
-// is measured from the sweep start to the job's execution start.
-func recordJobSpan(j *job, records []Record, start, sweepStart time.Time, lane int) {
-	end := time.Now()
-	queueUS := fmt.Sprintf("%.1f", float64(start.Sub(sweepStart).Microseconds()))
-	kernel := records[j.spec].Spec.Name
+// countFailedJobs counts jobs that recorded a failure.
+func countFailedJobs(jobs []job) int {
+	n := 0
+	for _, j := range jobs {
+		if j.err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// cellError wraps a job failure with its full provenance.
+func cellError(spec Spec, j *job, status CellStatus, err error) *CellError {
+	ce := &CellError{Kernel: spec.Name, Stage: StageCell, Status: status, Err: err}
 	if j.cell == jobStatic {
-		obs.RecordSpan(obs.SpanSweepStatic, start, end, lane,
-			obs.Arg{Key: "kernel", Val: kernel},
-			obs.Arg{Key: "queue_wait_us", Val: queueUS})
-		return
+		ce.Stage = StageStatic
+	} else {
+		ce.Arch = j.arch.Name
+		ce.Cache = j.cache
 	}
-	cache := "off"
-	if j.cache {
-		cache = "on"
-	}
-	obs.RecordSpan(obs.SpanSweepCell, start, end, lane,
-		obs.Arg{Key: "kernel", Val: kernel},
-		obs.Arg{Key: "arch", Val: j.arch.Name},
-		obs.Arg{Key: "cache", Val: cache},
-		obs.Arg{Key: "queue_wait_us", Val: queueUS})
+	return ce
 }
 
-// runJob executes one sweep job and writes its pre-assigned slot.
-func runJob(records []Record, j *job) error {
-	rec := &records[j.spec]
-	spec := rec.Spec
+// jobResult is the computed output of one job, built entirely on the
+// goroutine that ran the kernel and committed to the records slice only
+// by the worker that owns the job — never by a (possibly abandoned)
+// watchdog child — so a timed-out computation cannot race the assembly.
+type jobResult struct {
+	static profile.Counts
+	flash  int
+	run    ArchRun
+	counts profile.Counts // reference-cell dynamic mix
+	valid  bool
+	validE error
+}
+
+// executeJob runs one job with panic isolation and, when timeout > 0,
+// a watchdog: the computation moves to a child goroutine and the worker
+// waits for its result, the deadline, or cancellation — whichever is
+// first. The returned status classifies the outcome; err is nil exactly
+// when status is CellOK.
+func executeJob(ctx context.Context, spec Spec, j *job, timeout time.Duration) (jobResult, CellStatus, error) {
+	if timeout <= 0 {
+		res, err := computeJob(ctx, spec, j)
+		return classify(ctx, res, err)
+	}
+	type outcome struct {
+		res jobResult
+		err error
+	}
+	// Buffered so an abandoned computation's send never blocks: the
+	// child exits (or keeps hanging in the kernel) without holding the
+	// channel, and its late result is garbage-collected with it.
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := computeJob(ctx, spec, j)
+		ch <- outcome{res, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return classify(ctx, o.res, o.err)
+	case <-timer.C:
+		ctrCellsTimedOut.Inc()
+		return jobResult{}, CellTimedOut, fmt.Errorf("core: watchdog: no result after %v", timeout)
+	case <-ctx.Done():
+		return jobResult{}, CellSkipped, ctx.Err()
+	}
+}
+
+// classify maps a computation's error to its cell status, bumping the
+// panic counter for recovered panics. A job the harness abandoned
+// because the sweep context was canceled is a skip, not a kernel
+// failure — but only when the context really is canceled, so a kernel
+// error that merely wraps context.Canceled still counts as its own.
+func classify(ctx context.Context, res jobResult, err error) (jobResult, CellStatus, error) {
+	switch {
+	case err == nil:
+		return res, CellOK, nil
+	case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+		return res, CellSkipped, err
+	case isPanic(err):
+		ctrPanicsRecovered.Inc()
+		return res, CellPanicked, err
+	default:
+		return res, CellFailed, err
+	}
+}
+
+// isPanic reports whether err carries a recovered panic.
+func isPanic(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}
+
+// computeJob executes one sweep job and returns its result without
+// touching shared state. A panicking kernel — a mat shape mismatch, a
+// buggy user kernel registered via core.Register — is recovered here
+// and converted into a PanicError carrying the captured stack.
+func computeJob(ctx context.Context, spec Spec, j *job) (res jobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
 	if j.cell == jobStatic {
 		sf := spec.StaticFactory
 		if sf == nil {
@@ -193,28 +426,90 @@ func runJob(records []Record, j *job) error {
 		}
 		sp := sf()
 		if err := sp.Setup(); err != nil {
-			return fmt.Errorf("core: static setup %s: %w", spec.Name, err)
+			return res, fmt.Errorf("core: static setup %s: %w", spec.Name, err)
 		}
-		rec.Static = compressStatic(profile.Collect(sp.Solve))
-		rec.Flash = mcu.FlashBytes(rec.Static)
-		return nil
+		res.static = compressStatic(profile.Collect(sp.Solve))
+		res.flash = mcu.FlashBytes(res.static)
+		return res, nil
 	}
 	cfg := harness.DefaultConfig()
 	cfg.CacheOn = j.cache
-	res, err := harness.Run(spec.Factory(), j.arch, spec.Prec, cfg)
+	r, err := harness.RunContext(ctx, spec.Factory(), j.arch, spec.Prec, cfg)
 	if err != nil {
-		return fmt.Errorf("core: run %s on %s: %w", spec.Name, j.arch.Name, err)
+		return res, fmt.Errorf("core: run %s on %s: %w", spec.Name, j.arch.Name, err)
 	}
-	rec.Cells[j.cell] = ArchRun{Arch: j.arch, CacheOn: j.cache, Model: res.Model, Meas: res.Measured}
+	res.run = ArchRun{Arch: j.arch, CacheOn: j.cache, Model: r.Model, Meas: r.Measured}
+	res.counts, res.valid, res.validE = r.Counts, r.Valid, r.ValidErr
+	return res, nil
+}
+
+// commit writes a job's outcome into its pre-assigned record slot. Only
+// pool workers call it, one per job, so slots are written exactly once.
+func commit(records []Record, j *job, res jobResult, status CellStatus, err error) {
+	rec := &records[j.spec]
+	if j.cell == jobStatic {
+		rec.StaticStatus = status
+		if status == CellOK {
+			rec.Static, rec.Flash = res.static, res.flash
+		} else {
+			rec.StaticErr = err
+		}
+		return
+	}
+	if status != CellOK {
+		rec.Cells[j.cell] = ArchRun{Arch: j.arch, CacheOn: j.cache, Status: status, Err: err}
+		return
+	}
+	rec.Cells[j.cell] = res.run
 	if j.cell == 0 {
 		// Reference cell: the first (arch, cache-on) run supplies the
 		// record-level dynamic mix and validation verdict. Counts and
 		// validity are arch-independent (the profiler counts the same
 		// deterministic Solve), so any cell would agree; designating one
 		// removes the historical last-write-wins ambiguity.
-		rec.Dynamic = res.Counts
-		rec.Valid = res.Valid
-		rec.ValidE = res.ValidErr
+		rec.Dynamic, rec.Valid, rec.ValidE = res.counts, res.valid, res.validE
 	}
-	return nil
+}
+
+// commitSkip marks a never-started job's slot as skipped; cause is the
+// context error when cancellation (rather than fail-fast) skipped it.
+func commitSkip(records []Record, j *job, cause error) {
+	rec := &records[j.spec]
+	if j.cell == jobStatic {
+		rec.StaticStatus = CellSkipped
+		rec.StaticErr = cause
+		return
+	}
+	rec.Cells[j.cell] = ArchRun{Arch: j.arch, CacheOn: j.cache, Status: CellSkipped, Err: cause}
+}
+
+// recordJobSpan emits the sweep.static / sweep.cell span of one
+// executed job on the given worker lane. Queue wait is the time the job
+// sat ready before pickup: all jobs exist when the sweep starts, so it
+// is measured from the sweep start to the job's execution start.
+func recordJobSpan(j *job, records []Record, start, sweepStart time.Time, lane int, status CellStatus) {
+	end := time.Now()
+	queueUS := fmt.Sprintf("%.1f", float64(start.Sub(sweepStart).Microseconds()))
+	kernel := records[j.spec].Spec.Name
+	args := []obs.Arg{
+		{Key: "kernel", Val: kernel},
+	}
+	if j.cell != jobStatic {
+		cache := "off"
+		if j.cache {
+			cache = "on"
+		}
+		args = append(args,
+			obs.Arg{Key: "arch", Val: j.arch.Name},
+			obs.Arg{Key: "cache", Val: cache})
+	}
+	args = append(args, obs.Arg{Key: "queue_wait_us", Val: queueUS})
+	if status != CellOK {
+		args = append(args, obs.Arg{Key: "status", Val: status.String()})
+	}
+	name := obs.SpanSweepCell
+	if j.cell == jobStatic {
+		name = obs.SpanSweepStatic
+	}
+	obs.RecordSpan(name, start, end, lane, args...)
 }

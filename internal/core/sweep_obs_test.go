@@ -25,10 +25,13 @@ func TestSweepProgressAndSpans(t *testing.T) {
 	obs.StartTrace()
 	_, err := core.CharacterizeSuiteOpts([]core.Spec{spec}, mcu.TableIVSet(), core.SweepOptions{
 		Workers: 2,
-		Progress: func(done, total int) {
+		Progress: func(done, skipped, total int) {
 			mu.Lock()
 			dones = append(dones, done)
 			gotTotal = total
+			if skipped != 0 {
+				t.Errorf("clean sweep reported %d skipped jobs", skipped)
+			}
 			mu.Unlock()
 		},
 	})
@@ -101,7 +104,7 @@ func TestSweepProgressWithoutTrace(t *testing.T) {
 	calls := 0
 	recs, err := core.CharacterizeSuiteOpts([]core.Spec{spec}, mcu.TableIVSet(), core.SweepOptions{
 		Workers:  1,
-		Progress: func(done, total int) { calls++ },
+		Progress: func(done, skipped, total int) { calls++ },
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,190 @@
+// Package faultinject supplies deliberately misbehaving kernels for
+// proving the sweep engine's containment paths: Problems that panic,
+// hang, error out of setup, or emit NaN/Inf results at will, each
+// wrappable as a core.Spec and registerable exactly like a user kernel
+// (core.Register / ento.RegisterKernel). The package is test
+// infrastructure — its kernels measure nothing — but it is what the
+// fault-injection suite (go test -run FaultInject ./...) and the CI
+// smoke run drive to demonstrate that a broken kernel costs exactly its
+// own cells (DESIGN.md §12, docs/robustness.md).
+package faultinject
+
+import (
+	"errors"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mcu"
+	"repro/internal/profile"
+)
+
+// Hooks overrides the phases of a fault-injection Problem. Nil hooks
+// fall back to the benign default: Setup succeeds, Solve records a
+// small fixed op mix, Validate passes.
+type Hooks struct {
+	Setup    func() error
+	Solve    func()
+	Validate func() error
+}
+
+// Problem is a minimal harness.Problem whose behavior is entirely
+// hook-driven.
+type Problem struct {
+	name  string
+	hooks Hooks
+}
+
+// New builds a hook-driven Problem named name.
+func New(name string, hooks Hooks) *Problem { return &Problem{name: name, hooks: hooks} }
+
+// Name is the kernel name the sweep reports.
+func (p *Problem) Name() string { return p.name }
+
+// Setup runs the Setup hook (benign default: success).
+func (p *Problem) Setup() error {
+	if p.hooks.Setup != nil {
+		return p.hooks.Setup()
+	}
+	return nil
+}
+
+// Solve runs the Solve hook (benign default: a fixed op mix, so a
+// healthy faultinject kernel produces deterministic counts).
+func (p *Problem) Solve() {
+	if p.hooks.Solve != nil {
+		p.hooks.Solve()
+		return
+	}
+	benignSolve()
+}
+
+// Validate runs the Validate hook (benign default: pass).
+func (p *Problem) Validate() error {
+	if p.hooks.Validate != nil {
+		return p.hooks.Validate()
+	}
+	return nil
+}
+
+// benignSolve records the fixed op mix every healthy faultinject kernel
+// shares: enough work for the model to produce non-zero estimates,
+// deterministic so sweeps over these kernels are byte-stable.
+func benignSolve() {
+	profile.AddF(400)
+	profile.AddI(300)
+	profile.AddM(200)
+	profile.AddB(100)
+}
+
+// spec wraps a Problem factory as a registerable Control-stage Spec.
+func spec(name string, factory func() harness.Problem) core.Spec {
+	return core.Spec{
+		Name:     name,
+		Stage:    core.Control,
+		Category: "FaultInject",
+		Dataset:  "synthetic",
+		Prec:     mcu.PrecF32,
+		Factory:  factory,
+	}
+}
+
+// GoodSpec is a healthy kernel — the control group next to the broken
+// ones, whose records must stay byte-identical however its neighbors
+// misbehave.
+func GoodSpec(name string) core.Spec {
+	return spec(name, func() harness.Problem { return New(name, Hooks{}) })
+}
+
+// PanickerSpec is a kernel whose Solve panics on every invocation — the
+// software stand-in for a mat shape-mismatch panic or a buggy user
+// kernel. The panic message is fixed so sweeps containing it stay
+// deterministic.
+func PanickerSpec(name string) core.Spec {
+	return spec(name, func() harness.Problem {
+		return New(name, Hooks{Solve: func() { panic("faultinject: deliberate kernel panic") }})
+	})
+}
+
+// ErroringSpec is a kernel whose Setup fails — the flaky-board
+// analogue: the harness never reaches the ROI.
+func ErroringSpec(name string) core.Spec {
+	return spec(name, func() harness.Problem {
+		return New(name, Hooks{Setup: func() error {
+			return errors.New("faultinject: deliberate setup failure")
+		}})
+	})
+}
+
+// HangerSpec is a kernel whose Solve blocks until release is closed —
+// the wedged-hardware analogue the per-cell watchdog
+// (core.SweepOptions.CellTimeout) must cut off. Tests close release
+// after the sweep so the abandoned goroutines drain instead of leaking
+// past the test; a nil release hangs forever (CLI demos only, where
+// process exit collects the goroutine).
+func HangerSpec(name string, release <-chan struct{}) core.Spec {
+	return spec(name, func() harness.Problem {
+		return New(name, Hooks{Solve: func() {
+			if release == nil {
+				select {}
+			}
+			<-release
+		}})
+	})
+}
+
+// InvalidSpec is a kernel that computes NaN/Inf and fails its own
+// validation — a *soft* failure: the harness completes the measurement,
+// the record carries Valid=false with the validation error, and no
+// CellError is raised. It exists to pin the boundary between contained
+// hard failures and ordinary invalid results.
+func InvalidSpec(name string) core.Spec {
+	return spec(name, func() harness.Problem {
+		var result float64
+		return New(name, Hooks{
+			Solve: func() {
+				result = math.NaN() * math.Inf(1)
+				benignSolve()
+			},
+			Validate: func() error {
+				if math.IsNaN(result) || math.IsInf(result, 0) {
+					return errors.New("faultinject: result is NaN/Inf")
+				}
+				return nil
+			},
+		})
+	})
+}
+
+// RegisterModes registers one fault kernel per comma-separated mode
+// into the global suite — the hook the entobench CLI exposes via the
+// ENTOBENCH_FAULTINJECT environment variable for end-to-end smoke runs.
+// Modes: "panic", "error", "invalid", "hang" (unreleasable; pair it
+// with a sweep CellTimeout). Registration is permanent for the process,
+// exactly like any user kernel.
+func RegisterModes(modes string) error {
+	for _, mode := range strings.Split(modes, ",") {
+		mode = strings.TrimSpace(mode)
+		if mode == "" {
+			continue
+		}
+		var s core.Spec
+		switch mode {
+		case "panic":
+			s = PanickerSpec("faultinject-panic")
+		case "error":
+			s = ErroringSpec("faultinject-error")
+		case "invalid":
+			s = InvalidSpec("faultinject-invalid")
+		case "hang":
+			s = HangerSpec("faultinject-hang", nil)
+		default:
+			return errors.New("faultinject: unknown mode " + mode)
+		}
+		if err := core.Register(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

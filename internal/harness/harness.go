@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mcu"
@@ -126,13 +127,32 @@ type Result struct {
 // setup → warm-up → ROI (profiled reps) → model → trace synthesis →
 // trace analysis → validation.
 func Run(p Problem, arch mcu.Arch, prec mcu.Precision, cfg Config) (Result, error) {
+	return RunContext(context.Background(), p, arch, prec, cfg)
+}
+
+// RunContext is Run under a context: the flow checks for cancellation
+// at every phase boundary (after setup, between warm-up and validation
+// Solves, before the profiled ROI) and abandons the run with ctx.Err()
+// wrapped in the returned error. Cancellation is cooperative — a Solve
+// that never returns must be cut off by the sweep-level watchdog
+// (core.SweepOptions.CellTimeout), not by the context.
+func RunContext(ctx context.Context, p Problem, arch mcu.Arch, prec mcu.Precision, cfg Config) (Result, error) {
 	ctrRuns.Inc()
 	res := Result{Kernel: p.Name(), Arch: arch, Precision: prec, CacheOn: cfg.CacheOn}
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("harness: %s: %w", p.Name(), err)
+	}
 	if err := p.Setup(); err != nil {
 		return res, fmt.Errorf("harness: setup %s: %w", p.Name(), err)
 	}
 	for i := 0; i < cfg.Warmup; i++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("harness: %s: %w", p.Name(), err)
+		}
 		p.Solve()
+	}
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("harness: %s: %w", p.Name(), err)
 	}
 
 	// One profiled invocation determines the op counts and, through the
@@ -169,6 +189,9 @@ func Run(p Problem, arch mcu.Arch, prec mcu.Precision, cfg Config) (Result, erro
 		extra = maxHost - 1
 	}
 	for i := 0; i < extra; i++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("harness: %s: %w", p.Name(), err)
+		}
 		p.Solve()
 	}
 	ctrHostReps.Add(uint64(1 + extra)) // the profiled rep + validation reps

@@ -33,6 +33,15 @@ const (
 	// actually executed inside ROIs (profiled + validation reps; the
 	// analytically scaled reps are not executed and not counted).
 	CounterHarnessHostReps = "harness.reps.host"
+	// CounterSweepCellsFailed counts sweep jobs that ended in any error:
+	// plain failures, recovered panics, and watchdog timeouts.
+	CounterSweepCellsFailed = "sweep.cells_failed"
+	// CounterSweepPanicsRecovered counts kernel panics the sweep
+	// recovered and converted into per-cell errors.
+	CounterSweepPanicsRecovered = "sweep.panics_recovered"
+	// CounterSweepCellsTimedOut counts jobs abandoned by the per-cell
+	// watchdog (SweepOptions.CellTimeout).
+	CounterSweepCellsTimedOut = "sweep.cells_timed_out"
 )
 
 // AllSpans is every span name the repo can emit, in docs order.
@@ -43,6 +52,9 @@ var AllSpans = []string{SpanSweep, SpanSweepStatic, SpanSweepCell}
 var AllCounters = []string{
 	CounterSweepCacheHit,
 	CounterSweepCacheMiss,
+	CounterSweepCellsFailed,
+	CounterSweepPanicsRecovered,
+	CounterSweepCellsTimedOut,
 	CounterProfileSessions,
 	CounterHarnessRuns,
 	CounterHarnessHostReps,

@@ -167,9 +167,9 @@ func TestWriteChromeTrace(t *testing.T) {
 func TestProgressLine(t *testing.T) {
 	var buf bytes.Buffer
 	p := NewProgress(&buf, "sweep")
-	p.Update(1, 4)
-	p.Update(2, 4) // inside the rate-limit window: dropped
-	p.Update(4, 4) // final update always renders
+	p.Update(1, 0, 4)
+	p.Update(2, 0, 4) // inside the rate-limit window: dropped
+	p.Update(4, 0, 4) // final update always renders
 	p.Done()
 	out := buf.String()
 	if !strings.Contains(out, "\r[sweep] 1/4 cells (25%)") {
@@ -185,9 +185,26 @@ func TestProgressLine(t *testing.T) {
 		t.Fatalf("Done() did not terminate the line: %q", out)
 	}
 	before := buf.Len()
-	p.Update(5, 5) // after Done: ignored
+	p.Update(5, 0, 5) // after Done: ignored
 	if buf.Len() != before {
 		t.Fatal("update after Done wrote output")
+	}
+}
+
+// A sweep with skipped cells (fail-fast or cancellation) must say so:
+// the percentage counts only executed cells and the skip count renders
+// explicitly, so 1 done + 3 skipped never reads as a finished sweep.
+func TestProgressLineRendersSkips(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "sweep")
+	p.Update(1, 3, 4) // done+skipped == total: final, renders despite rate limit
+	p.Done()
+	out := buf.String()
+	if !strings.Contains(out, "1/4 cells (25%, 3 skipped)") {
+		t.Fatalf("skip rendering missing: %q", out)
+	}
+	if strings.Contains(out, "100%") {
+		t.Fatalf("skipped cells counted as done: %q", out)
 	}
 }
 

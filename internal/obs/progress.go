@@ -36,17 +36,20 @@ func NewProgress(w io.Writer, label string) *Progress {
 	return &Progress{w: w, label: label, start: time.Now()}
 }
 
-// Update reports that done of total work units have finished. Its
-// signature matches core.SweepOptions.Progress so a *Progress can be
-// wired straight into the sweep engine.
-func (p *Progress) Update(done, total int) {
+// Update reports that done of total work units have executed and
+// skipped more were abandoned (fail-fast or cancellation) without
+// running. Its signature matches core.SweepOptions.Progress so a
+// *Progress can be wired straight into the sweep engine. The percentage
+// counts only executed work — skipped cells never masquerade as done —
+// and a non-zero skip count renders explicitly.
+func (p *Progress) Update(done, skipped, total int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.done {
 		return
 	}
 	now := time.Now()
-	if done < total && now.Sub(p.last) < minProgressInterval {
+	if done+skipped < total && now.Sub(p.last) < minProgressInterval {
 		return
 	}
 	p.last = now
@@ -54,7 +57,11 @@ func (p *Progress) Update(done, total int) {
 	if total > 0 {
 		pct = 100 * done / total
 	}
-	line := fmt.Sprintf("[%s] %d/%d cells (%d%%) %.1fs", p.label, done, total, pct, now.Sub(p.start).Seconds())
+	skip := ""
+	if skipped > 0 {
+		skip = fmt.Sprintf(", %d skipped", skipped)
+	}
+	line := fmt.Sprintf("[%s] %d/%d cells (%d%%%s) %.1fs", p.label, done, total, pct, skip, now.Sub(p.start).Seconds())
 	pad := ""
 	if n := p.lastLen - len(line); n > 0 {
 		pad = strings.Repeat(" ", n)

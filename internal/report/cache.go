@@ -47,6 +47,11 @@ func RunCharacterizationWorkers(workers int) (Characterization, error) {
 // RunCharacterizationOpts is the memoized sweep with full options.
 // Options only shape the cache-filling run: a cache hit returns the
 // shared result without invoking opts.Progress.
+//
+// Only complete, healthy sweeps are memoized. A partial run — contained
+// kernel failures, a watchdog timeout, cancellation — is returned to
+// its caller but never cached, so the memo can only ever serve the full
+// dataset and the next caller retries from scratch.
 func RunCharacterizationOpts(opts core.SweepOptions) (Characterization, error) {
 	sweepCache.mu.Lock()
 	defer sweepCache.mu.Unlock()
@@ -55,9 +60,13 @@ func RunCharacterizationOpts(opts core.SweepOptions) (Characterization, error) {
 		return sweepCache.c, sweepCache.err
 	}
 	ctrCacheMiss.Inc()
-	sweepCache.c, sweepCache.err = RunCharacterizationUncachedOpts(opts)
+	c, err := RunCharacterizationUncachedOpts(opts)
+	if err != nil || c.Partial() {
+		return c, err
+	}
+	sweepCache.c, sweepCache.err = c, nil
 	sweepCache.done = true
-	return sweepCache.c, sweepCache.err
+	return c, nil
 }
 
 // RunCharacterizationForArchs sweeps the whole suite over an explicit

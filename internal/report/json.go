@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/mcu"
 )
 
@@ -32,12 +33,34 @@ const (
 // core appearing in the cells, carrying where its definition came from
 // and the full cost-model parameters, so a result file is
 // self-describing even when produced with user board files.
+//
+// Partial and Failures are the additive (still v1) fault-reporting
+// block: a sweep with failed, timed-out, or skipped cells marks the
+// export partial and lists every gap with full provenance, so a
+// BENCH_*.json produced by an interrupted or partly failed run is
+// explicit about what is missing. Clean runs omit both fields, keeping
+// their bytes identical to pre-fault-tolerance exports.
 type JSONReport struct {
-	Schema     string       `json:"schema"`
-	Version    int          `json:"version"`
-	Datapoints int          `json:"datapoints"`
-	Boards     []JSONBoard  `json:"boards,omitempty"`
-	Kernels    []JSONKernel `json:"kernels"`
+	Schema     string        `json:"schema"`
+	Version    int           `json:"version"`
+	Datapoints int           `json:"datapoints"`
+	Partial    bool          `json:"partial,omitempty"`
+	Boards     []JSONBoard   `json:"boards,omitempty"`
+	Failures   []JSONFailure `json:"failures,omitempty"`
+	Kernels    []JSONKernel  `json:"kernels"`
+}
+
+// JSONFailure is one sweep job that produced no measurement: which
+// kernel, where (arch/cache_on are omitted for the static-proxy job),
+// how it ended (failed, panicked, timed_out, skipped), and the error.
+// Skipped jobs may carry no error (fail-fast abandonment).
+type JSONFailure struct {
+	Kernel  string `json:"kernel"`
+	Stage   string `json:"stage"`
+	Arch    string `json:"arch,omitempty"`
+	CacheOn bool   `json:"cache_on,omitempty"`
+	Status  string `json:"status"`
+	Error   string `json:"error,omitempty"`
 }
 
 // JSONBoard is the model provenance of one core in the export.
@@ -109,7 +132,10 @@ type JSONMeasurement struct {
 // boards block lists every distinct core in the cells in
 // first-appearance order; cores with no Source — the zero-valued Arch
 // stubs synthetic fixtures use — are skipped, which keeps the original
-// v1 golden byte-identical: provenance is strictly additive.
+// v1 golden byte-identical: provenance is strictly additive. Cells that
+// did not complete move out of the kernels' cells arrays and into the
+// failures block (with partial set), so every number in the export is a
+// real measurement.
 func (c Characterization) JSONExport() JSONReport {
 	rep := JSONReport{
 		Schema:     JSONSchema,
@@ -117,6 +143,20 @@ func (c Characterization) JSONExport() JSONReport {
 		Datapoints: c.Datapoints(),
 		Kernels:    make([]JSONKernel, 0, len(c.Records)),
 	}
+	for _, f := range c.Failures() {
+		jf := JSONFailure{
+			Kernel:  f.Kernel,
+			Stage:   f.Stage,
+			Arch:    f.Arch,
+			CacheOn: f.Cache,
+			Status:  f.Status.String(),
+		}
+		if f.Err != nil {
+			jf.Error = f.Err.Error()
+		}
+		rep.Failures = append(rep.Failures, jf)
+	}
+	rep.Partial = len(rep.Failures) > 0
 	seen := map[string]bool{}
 	for _, r := range c.Records {
 		for _, cell := range r.Cells {
@@ -157,6 +197,9 @@ func (c Characterization) JSONExport() JSONReport {
 			k.Error = r.ValidE.Error()
 		}
 		for _, cell := range r.Cells {
+			if cell.Status != core.CellOK {
+				continue // listed in the failures block instead
+			}
 			k.Cells = append(k.Cells, JSONCell{
 				Arch:    cell.Arch.Name,
 				CacheOn: cell.CacheOn,

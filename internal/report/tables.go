@@ -19,14 +19,64 @@ type Characterization struct {
 // cache.go: RunCharacterization memoizes it per process and fans the
 // cells across a worker pool (core.CharacterizeSuite).
 
-// Datapoints counts the measurement cells in the sweep.
+// Datapoints counts the measurement cells in the sweep. Only healthy
+// cells count: a failed, timed-out, or skipped cell produced no
+// latency/energy/power triple, and a failed static job produced no
+// proxy run.
 func (c Characterization) Datapoints() int {
 	n := 0
 	for _, r := range c.Records {
-		n += len(r.Cells) * 3 // latency, energy, peak power per cell
-		n++                   // static proxy run
+		for _, cell := range r.Cells {
+			if cell.Status == core.CellOK {
+				n += 3 // latency, energy, peak power per cell
+			}
+		}
+		if r.StaticStatus == core.CellOK {
+			n++ // static proxy run
+		}
 	}
 	return n
+}
+
+// Partial reports whether any sweep job failed, timed out, or was
+// skipped — i.e. whether the dataset is incomplete and the JSON export
+// will carry a failures block.
+func (c Characterization) Partial() bool {
+	for _, r := range c.Records {
+		if r.StaticStatus != core.CellOK {
+			return true
+		}
+		for _, cell := range r.Cells {
+			if cell.Status != core.CellOK {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Failures lists every job that did not complete, in serial sweep order
+// (records order; static before cells), with full provenance — the
+// source of both the JSON failures block and the CLI failure summary.
+func (c Characterization) Failures() []core.CellError {
+	var out []core.CellError
+	for _, r := range c.Records {
+		if r.StaticStatus != core.CellOK {
+			out = append(out, core.CellError{
+				Kernel: r.Spec.Name, Stage: core.StageStatic,
+				Status: r.StaticStatus, Err: r.StaticErr,
+			})
+		}
+		for _, cell := range r.Cells {
+			if cell.Status != core.CellOK {
+				out = append(out, core.CellError{
+					Kernel: r.Spec.Name, Arch: cell.Arch.Name, Cache: cell.CacheOn,
+					Stage: core.StageCell, Status: cell.Status, Err: cell.Err,
+				})
+			}
+		}
+	}
+	return out
 }
 
 // cellArchs lists the distinct cores appearing in the records' cells in
@@ -59,6 +109,17 @@ func (c Characterization) WriteTable3(w io.Writer) {
 	}
 	fmt.Fprintln(tw, head)
 	for _, r := range c.Records {
+		// A failed static-proxy job has no flash size or mix to show;
+		// render the gap explicitly rather than as zeros.
+		if r.StaticStatus != core.CellOK {
+			row := fmt.Sprintf("%s\t%s\t%s\t%s\t—",
+				r.Spec.Stage, r.Spec.Name, r.Spec.Category, r.Spec.Dataset)
+			for range archs {
+				row += "\t—"
+			}
+			fmt.Fprintln(tw, row)
+			continue
+		}
 		row := fmt.Sprintf("%s\t%s\t%s\t%s\t%d",
 			r.Spec.Stage, r.Spec.Name, r.Spec.Category, r.Spec.Dataset, r.Flash)
 		for _, a := range archs {
@@ -94,13 +155,21 @@ func (c Characterization) WriteTable4(w io.Writer) {
 					row += "\t-"
 					continue
 				}
+				// A cell that failed, timed out, or was skipped has no
+				// measurement; "—" marks the gap instead of a zero.
+				side := func(cell core.ArchRun, v float64) string {
+					if cell.Status != core.CellOK {
+						return "—"
+					}
+					return fmtSI(v)
+				}
 				switch metric {
 				case "lat":
-					row += fmt.Sprintf("\t%s/%s", fmtSI(on.Meas.LatencyS*1e6), fmtSI(off.Meas.LatencyS*1e6))
+					row += fmt.Sprintf("\t%s/%s", side(on, on.Meas.LatencyS*1e6), side(off, off.Meas.LatencyS*1e6))
 				case "energy":
-					row += fmt.Sprintf("\t%s/%s", fmtSI(on.Meas.EnergyJ*1e6), fmtSI(off.Meas.EnergyJ*1e6))
+					row += fmt.Sprintf("\t%s/%s", side(on, on.Meas.EnergyJ*1e6), side(off, off.Meas.EnergyJ*1e6))
 				default:
-					row += fmt.Sprintf("\t%s/%s", fmtSI(on.Meas.PeakPowerW*1e3), fmtSI(off.Meas.PeakPowerW*1e3))
+					row += fmt.Sprintf("\t%s/%s", side(on, on.Meas.PeakPowerW*1e3), side(off, off.Meas.PeakPowerW*1e3))
 				}
 			}
 		}

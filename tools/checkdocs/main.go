@@ -6,7 +6,11 @@
 //     resolve to an existing file;
 //  3. the board-file schema documented in DESIGN.md §11 must cover
 //     every JSON field of mcu.BoardFile / mcu.Arch / mcu.ModelParams,
-//     so the Go structs and the docs cannot drift apart.
+//     so the Go structs and the docs cannot drift apart;
+//  4. the failure-model guide (docs/robustness.md) must document every
+//     JSON field of the export's failures block (report.JSONFailure),
+//     every cell status, and the sweep failure counters by their exact
+//     names.
 //
 // It prints one line per violation and exits non-zero if any exist.
 // Run it from the repository root: go run ./tools/checkdocs
@@ -22,7 +26,10 @@ import (
 	"regexp"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/mcu"
+	"repro/internal/obs"
+	"repro/internal/report"
 )
 
 func main() {
@@ -30,6 +37,7 @@ func main() {
 	problems = append(problems, checkPackageComments([]string{"internal", "ento", "cmd"})...)
 	problems = append(problems, checkMarkdownLinks()...)
 	problems = append(problems, checkBoardSchemaDocs("DESIGN.md")...)
+	problems = append(problems, checkRobustnessDocs("docs/robustness.md")...)
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, p)
 	}
@@ -116,6 +124,38 @@ func checkBoardSchemaDocs(path string) []string {
 					"%s: board-schema section does not document %s field `%s`", path, t.Name(), tag))
 			}
 		}
+	}
+	return problems
+}
+
+// checkRobustnessDocs pins the failure-model guide to the code: every
+// JSON field of the export's failures block, every non-zero cell
+// status, and each sweep failure counter must be named, in backticks,
+// somewhere in docs/robustness.md.
+func checkRobustnessDocs(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v (the failure model must be documented)", path, err)}
+	}
+	doc := string(data)
+	var problems []string
+	missing := func(kind, name string) {
+		if !strings.Contains(doc, "`"+name+"`") {
+			problems = append(problems, fmt.Sprintf("%s: does not document %s `%s`", path, kind, name))
+		}
+	}
+	for _, tag := range jsonTags(reflect.TypeOf(report.JSONFailure{})) {
+		missing("failures-block field", tag)
+	}
+	for _, s := range []core.CellStatus{core.CellOK, core.CellFailed, core.CellPanicked, core.CellTimedOut, core.CellSkipped} {
+		missing("cell status", s.String())
+	}
+	for _, name := range []string{
+		obs.CounterSweepCellsFailed,
+		obs.CounterSweepPanicsRecovered,
+		obs.CounterSweepCellsTimedOut,
+	} {
+		missing("counter", name)
 	}
 	return problems
 }
