@@ -32,6 +32,7 @@ func BenchmarkAblationGenericEKF(b *testing.B) {
 	type F = scalar.F32
 	tof, flow, acc := F(0.5), F(0.0), F(0.0)
 	b.Run("generic", func(b *testing.B) {
+		b.ReportAllocs()
 		f := ekf.NewFlyEKF(F(0), ekf.Sequential, ekf.DefaultFlyEKFConfig(), 0.5)
 		counts := profile.Collect(func() { _ = f.Step(F(0.1), F(9.81), F(0.002), &tof, &flow, &acc) })
 		b.ReportMetric(mcu.M4.Cycles(counts, mcu.PrecF32, true), "cycM4")
@@ -41,6 +42,7 @@ func BenchmarkAblationGenericEKF(b *testing.B) {
 		}
 	})
 	b.Run("specialized", func(b *testing.B) {
+		b.ReportAllocs()
 		f := ekf.NewFlyEKFFast(F(0), ekf.DefaultFlyEKFConfig(), 0.5)
 		counts := profile.Collect(func() { f.Step(F(0.1), F(9.81), F(0.002), &tof, &flow, &acc) })
 		b.ReportMetric(mcu.M4.Cycles(counts, mcu.PrecF32, true), "cycM4")
@@ -57,6 +59,7 @@ func BenchmarkAblationGenericEKF(b *testing.B) {
 // and dropped — the quantity FLOP counting silently throws away.
 func BenchmarkAblationMemoryTerm(b *testing.B) {
 	type F = scalar.F32
+	b.ReportAllocs()
 	tof, flow, acc := F(0.5), F(0.0), F(0.0)
 	f := ekf.NewFlyEKF(F(0), ekf.Sequential, ekf.DefaultFlyEKFConfig(), 0.5)
 	counts := profile.Collect(func() { _ = f.Step(F(0.1), F(9.81), F(0.002), &tof, &flow, &acc) })
@@ -73,6 +76,7 @@ func BenchmarkAblationMemoryTerm(b *testing.B) {
 // pipeline and reports the relative error against the analytic model —
 // the self-consistency check of the measurement substitution.
 func BenchmarkAblationTraceEnergy(b *testing.B) {
+	b.ReportAllocs()
 	est := mcu.M7.Estimate(profile.Counts{F: 5000, I: 3000, M: 4000, B: 1000}, mcu.PrecF32, true)
 	var relErr float64
 	for i := 0; i < b.N; i++ {
@@ -89,6 +93,7 @@ func BenchmarkAblationTraceEnergy(b *testing.B) {
 // BenchmarkExtensionFactorGraph measures one Gauss-Newton smoothing
 // iteration over a 100-pose chain — the planned AXLE-style extension.
 func BenchmarkExtensionFactorGraph(b *testing.B) {
+	b.ReportAllocs()
 	type F = scalar.F32
 	rng := rand.New(rand.NewSource(1))
 	odom := make([]factorgraph.Odometry[F], 99)
@@ -116,6 +121,7 @@ func BenchmarkExtensionDepthNet(b *testing.B) {
 	net := cnn.NewDepthNet()
 	g := dataset.GenImage(dataset.Midd, 32, 32, 3)
 	b.Run("float32", func(b *testing.B) {
+		b.ReportAllocs()
 		counts := profile.Collect(func() { net.Infer(g) })
 		est := mcu.M4.Estimate(counts, mcu.PrecF32, true)
 		b.ReportMetric(est.LatencyUs(), "µs/M4")
@@ -126,6 +132,7 @@ func BenchmarkExtensionDepthNet(b *testing.B) {
 		}
 	})
 	b.Run("int8", func(b *testing.B) {
+		b.ReportAllocs()
 		counts := profile.Collect(func() { net.InferQ(g) })
 		est := mcu.M4.Estimate(counts, mcu.PrecFixed, true)
 		b.ReportMetric(est.LatencyUs(), "µs/M4")

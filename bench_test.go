@@ -36,6 +36,7 @@ import (
 // modeled metrics for arch as custom units.
 func benchProblem(b *testing.B, p harness.Problem, arch mcu.Arch, prec mcu.Precision, cacheOn bool) {
 	b.Helper()
+	b.ReportAllocs()
 	if err := p.Setup(); err != nil {
 		b.Fatal(err)
 	}
@@ -133,6 +134,7 @@ func BenchmarkFig3(b *testing.B) {
 			base = "bbof"
 		}
 		b.Run(flow.name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := core.NewFlowProblem(base, dataset.Midd, flow.vec)
 			if err := p.Setup(); err != nil {
 				b.Fatal(err)
@@ -154,6 +156,7 @@ var benchRecs = imu.Simulate(imu.HoverTrajectory(0.12, 0.1, 2), 1, 400, imu.Defa
 
 func benchFilterUpdates[T scalar.Real[T]](b *testing.B, like T, prec mcu.Precision, mk func() attitude.Filter[T]) {
 	b.Helper()
+	b.ReportAllocs()
 	f := mk()
 	samples := make([]imu.Sample[T], len(benchRecs))
 	for i, r := range benchRecs {
@@ -234,6 +237,7 @@ func BenchmarkTable8(b *testing.B) {
 			b.Fatalf("missing %s", name)
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := spec.Factory()
 			if err := p.Setup(); err != nil {
 				b.Fatal(err)
@@ -287,6 +291,7 @@ func BenchmarkFig5(b *testing.B) {
 	for _, s := range solvers {
 		s := s
 		b.Run("solver/"+s.name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := dataset.GenRelProblem(dataset.PoseGenConfig{
 				N: 12, PixelNoise: 0.1, Upright: s.upright, Planar: s.planar, Seed: 55,
 			})
@@ -310,6 +315,7 @@ func BenchmarkFig5(b *testing.B) {
 	}{{"up2pt", 2, true}, {"u3pt", 3, false}, {"5pt", 5, false}} {
 		s := s
 		b.Run("lo-ransac/"+s.name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := dataset.GenRelProblem(dataset.PoseGenConfig{
 				N: 100, PixelNoise: 0.5, OutlierRatio: 0.25,
 				Upright: true, Planar: s.planar, Seed: 66,
@@ -346,11 +352,13 @@ func BenchmarkFig5(b *testing.B) {
 // (the profiled ROI itself).
 func BenchmarkProfileHookOverhead(b *testing.B) {
 	b.Run("idle", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			profile.AddF(1)
 		}
 	})
 	b.Run("foreign-session", func(b *testing.B) {
+		b.ReportAllocs()
 		stop := make(chan struct{})
 		done := make(chan struct{})
 		go func() {
@@ -366,6 +374,7 @@ func BenchmarkProfileHookOverhead(b *testing.B) {
 		<-done
 	})
 	b.Run("own-session", func(b *testing.B) {
+		b.ReportAllocs()
 		rec := profile.Begin()
 		defer profile.End()
 		b.ResetTimer()
@@ -392,6 +401,7 @@ func BenchmarkRunCharacterization(b *testing.B) {
 		{"parallel-j8", 8},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				c, err := report.RunCharacterizationUncached(cfg.workers)
 				if err != nil {

@@ -25,6 +25,15 @@ import (
 // single-core; its ROI must not be split), so the parallelism is across
 // cells only.
 //
+// Same-kernel cells are batched: the kernel execution itself — problem
+// build, warm-up, the profiled ROI invocation, validation — runs once
+// per spec (kernelPrep), and every (arch, cache) cell derives its
+// measurement from the shared counts with pure arithmetic
+// (harness.Prepared.MeasureOn). Counts and validity are
+// arch-independent, so batching changes no assembled byte; the job
+// graph, progress accounting, spans, and per-cell fault containment are
+// exactly those of the unbatched engine.
+//
 // Failure model (DESIGN.md §12): a cell that panics, errors, or trips
 // the watchdog costs exactly its own slot. Panics are recovered with
 // the stack captured (PanicError), the cell is marked with a CellStatus
@@ -70,6 +79,49 @@ var (
 // jobStatic marks a job as the per-kernel static-proxy run rather than
 // an (arch, cache) measurement cell.
 const jobStatic = -1
+
+// kernelPrep is the lazily-computed shared half of one kernel's
+// measurement cells: problem build, warm-up, the profiled ROI
+// invocation, and validation run once per kernel (harness.Prepare), and
+// every (arch, cache) cell derives its measurement from the shared
+// result with pure arithmetic (harness.MeasureOn). Counts and validity
+// are arch-independent — see the reference-cell comment in commit — so
+// sharing changes no assembled byte.
+//
+// The first cell job of a kernel to reach get pays for the prepare;
+// concurrent same-kernel cells block in the Once until it lands.
+// Fault containment is preserved per cell: a panic or error inside the
+// shared prepare is captured here and re-surfaced to every cell job
+// that asks, so each affected cell is classified, counted, and reported
+// individually, exactly as when every cell ran the kernel itself. Under
+// a watchdog (SweepOptions.CellTimeout) a hung prepare strands its
+// waiters in the Once; each waiter's own watchdog abandons it
+// individually, and a late-finishing prepare only ever publishes
+// through this struct — never into sweep state directly.
+type kernelPrep struct {
+	once sync.Once
+	ref  mcu.Arch // first fitting arch: the reference cell's core
+	pp   *harness.Prepared
+	err  error
+}
+
+// get returns the kernel's shared prepared state, computing it on the
+// first call. A recovered panic is stored as a PanicError so every
+// sharing cell sees the same failure.
+func (kp *kernelPrep) get(ctx context.Context, spec Spec) (*harness.Prepared, error) {
+	kp.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				kp.err = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		// The reference cell's schedule: first fitting arch, cache on
+		// (cells are ordered arch-major, cache on/off), so the validation
+		// reps match what cell 0 executed when it ran the kernel itself.
+		kp.pp, kp.err = harness.PrepareContext(ctx, spec.Factory(), kp.ref, spec.Prec, harness.DefaultConfig())
+	})
+	return kp.pp, kp.err
+}
 
 // job is one unit of sweep work: either the static-proxy run of a
 // kernel (cell == jobStatic) or one (arch, cache) measurement cell.
@@ -212,6 +264,7 @@ func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([
 		ctx = context.Background()
 	}
 	records := make([]Record, len(specs))
+	preps := make([]kernelPrep, len(specs))
 	var jobs []job
 	for i, spec := range specs {
 		records[i] = Record{Spec: spec}
@@ -220,6 +273,9 @@ func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([
 		for _, arch := range archs {
 			if !spec.Fits(arch) {
 				continue
+			}
+			if n == 0 {
+				preps[i].ref = arch
 			}
 			for _, cache := range []bool{true, false} {
 				jobs = append(jobs, job{spec: i, cell: n, arch: arch, cache: cache})
@@ -261,7 +317,7 @@ func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([
 				spec := records[jobs[j].spec].Spec
 				traced := obs.TraceEnabled()
 				start := time.Now()
-				res, status, err := executeJob(ctx, spec, &jobs[j], opts.CellTimeout)
+				res, status, err := executeJob(ctx, spec, &jobs[j], &preps[jobs[j].spec], opts.CellTimeout)
 				if traced {
 					recordJobSpan(&jobs[j], records, start, sweepStart, lane, status)
 				}
@@ -354,9 +410,9 @@ type jobResult struct {
 // waits for its result, the deadline, or cancellation — whichever is
 // first. The returned status classifies the outcome; err is nil exactly
 // when status is CellOK.
-func executeJob(ctx context.Context, spec Spec, j *job, timeout time.Duration) (jobResult, CellStatus, error) {
+func executeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep, timeout time.Duration) (jobResult, CellStatus, error) {
 	if timeout <= 0 {
-		res, err := computeJob(ctx, spec, j)
+		res, err := computeJob(ctx, spec, j, prep)
 		return classify(ctx, res, err)
 	}
 	type outcome struct {
@@ -368,7 +424,7 @@ func executeJob(ctx context.Context, spec Spec, j *job, timeout time.Duration) (
 	// channel, and its late result is garbage-collected with it.
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := computeJob(ctx, spec, j)
+		res, err := computeJob(ctx, spec, j, prep)
 		ch <- outcome{res, err}
 	}()
 	timer := time.NewTimer(timeout)
@@ -412,8 +468,10 @@ func isPanic(err error) bool {
 // computeJob executes one sweep job and returns its result without
 // touching shared state. A panicking kernel — a mat shape mismatch, a
 // buggy user kernel registered via core.Register — is recovered here
-// and converted into a PanicError carrying the captured stack.
-func computeJob(ctx context.Context, spec Spec, j *job) (res jobResult, err error) {
+// (or inside the shared prepare) and converted into a PanicError
+// carrying the captured stack. Cell jobs share one kernel execution
+// through prep and only run the arch-specific modeling themselves.
+func computeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep) (res jobResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
@@ -432,9 +490,13 @@ func computeJob(ctx context.Context, spec Spec, j *job) (res jobResult, err erro
 		res.flash = mcu.FlashBytes(res.static)
 		return res, nil
 	}
+	pp, err := prep.get(ctx, spec)
+	if err != nil {
+		return res, fmt.Errorf("core: run %s on %s: %w", spec.Name, j.arch.Name, err)
+	}
 	cfg := harness.DefaultConfig()
 	cfg.CacheOn = j.cache
-	r, err := harness.RunContext(ctx, spec.Factory(), j.arch, spec.Prec, cfg)
+	r, err := pp.MeasureOn(j.arch, spec.Prec, cfg)
 	if err != nil {
 		return res, fmt.Errorf("core: run %s on %s: %w", spec.Name, j.arch.Name, err)
 	}

@@ -36,9 +36,10 @@ func (k ImageKind) String() string {
 	}
 }
 
-// GenImage synthesizes a w×h scene of the given kind, deterministically
-// for a seed.
-func GenImage(kind ImageKind, w, h int, seed int64) *img.Gray {
+// genImageUncached synthesizes a w×h scene of the given kind,
+// deterministically for a seed. The exported, memoized entry point is
+// GenImage in memo.go.
+func genImageUncached(kind ImageKind, w, h int, seed int64) *img.Gray {
 	rng := rand.New(rand.NewSource(seed))
 	switch kind {
 	case Lights:
@@ -184,12 +185,13 @@ type FlowPair struct {
 	DX, DY float64
 }
 
-// GenFlowPair renders a scene and a shifted copy with subpixel motion
-// (bilinear resampling) and mild intensity noise.
-func GenFlowPair(kind ImageKind, w, h int, dx, dy float64, seed int64) FlowPair {
+// genFlowPairUncached renders a scene and a shifted copy with subpixel
+// motion (bilinear resampling) and mild intensity noise. The exported,
+// memoized entry point is GenFlowPair in memo.go.
+func genFlowPairUncached(kind ImageKind, w, h int, dx, dy float64, seed int64) FlowPair {
 	// Render a larger scene and crop two windows displaced by (dx, dy).
 	margin := int(math.Max(math.Abs(dx), math.Abs(dy))) + 4
-	big := GenImage(kind, w+2*margin, h+2*margin, seed)
+	big := genImageUncached(kind, w+2*margin, h+2*margin, seed)
 	rng := rand.New(rand.NewSource(seed + 7))
 	a := img.NewGray(w, h)
 	b := img.NewGray(w, h)

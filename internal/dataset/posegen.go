@@ -63,10 +63,11 @@ func randRotation(rng *rand.Rand, upright bool) mat.Mat[F64] {
 	return geom.QuatFromAxisAngle(axis, angle).RotationMatrix()
 }
 
-// GenAbsProblem synthesizes an absolute-pose problem: world points seen
-// by a camera at a random (optionally upright) pose, with pixel noise
-// and uniform outliers.
-func GenAbsProblem(cfg PoseGenConfig) AbsProblem {
+// genAbsProblemUncached synthesizes an absolute-pose problem: world
+// points seen by a camera at a random (optionally upright) pose, with
+// pixel noise and uniform outliers. The exported, memoized entry point
+// is GenAbsProblem in memo.go.
+func genAbsProblemUncached(cfg PoseGenConfig) AbsProblem {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	r := randRotation(rng, cfg.Upright)
 	t := mat.VecFromFloats(F64(0), []float64{
@@ -104,11 +105,12 @@ func GenAbsProblem(cfg PoseGenConfig) AbsProblem {
 	return AbsProblem{Corrs: corrs, Truth: truth}
 }
 
-// GenRelProblem synthesizes a relative-pose problem: 3D points seen from
-// two views with the configured motion prior, noise, and outliers. The
-// ground-truth translation is unit length (relative pose is defined up
-// to scale).
-func GenRelProblem(cfg PoseGenConfig) RelProblem {
+// genRelProblemUncached synthesizes a relative-pose problem: 3D points
+// seen from two views with the configured motion prior, noise, and
+// outliers. The ground-truth translation is unit length (relative pose
+// is defined up to scale). The exported, memoized entry point is
+// GenRelProblem in memo.go.
+func genRelProblemUncached(cfg PoseGenConfig) RelProblem {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	r := randRotation(rng, cfg.Upright)
 	tdir := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}

@@ -137,49 +137,139 @@ func Run(p Problem, arch mcu.Arch, prec mcu.Precision, cfg Config) (Result, erro
 // that never returns must be cut off by the sweep-level watchdog
 // (core.SweepOptions.CellTimeout), not by the context.
 func RunContext(ctx context.Context, p Problem, arch mcu.Arch, prec mcu.Precision, cfg Config) (Result, error) {
-	ctrRuns.Inc()
-	res := Result{Kernel: p.Name(), Arch: arch, Precision: prec, CacheOn: cfg.CacheOn}
+	pp, err := PrepareContext(ctx, p, arch, prec, cfg)
+	if err != nil {
+		return Result{Kernel: p.Name(), Arch: arch, Precision: prec, CacheOn: cfg.CacheOn}, err
+	}
+	return pp.MeasureOn(arch, prec, cfg)
+}
+
+// Prepared is the kernel-execution half of a measurement, detached from
+// any particular core: the per-rep operation counts captured by one
+// profiled Solve plus the validation verdict. Counts and validity are
+// arch-independent — the profiler counts the same deterministic Solve
+// whichever core is modeled — so one Prepared serves every (arch,
+// cache) cell of a kernel through MeasureOn, which is pure arithmetic.
+// The characterization sweep builds on exactly this split to run each
+// kernel's problem once instead of once per cell.
+type Prepared struct {
+	name   string
+	counts profile.Counts
+	valid  bool
+	validE error
+}
+
+// Prepare is PrepareContext without cancellation.
+func Prepare(p Problem, refArch mcu.Arch, prec mcu.Precision, cfg Config) (*Prepared, error) {
+	return PrepareContext(context.Background(), p, refArch, prec, cfg)
+}
+
+// PrepareContext executes the kernel-side phases of a measurement run —
+// setup, warm-up, the profiled ROI invocation, and the validation reps —
+// and returns the arch-independent Prepared half. refArch and cfg shape
+// only the validation-rep schedule (how many extra host Solves run
+// before Validate), which mirrors what a full RunContext on refArch
+// would execute; they leave counts untouched. Cancellation follows the
+// RunContext contract: cooperative checks at every phase boundary.
+func PrepareContext(ctx context.Context, p Problem, refArch mcu.Arch, prec mcu.Precision, cfg Config) (*Prepared, error) {
 	if err := ctx.Err(); err != nil {
-		return res, fmt.Errorf("harness: %s: %w", p.Name(), err)
+		return nil, fmt.Errorf("harness: %s: %w", p.Name(), err)
 	}
 	if err := p.Setup(); err != nil {
-		return res, fmt.Errorf("harness: setup %s: %w", p.Name(), err)
+		return nil, fmt.Errorf("harness: setup %s: %w", p.Name(), err)
 	}
 	for i := 0; i < cfg.Warmup; i++ {
 		if err := ctx.Err(); err != nil {
-			return res, fmt.Errorf("harness: %s: %w", p.Name(), err)
+			return nil, fmt.Errorf("harness: %s: %w", p.Name(), err)
 		}
 		p.Solve()
 	}
 	if err := ctx.Err(); err != nil {
-		return res, fmt.Errorf("harness: %s: %w", p.Name(), err)
+		return nil, fmt.Errorf("harness: %s: %w", p.Name(), err)
 	}
 
 	// One profiled invocation determines the op counts and, through the
 	// core model, the per-rep latency used to auto-scale reps.
-	counts := profile.Collect(p.Solve)
-	res.Counts = counts
-	res.Model = arch.Estimate(counts, prec, cfg.CacheOn)
+	pp := &Prepared{name: p.Name()}
+	pp.counts = profile.Collect(p.Solve)
 
-	reps := cfg.Reps
-	if reps <= 0 {
-		minT := cfg.MinROITimeS
-		if minT <= 0 {
-			minT = 2e-3
-		}
-		reps = int(minT/res.Model.LatencyS) + 1
-		maxAuto := cfg.MaxAutoReps
-		if maxAuto == 0 {
-			maxAuto = DefaultMaxAutoReps
-		}
-		if maxAuto > 0 && reps > maxAuto {
-			reps = maxAuto
-		}
-	}
 	// Execute the remaining reps for validation parity (the profiler
 	// already captured a representative invocation; kernels are
 	// deterministic per Solve). Config.MaxHostReps bounds the host-side
 	// wall-clock cost; see its doc for why that is sound here.
+	model := refArch.Estimate(pp.counts, prec, cfg.CacheOn)
+	extra := hostExtra(cfg, autoReps(cfg, model.LatencyS))
+	for i := 0; i < extra; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", p.Name(), err)
+		}
+		p.Solve()
+	}
+	ctrHostReps.Add(uint64(1 + extra)) // the profiled rep + validation reps
+
+	if err := p.Validate(); err != nil {
+		pp.valid = false
+		pp.validE = err
+	} else {
+		pp.valid = true
+	}
+	return pp, nil
+}
+
+// Counts returns the per-rep operation mix of the profiled Solve.
+func (pp *Prepared) Counts() profile.Counts { return pp.counts }
+
+// Valid returns the validation verdict taken after the validation reps.
+func (pp *Prepared) Valid() (bool, error) { return pp.valid, pp.validE }
+
+// MeasureOn models the prepared kernel on one core: analytic estimate,
+// rep auto-scaling, trace synthesis, and trace analysis. It executes no
+// kernel code — everything is a pure function of the prepared counts —
+// so one Prepared can be measured on any number of (arch, cache)
+// configurations, concurrently if desired.
+func (pp *Prepared) MeasureOn(arch mcu.Arch, prec mcu.Precision, cfg Config) (Result, error) {
+	ctrRuns.Inc()
+	res := Result{Kernel: pp.name, Arch: arch, Precision: prec, CacheOn: cfg.CacheOn,
+		Counts: pp.counts}
+	res.Model = arch.Estimate(pp.counts, prec, cfg.CacheOn)
+	reps := autoReps(cfg, res.Model.LatencyS)
+
+	// Synthesize the measurement traces and run the analysis pipeline.
+	trace, events := SynthesizeTrace(res.Model, arch, cfg.CacheOn, reps, int64(len(pp.name)))
+	meas, err := Analyze(trace, events, reps)
+	if err != nil {
+		return res, err
+	}
+	res.Measured = meas
+	res.Valid, res.ValidErr = pp.valid, pp.validE
+	return res, nil
+}
+
+// autoReps resolves the ROI rep count: an explicit cfg.Reps wins,
+// otherwise enough reps to fill MinROITimeS at the modeled latency,
+// clamped by MaxAutoReps.
+func autoReps(cfg Config, latencyS float64) int {
+	if cfg.Reps > 0 {
+		return cfg.Reps
+	}
+	minT := cfg.MinROITimeS
+	if minT <= 0 {
+		minT = 2e-3
+	}
+	reps := int(minT/latencyS) + 1
+	maxAuto := cfg.MaxAutoReps
+	if maxAuto == 0 {
+		maxAuto = DefaultMaxAutoReps
+	}
+	if maxAuto > 0 && reps > maxAuto {
+		reps = maxAuto
+	}
+	return reps
+}
+
+// hostExtra resolves how many validation Solves beyond the profiled one
+// the host executes for a run of reps repetitions (Config.MaxHostReps).
+func hostExtra(cfg Config, reps int) int {
 	maxHost := cfg.MaxHostReps
 	if maxHost == 0 {
 		maxHost = DefaultMaxHostReps
@@ -188,27 +278,5 @@ func RunContext(ctx context.Context, p Problem, arch mcu.Arch, prec mcu.Precisio
 	if maxHost > 0 && extra > maxHost-1 {
 		extra = maxHost - 1
 	}
-	for i := 0; i < extra; i++ {
-		if err := ctx.Err(); err != nil {
-			return res, fmt.Errorf("harness: %s: %w", p.Name(), err)
-		}
-		p.Solve()
-	}
-	ctrHostReps.Add(uint64(1 + extra)) // the profiled rep + validation reps
-
-	// Synthesize the measurement traces and run the analysis pipeline.
-	trace, events := SynthesizeTrace(res.Model, arch, cfg.CacheOn, reps, int64(len(p.Name())))
-	meas, err := Analyze(trace, events, reps)
-	if err != nil {
-		return res, err
-	}
-	res.Measured = meas
-
-	if err := p.Validate(); err != nil {
-		res.Valid = false
-		res.ValidErr = err
-	} else {
-		res.Valid = true
-	}
-	return res, nil
+	return extra
 }

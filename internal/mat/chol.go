@@ -59,7 +59,8 @@ func (c *Cholesky[T]) Solve(b Vec[T]) Vec[T] {
 	}
 	n := c.l.Rows()
 	// L·y = b
-	y := make(Vec[T], n)
+	y, yh := borrowVec[T](n)
+	defer yh.put()
 	for i := 0; i < n; i++ {
 		acc := b[i]
 		for j := 0; j < i; j++ {
@@ -143,7 +144,8 @@ func (f *LDLT[T]) Solve(b Vec[T]) Vec[T] {
 	}
 	n := len(f.d)
 	// L·y = b
-	y := make(Vec[T], n)
+	y, yh := borrowVec[T](n)
+	defer yh.put()
 	for i := 0; i < n; i++ {
 		acc := b[i]
 		for j := 0; j < i; j++ {

@@ -74,12 +74,14 @@ func SymEigen[T scalar.Real[T]](a Mat[T]) SymEigResult[T] {
 		}
 	}
 
-	w := make(Vec[T], n)
+	w, wh := borrowVec[T](n)
+	defer wh.put()
 	for i := 0; i < n; i++ {
 		w[i] = m.At(i, i)
 	}
 	// Sort descending.
-	idx := make([]int, n)
+	idx, idxh := borrowSlice[int](n)
+	defer idxh.put()
 	for i := range idx {
 		idx[i] = i
 	}
@@ -314,7 +316,9 @@ func RealEigenvalues[T scalar.Real[T]](a Mat[T]) Vec[T] {
 		scale = scalar.Max(scale, scalar.Max(eig.Re[i].Abs(), eig.Im[i].Abs()))
 	}
 	tol := eps.Mul(like.FromFloat(1e6)).Mul(scalar.Max(scale, scalar.One(like)))
-	var out Vec[T]
+	// Pre-sized to the worst case (every eigenvalue real), so the append
+	// loop allocates exactly once.
+	out := make(Vec[T], 0, len(eig.Re))
 	for i := range eig.Re {
 		if eig.Im[i].Abs().LessEq(tol) {
 			out = append(out, eig.Re[i])

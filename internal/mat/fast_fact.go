@@ -372,7 +372,8 @@ func cholDecomposeFast[T scalar.Real[T]](a Mat[T]) (c *Cholesky[T], ok bool, not
 // --- Cholesky solve ---
 
 func cholSolveNat[F native](cnt *profile.Counts, l []F, n int, b []F) []F {
-	y := make([]F, n)
+	y, yh := borrowSlice[F](n)
+	defer yh.put()
 	for i := 0; i < n; i++ {
 		acc := b[i]
 		for j := 0; j < i; j++ {
@@ -404,7 +405,8 @@ func cholSolveNat[F native](cnt *profile.Counts, l []F, n int, b []F) []F {
 }
 
 func cholSolveFix(cnt *profile.Counts, l []fixed.Num, n int, b []fixed.Num) []fixed.Num {
-	y := make([]fixed.Num, n)
+	y, yh := borrowSlice[fixed.Num](n)
+	defer yh.put()
 	for i := 0; i < n; i++ {
 		acc := b[i]
 		for j := 0; j < i; j++ {
@@ -559,7 +561,8 @@ func ldltDecomposeFast[T scalar.Real[T]](a Mat[T]) (f *LDLT[T], ok bool, singula
 // --- LDLT solve ---
 
 func ldltSolveNat[F native](cnt *profile.Counts, l []F, dd []F, n int, b []F) []F {
-	y := make([]F, n)
+	y, yh := borrowSlice[F](n)
+	defer yh.put()
 	for i := 0; i < n; i++ {
 		acc := b[i]
 		for j := 0; j < i; j++ {
@@ -586,7 +589,8 @@ func ldltSolveNat[F native](cnt *profile.Counts, l []F, dd []F, n int, b []F) []
 }
 
 func ldltSolveFix(cnt *profile.Counts, l []fixed.Num, dd []fixed.Num, n int, b []fixed.Num) []fixed.Num {
-	y := make([]fixed.Num, n)
+	y, yh := borrowSlice[fixed.Num](n)
+	defer yh.put()
 	for i := 0; i < n; i++ {
 		acc := b[i]
 		for j := 0; j < i; j++ {
@@ -778,7 +782,8 @@ func qrDecomposeFast[T scalar.Real[T]](a Mat[T]) (f *QR[T], ok bool) {
 
 func qrSolveNat[F native](cnt *profile.Counts, d []F, m, n int, rdiag []F, b []F) []F {
 	cnt.M += uint64(2 * m) // b.Clone()
-	y := make([]F, m)
+	y, yh := borrowSlice[F](m)
+	defer yh.put()
 	copy(y, b)
 	for k := 0; k < n; k++ {
 		cnt.M++
@@ -822,7 +827,8 @@ func qrSolveNat[F native](cnt *profile.Counts, d []F, m, n int, rdiag []F, b []F
 
 func qrSolveFix(cnt *profile.Counts, d []fixed.Num, m, n int, rdiag []fixed.Num, b []fixed.Num) []fixed.Num {
 	cnt.M += uint64(2 * m) // b.Clone()
-	y := make([]fixed.Num, m)
+	y, yh := borrowSlice[fixed.Num](m)
+	defer yh.put()
 	copy(y, b)
 	for k := 0; k < n; k++ {
 		cnt.M++

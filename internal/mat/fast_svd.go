@@ -99,7 +99,8 @@ func svdKernelNat[F native](cnt *profile.Counts, u, v []F, m, n int, tol F) (us 
 		}
 	}
 
-	sv := make([]F, n)
+	sv, svh := borrowSlice[F](n)
+	defer svh.put()
 	for j := 0; j < n; j++ {
 		var acc F
 		for i := 0; i < m; i++ {
@@ -123,7 +124,8 @@ func svdKernelNat[F native](cnt *profile.Counts, u, v []F, m, n int, tol F) (us 
 		}
 	}
 
-	idx := make([]int, n)
+	idx, idxh := borrowSlice[int](n)
+	defer idxh.put()
 	for i := range idx {
 		idx[i] = i
 	}
@@ -211,7 +213,8 @@ func svdKernelFix(cnt *profile.Counts, u, v []fixed.Num, m, n int, one, two, tol
 		}
 	}
 
-	sv := make([]fixed.Num, n)
+	sv, svh := borrowSlice[fixed.Num](n)
+	defer svh.put()
 	for j := 0; j < n; j++ {
 		var acc fixed.Num
 		for i := 0; i < m; i++ {
@@ -233,7 +236,8 @@ func svdKernelFix(cnt *profile.Counts, u, v []fixed.Num, m, n int, one, two, tol
 		}
 	}
 
-	idx := make([]int, n)
+	idx, idxh := borrowSlice[int](n)
+	defer idxh.put()
 	for i := range idx {
 		idx[i] = i
 	}

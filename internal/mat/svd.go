@@ -86,7 +86,8 @@ func SVD[T scalar.Real[T]](a Mat[T]) SVDResult[T] {
 	}
 
 	// Singular values are the column norms of the rotated U.
-	s := make(Vec[T], n)
+	s, sh := borrowVec[T](n)
+	defer sh.put()
 	for j := 0; j < n; j++ {
 		var acc T
 		for i := 0; i < m; i++ {
@@ -103,7 +104,8 @@ func SVD[T scalar.Real[T]](a Mat[T]) SVDResult[T] {
 	}
 
 	// Sort descending by singular value (permute U, S, V consistently).
-	idx := make([]int, n)
+	idx, idxh := borrowSlice[int](n)
+	defer idxh.put()
 	for i := range idx {
 		idx[i] = i
 	}

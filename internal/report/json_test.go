@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/mat"
 	"repro/internal/mcu"
 	"repro/internal/profile"
 	"repro/internal/report"
@@ -155,6 +156,39 @@ func TestJSONParallelByteIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatal("-j1 and -j8 JSON exports differ")
+	}
+}
+
+// TestJSONReferenceByteIdentical: the export of the optimized sweep —
+// arena-backed mat fast paths, batched same-kernel cells, memoized
+// dataset masters — must match a sweep over the hooked generic
+// reference kernels byte for byte. This is the end-to-end form of the
+// count-exactness invariant: any fast path, scratch reuse, or shared
+// Prepared state that perturbed a single recorded op or validation
+// outcome would shift some exported field and fail here.
+func TestJSONReferenceByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two uncached full sweeps")
+	}
+	fast, err := report.RunCharacterizationUncached(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := mat.SetReferenceKernels(true)
+	ref, err := report.RunCharacterizationUncached(1)
+	mat.SetReferenceKernels(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := fast.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("optimized and reference-kernel JSON exports differ")
 	}
 }
 

@@ -1,0 +1,125 @@
+// Command benchguard enforces the characterization-sweep performance
+// budgets recorded in BENCH_baseline.json. It reads `go test -bench
+// ... -benchmem` output on stdin, extracts ns/op and allocs/op for
+// every budgeted benchmark, prints a benchstat-style comparison against
+// the recorded current values, and exits non-zero when a budget is
+// exceeded or a budgeted benchmark is missing from the input.
+//
+// The wall-clock budgets carry slack for slower CI machines; the
+// allocs/op budgets are tight, since allocation counts are
+// deterministic across hosts. Run it from the repository root:
+//
+//	go test -bench 'RunCharacterization/serial' -benchtime 3x -benchmem -run xxx . | go run ./tools/benchguard
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type budget struct {
+	MaxNsPerOp     float64 `json:"max_ns_per_op"`
+	MaxAllocsPerOp float64 `json:"max_allocs_per_op"`
+}
+
+type baselineFile struct {
+	Benchmarks map[string]struct {
+		CurrentNsPerOp     float64 `json:"current_ns_per_op"`
+		CurrentAllocsPerOp float64 `json:"current_allocs_per_op"`
+	} `json:"benchmarks"`
+	Budgets map[string]budget `json:"budgets"`
+}
+
+// benchLine matches `go test -bench -benchmem` result rows, tolerating
+// the -GOMAXPROCS suffix the bench runner appends on multicore hosts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "budget file")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: parse %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	if len(base.Budgets) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s has no budgets block\n", *baselinePath)
+		os.Exit(2)
+	}
+
+	type measured struct{ ns, allocs float64 }
+	got := map[string]measured{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		allocs := -1.0
+		if m[4] != "" {
+			allocs, _ = strconv.ParseFloat(m[4], 64)
+		}
+		got[m[1]] = measured{ns: ns, allocs: allocs}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: read stdin: %v\n", err)
+		os.Exit(2)
+	}
+
+	fail := false
+	fmt.Printf("%-44s %14s %14s %10s  %s\n", "benchmark", "recorded", "measured", "delta", "verdict")
+	for name, b := range base.Budgets {
+		g, ok := got[name]
+		if !ok {
+			fmt.Printf("%-44s %14s %14s %10s  MISSING from bench output\n", name, "-", "-", "-")
+			fail = true
+			continue
+		}
+		rec := base.Benchmarks[name]
+
+		verdict := "ok"
+		if b.MaxNsPerOp > 0 && g.ns > b.MaxNsPerOp {
+			verdict = fmt.Sprintf("FAIL: ns/op over budget %.0f", b.MaxNsPerOp)
+			fail = true
+		}
+		fmt.Printf("%-44s %12.1fms %12.1fms %+9.1f%%  %s\n",
+			name+" ns/op", rec.CurrentNsPerOp/1e6, g.ns/1e6, delta(g.ns, rec.CurrentNsPerOp), verdict)
+
+		if b.MaxAllocsPerOp > 0 {
+			verdict = "ok"
+			if g.allocs < 0 {
+				verdict = "FAIL: no allocs/op in input (run with -benchmem)"
+				fail = true
+			} else if g.allocs > b.MaxAllocsPerOp {
+				verdict = fmt.Sprintf("FAIL: allocs/op over budget %.0f", b.MaxAllocsPerOp)
+				fail = true
+			}
+			fmt.Printf("%-44s %14.0f %14.0f %+9.1f%%  %s\n",
+				name+" allocs/op", rec.CurrentAllocsPerOp, g.allocs, delta(g.allocs, rec.CurrentAllocsPerOp), verdict)
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// delta returns the percent change of measured against recorded, or 0
+// when there is no recorded value to compare with.
+func delta(measured, recorded float64) float64 {
+	if recorded <= 0 || measured < 0 {
+		return 0
+	}
+	return (measured - recorded) / recorded * 100
+}
