@@ -1,0 +1,156 @@
+// Command entobenchd serves characterization-as-a-service: a
+// long-running HTTP daemon that answers sweep queries — the full suite
+// × Table IV grid or any kernel-subset × board-set selection — to many
+// concurrent clients, with singleflight coalescing of identical
+// in-flight queries and an in-memory keyed result cache behind them.
+// A served sweep is byte-identical to `entobench sweep -json` for the
+// same query; docs/server.md is the operations guide and the complete
+// wire reference.
+//
+// Usage:
+//
+//	entobenchd [-addr 127.0.0.1:8090] [-boards FILE] [-j N]
+//	           [-celltimeout DUR] [-cachecap N]
+//
+// -boards loads user board files into the registry at startup, so the
+// daemon can serve custom cores alongside the built-ins. -j and
+// -celltimeout set the worker-pool size and per-cell watchdog for
+// every cache-filling run (clients may override per request);
+// -cachecap bounds how many completed sweep results stay in memory.
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
+// requests get a grace period to finish, and only then does the
+// process exit — a client mid-sweep sees its response, not a reset.
+//
+// The flag table below (newFlagSet) is the single source of truth for
+// the usage text, the README entobenchd section, and docs/server.md; a
+// test keeps all of them in sync.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/mcu"
+	"repro/internal/report"
+	"repro/internal/server"
+)
+
+// config is the daemon's flag-settable configuration.
+type config struct {
+	addr        string
+	boards      string
+	workers     int
+	cellTimeout time.Duration
+	cacheCap    int
+}
+
+// shutdownGrace is how long in-flight requests get to finish after
+// SIGINT/SIGTERM before the server gives up on them.
+const shutdownGrace = 10 * time.Second
+
+// newFlagSet declares every daemon flag. This table is what the
+// README/docs sync test walks, so a flag added here without
+// documentation fails the build's test step.
+func newFlagSet(cfg *config) *flag.FlagSet {
+	fs := flag.NewFlagSet("entobenchd", flag.ContinueOnError)
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8090", "listen address (host:port)")
+	fs.StringVar(&cfg.boards, "boards", "", "comma-separated board files to load into the registry at startup")
+	fs.IntVar(&cfg.workers, "j", 0, "sweep worker goroutines per cache-filling run (0 = GOMAXPROCS)")
+	fs.DurationVar(&cfg.cellTimeout, "celltimeout", 0, "per-cell watchdog for served sweeps: abandon any cell that takes longer (0 = off)")
+	fs.IntVar(&cfg.cacheCap, "cachecap", report.DefaultSweepCacheCapacity, "completed sweep results retained in the in-memory cache")
+	return fs
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "entobenchd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body: parse flags, load boards, bind the listener,
+// announce readiness, serve until ctx cancels, then drain.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	var cfg config
+	fs := newFlagSet(&cfg)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := loadBoardFiles(cfg.boards); err != nil {
+		return err
+	}
+	report.SetSweepCacheCapacity(cfg.cacheCap)
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "entobenchd: "+format+"\n", a...)
+	}
+	srv := server.New(server.Options{
+		Workers:     cfg.workers,
+		CellTimeout: cfg.cellTimeout,
+		Logf:        logf,
+	})
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Announce on stdout only once the listener is bound, so scripts
+	// (and the CI smoke job) can wait for this line instead of polling.
+	fmt.Fprintf(stdout, "entobenchd listening on http://%s\n", ln.Addr())
+
+	// Graceful drain: context cancellation (SIGINT/SIGTERM) closes the
+	// listener and gives in-flight requests shutdownGrace to finish.
+	drained := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		logf("shutting down, draining for up to %v", shutdownGrace)
+		drainCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		drained <- httpSrv.Shutdown(drainCtx)
+	}()
+
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-drained; err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	logf("stopped")
+	return nil
+}
+
+// loadBoardFiles registers every board file in a comma-separated list.
+func loadBoardFiles(list string) error {
+	if list == "" {
+		return nil
+	}
+	for _, path := range strings.Split(list, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		if _, err := mcu.LoadFile(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFlagsDocumented keeps the daemon's flag surface in sync with its
+// documentation, in both directions where it matters: every flag
+// newFlagSet declares must appear (as `-name`) in the usage comment of
+// main.go, the README's entobenchd section, and docs/server.md's flag
+// table. Adding a flag without documenting it fails here.
+func TestFlagsDocumented(t *testing.T) {
+	docs := map[string]string{
+		"main.go":        "../../cmd/entobenchd/main.go",
+		"README.md":      "../../README.md",
+		"docs/server.md": "../../docs/server.md",
+	}
+	contents := map[string]string{}
+	for name, path := range docs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contents[name] = string(data)
+	}
+	// README coverage is scoped to the entobenchd section so an
+	// entobench flag mentioned elsewhere can't mask a missing row.
+	readme := contents["README.md"]
+	if i := strings.Index(readme, "## The entobenchd server"); i >= 0 {
+		section := readme[i:]
+		if j := strings.Index(section[1:], "\n## "); j >= 0 {
+			section = section[:j+1]
+		}
+		contents["README.md"] = section
+	} else {
+		t.Fatal("README lost its entobenchd section")
+	}
+
+	var cfg config
+	newFlagSet(&cfg).VisitAll(func(f *flag.Flag) {
+		for name, doc := range contents {
+			if !strings.Contains(doc, "-"+f.Name) {
+				t.Errorf("flag -%s undocumented in %s", f.Name, name)
+			}
+		}
+	})
+}
+
+// TestServeSweepEndToEnd boots the real daemon on an ephemeral port,
+// runs one sweep through it over real HTTP, and shuts it down
+// gracefully via context cancellation — the in-process version of the
+// CI smoke job.
+func TestServeSweepEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-j", "4"}, pw, io.Discard)
+	}()
+
+	// The readiness line carries the bound address.
+	var addrLine string
+	lineCh := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 256)
+		n, _ := pr.Read(buf)
+		lineCh <- string(buf[:n])
+	}()
+	select {
+	case addrLine = <-lineCh:
+	case err := <-done:
+		t.Fatalf("daemon exited before readiness: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("no readiness line")
+	}
+	base := strings.TrimSpace(strings.TrimPrefix(addrLine, "entobenchd listening on "))
+	if !strings.HasPrefix(base, "http://") {
+		t.Fatalf("unexpected readiness line %q", addrLine)
+	}
+
+	resp, err := http.Post(base+"/v1/sweep", "application/json",
+		strings.NewReader(`{"kernels":["madgwick"],"archs":"M4"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d: %s", resp.StatusCode, body)
+	}
+	var rep struct {
+		Schema     string `json:"schema"`
+		Datapoints int    `json:"datapoints"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "entobench.characterization" || rep.Datapoints == 0 {
+		t.Fatalf("report envelope = %+v", rep)
+	}
+
+	cancel() // graceful drain, same path as SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}
+
+// TestUsageSynopsisListsEveryFlag pins the doc-comment synopsis: each
+// flag must appear in the Usage block with its bracketed form, so the
+// synopsis cannot silently lag the flag table.
+func TestUsageSynopsisListsEveryFlag(t *testing.T) {
+	data, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(data)
+	usage := src[:strings.Index(src, "package main")]
+	var cfg config
+	newFlagSet(&cfg).VisitAll(func(f *flag.Flag) {
+		if !strings.Contains(usage, fmt.Sprintf("[-%s ", f.Name)) {
+			t.Errorf("usage synopsis missing [-%s ...]", f.Name)
+		}
+	})
+}

@@ -156,20 +156,26 @@ type Characterization = report.Characterization
 
 // Sweep returns the full >400-datapoint suite characterization, fanning
 // the (kernel × arch × cache) cells across a worker pool of the given
-// size (workers <= 0 means GOMAXPROCS). The result is memoized per
-// process — repeated calls, and the table writers below, share one
-// sweep — and is identical for every worker count.
+// size (workers <= 0 means GOMAXPROCS). The result is served through
+// the keyed sweep cache — repeated calls, the table writers below,
+// concurrent identical callers (who coalesce onto one run), and every
+// entobenchd client share one sweep — and is identical for every
+// worker count.
 func Sweep(workers int) (Characterization, error) {
 	return report.RunCharacterizationWorkers(workers)
 }
 
-// InvalidateSweep drops the process-level sweep memo so the next Sweep
-// or table writer recomputes it.
+// InvalidateSweep empties the keyed sweep cache — every retained
+// query, not just the default sweep — so the next Sweep, SweepOn, or
+// table writer recomputes. Call it after mutating modeled cost
+// parameters; plain kernel/board registration doesn't need it (a
+// changed registry changes the cache key).
 func InvalidateSweep() { report.InvalidateCharacterization() }
 
 // SweepOn characterizes the full suite across an explicit board
-// selection — e.g. the result of ArchSet or LoadBoards — bypassing the
-// process memo, which only covers the default Table IV set. Like
+// selection — e.g. the result of ArchSet or LoadBoards — through the
+// same keyed cache (the selection is part of the key, so distinct
+// selections never collide and identical ones share one run). Like
 // Sweep, the result is identical for every worker count.
 func SweepOn(archs []Arch, workers int) (Characterization, error) {
 	return report.RunCharacterizationForArchs(archs, core.SweepOptions{Workers: workers})
@@ -185,9 +191,10 @@ func SweepOnOpts(archs []Arch, opts SweepOptions) (Characterization, error) {
 	return report.RunCharacterizationForArchs(archs, opts)
 }
 
-// SweepOpts is Sweep (the memoized default-board sweep) with full sweep
+// SweepOpts is Sweep (the cached default-board sweep) with full sweep
 // options. A partial result — contained failures, cancellation — is
-// returned but never memoized; see Characterization.Partial.
+// returned to its caller but never retained in the cache, so the cache
+// can only ever serve the full dataset; see Characterization.Partial.
 func SweepOpts(opts SweepOptions) (Characterization, error) {
 	return report.RunCharacterizationOpts(opts)
 }

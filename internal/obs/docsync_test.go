@@ -12,6 +12,8 @@ import (
 	// (report itself, and core → harness → profile), so the registry
 	// reflects the full production set.
 	_ "repro/internal/report"
+	// server owns the server.* counters.
+	_ "repro/internal/server"
 )
 
 // TestObservabilityDocMatchesCode pins docs/observability.md to the

@@ -18,11 +18,26 @@ const (
 
 // Counter names.
 const (
-	// CounterSweepCacheHit counts calls served by the memoized
-	// process-level sweep (report.RunCharacterization and friends).
+	// CounterSweepCacheHit counts queries served from a completed entry
+	// of the keyed sweep cache (report.RunCharacterization and friends,
+	// and every entobenchd sweep request).
 	CounterSweepCacheHit = "sweep.cache.hit"
-	// CounterSweepCacheMiss counts cache-filling sweep runs.
+	// CounterSweepCacheMiss counts cache-filling sweep runs — queries
+	// whose key had no completed or in-flight entry.
 	CounterSweepCacheMiss = "sweep.cache.miss"
+	// CounterSweepCacheCoalesced counts queries that joined an
+	// identical in-flight sweep instead of starting their own
+	// (singleflight coalescing in the keyed sweep cache).
+	CounterSweepCacheCoalesced = "sweep.cache.coalesced"
+	// CounterSweepCacheEvicted counts completed cache entries dropped
+	// by the capacity bound (report.SetSweepCacheCapacity).
+	CounterSweepCacheEvicted = "sweep.cache.evicted"
+	// CounterServerRequests counts HTTP requests the entobenchd handler
+	// served, across all routes.
+	CounterServerRequests = "server.requests"
+	// CounterServerSSEClients counts SSE progress streams opened
+	// (GET /v1/sweep/{id}/events).
+	CounterServerSSEClients = "server.sse_clients"
 	// CounterProfileSessions counts goroutine-scoped profiling sessions
 	// created (profile.ensureSession).
 	CounterProfileSessions = "profile.sessions.created"
@@ -52,12 +67,16 @@ var AllSpans = []string{SpanSweep, SpanSweepStatic, SpanSweepCell}
 var AllCounters = []string{
 	CounterSweepCacheHit,
 	CounterSweepCacheMiss,
+	CounterSweepCacheCoalesced,
+	CounterSweepCacheEvicted,
 	CounterSweepCellsFailed,
 	CounterSweepPanicsRecovered,
 	CounterSweepCellsTimedOut,
 	CounterProfileSessions,
 	CounterHarnessRuns,
 	CounterHarnessHostReps,
+	CounterServerRequests,
+	CounterServerSSEClients,
 }
 
 func knownCounterName(name string) bool {

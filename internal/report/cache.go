@@ -1,85 +1,364 @@
 package report
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/mcu"
 	"repro/internal/obs"
 )
 
-// Shared characterization cache. The full suite sweep is the most
-// expensive computation in the repo and its result is deterministic, so
-// every consumer in one process — table3, table4, sweep, the ento
-// wrappers, the experiment writer — shares a single memoized run
-// instead of re-sweeping per table. The first caller pays; concurrent
-// callers block on the same run rather than duplicating it.
-var sweepCache struct {
-	mu   sync.Mutex
-	done bool
-	c    Characterization
-	err  error
-}
+// Keyed, sharded characterization cache. The suite sweep is the most
+// expensive computation in the repo and its result is deterministic in
+// its inputs, so every consumer — the table writers, the ento wrappers,
+// the CLIs, and every entobenchd HTTP client — shares one cache keyed
+// by a content digest of the query (SweepKey: kernel set × board
+// models × harness config). Identical queries coalesce: the first
+// caller leads the run, concurrent identical callers subscribe to the
+// same in-flight entry (singleflight) and share its progress stream,
+// and later identical callers are served the completed result without
+// re-sweeping.
+//
+// Replacing the old single process-global memo, the cache is sharded
+// (key-hashed shards, each with its own lock) so a server handling
+// many distinct queries never serializes them on one mutex, and
+// bounded: completed entries beyond the capacity (SetSweepCacheCapacity)
+// are evicted oldest-hit-first, so a long-running entobenchd holds a
+// predictable amount of result memory however many distinct queries it
+// has answered.
+//
+// Cancellation is reference-counted per entry: every caller joined to a
+// run holds a subscription, a caller whose context ends merely drops
+// its subscription, and only when the last subscriber is gone does the
+// entry cancel the underlying sweep (which then lands partial and is
+// discarded). A disconnected client therefore cancels only its own
+// cells — never a run other clients are still waiting on.
+//
+// Only complete, healthy sweeps are retained. A partial run — contained
+// kernel failures, a watchdog timeout, cancellation — is returned to
+// the callers that waited on it but never cached, so the cache can only
+// ever serve the full dataset and the next identical query re-sweeps.
 
-// Cache observability counters (docs/observability.md): how often the
-// memo answered versus how often a sweep actually ran.
+// Cache observability counters (docs/observability.md): how often a
+// query was answered from a completed entry, how often a sweep actually
+// ran, how often identical in-flight queries coalesced, and how many
+// completed entries the capacity bound dropped.
 var (
-	ctrCacheHit  = obs.NewCounter(obs.CounterSweepCacheHit)
-	ctrCacheMiss = obs.NewCounter(obs.CounterSweepCacheMiss)
+	ctrCacheHit       = obs.NewCounter(obs.CounterSweepCacheHit)
+	ctrCacheMiss      = obs.NewCounter(obs.CounterSweepCacheMiss)
+	ctrCacheCoalesced = obs.NewCounter(obs.CounterSweepCacheCoalesced)
+	ctrCacheEvicted   = obs.NewCounter(obs.CounterSweepCacheEvicted)
 )
 
+// sweepShards is the shard count; keys spread by their digest bytes.
+const sweepShards = 8
+
+// DefaultSweepCacheCapacity is the default bound on retained completed
+// sweeps across all shards. Each entry holds one Characterization
+// (records plus cells — tens of kilobytes), so the default keeps a
+// long-running server's result memory in the low megabytes.
+const DefaultSweepCacheCapacity = 64
+
+// sweepEntry is one keyed query: in flight until ready is closed, then
+// a completed result. Result fields are written by the leading
+// goroutine before close(ready) and read only after observing the
+// close, so they need no lock.
+type sweepEntry struct {
+	ready chan struct{}
+	c     Characterization
+	err   error
+
+	mu      sync.Mutex
+	subs    map[int]func(done, skipped, total int)
+	nextSub int
+	done    bool
+	cancel  context.CancelFunc // cancels the run when the last subscriber leaves
+}
+
+// subscribe registers a waiter (its progress hook may be nil) and
+// returns its id, or -1 when the entry already completed.
+func (e *sweepEntry) subscribe(progress func(done, skipped, total int)) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		return -1
+	}
+	id := e.nextSub
+	e.nextSub++
+	e.subs[id] = progress
+	return id
+}
+
+// unsubscribe drops a waiter; when the last one leaves a still-running
+// entry, the underlying sweep is canceled.
+func (e *sweepEntry) unsubscribe(id int) {
+	if id < 0 {
+		return
+	}
+	e.mu.Lock()
+	delete(e.subs, id)
+	last := len(e.subs) == 0 && !e.done
+	e.mu.Unlock()
+	if last {
+		e.cancel()
+	}
+}
+
+// broadcast fans one progress update out to every subscribed waiter.
+// It is the entry's SweepOptions.Progress hook, so it is called
+// concurrently from pool workers; subscriber hooks must be
+// goroutine-safe, exactly as SweepOptions.Progress demands.
+func (e *sweepEntry) broadcast(done, skipped, total int) {
+	e.mu.Lock()
+	hooks := make([]func(int, int, int), 0, len(e.subs))
+	for _, h := range e.subs {
+		if h != nil {
+			hooks = append(hooks, h)
+		}
+	}
+	e.mu.Unlock()
+	for _, h := range hooks {
+		h(done, skipped, total)
+	}
+}
+
+// cacheShard is one lock domain of the sweep cache. order lists the
+// completed (retained) keys oldest-hit-first for eviction; in-flight
+// entries live in the map but not in order.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*sweepEntry
+	order   []string
+}
+
+// promoteLocked moves a hit key to the back of the eviction order.
+func (sh *cacheShard) promoteLocked(key string) {
+	for i, k := range sh.order {
+		if k == key {
+			sh.order = append(append(sh.order[:i:i], sh.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// keepLocked retains a completed entry and evicts the oldest retained
+// keys beyond the shard's share of the capacity.
+func (sh *cacheShard) keepLocked(key string, perShard int) {
+	sh.order = append(sh.order, key)
+	for len(sh.order) > perShard {
+		victim := sh.order[0]
+		sh.order = sh.order[1:]
+		delete(sh.entries, victim)
+		ctrCacheEvicted.Inc()
+	}
+}
+
+// sweepCache is the process-wide sharded cache.
+type sweepCache struct {
+	shards [sweepShards]cacheShard
+
+	capMu    sync.Mutex
+	capacity int
+}
+
+var globalSweepCache = newSweepCache()
+
+func newSweepCache() *sweepCache {
+	c := &sweepCache{capacity: DefaultSweepCacheCapacity}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*sweepEntry)
+	}
+	return c
+}
+
+// shard maps a key to its shard by the digest's tail byte (keys are
+// hex SHA-256 strings, so any byte is uniformly distributed).
+func (c *sweepCache) shard(key string) *cacheShard {
+	if len(key) == 0 {
+		return &c.shards[0]
+	}
+	return &c.shards[int(key[len(key)-1])%sweepShards]
+}
+
+// perShardCap returns each shard's share of the configured capacity.
+func (c *sweepCache) perShardCap() int {
+	c.capMu.Lock()
+	defer c.capMu.Unlock()
+	per := (c.capacity + sweepShards - 1) / sweepShards
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// runFunc computes one characterization; the cache supplies the
+// options (context and progress rewired to the shared entry).
+type runFunc func(core.SweepOptions) (Characterization, error)
+
+// do serves key from the cache: a completed entry is returned
+// immediately (hit), an in-flight identical query is joined
+// (coalesced), and a missing key starts a run led by a cache-owned
+// goroutine (miss). ctx bounds only this caller's wait — abandoning it
+// drops one subscription, and the run itself is canceled only when no
+// subscriber remains.
+func (c *sweepCache) do(ctx context.Context, key string, opts core.SweepOptions, run runFunc) (Characterization, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		select {
+		case <-e.ready: // completed, retained: a pure cache hit
+			ctrCacheHit.Inc()
+			sh.promoteLocked(key)
+			sh.mu.Unlock()
+			return e.c, e.err
+		default: // identical query in flight: coalesce onto it
+			ctrCacheCoalesced.Inc()
+			id := e.subscribe(opts.Progress)
+			sh.mu.Unlock()
+			return waitEntry(ctx, e, id)
+		}
+	}
+	ctrCacheMiss.Inc()
+	runCtx, cancel := context.WithCancel(context.Background())
+	e := &sweepEntry{
+		ready:  make(chan struct{}),
+		subs:   make(map[int]func(int, int, int)),
+		cancel: cancel,
+	}
+	id := e.subscribe(opts.Progress) // before the leader starts: the run must not outlive zero subscribers
+	sh.entries[key] = e
+	sh.mu.Unlock()
+	go c.lead(sh, key, e, runCtx, opts, run)
+	return waitEntry(ctx, e, id)
+}
+
+// lead executes the sweep for a fresh entry and publishes the result:
+// healthy complete runs are retained (evicting over capacity), partial
+// or failed runs are dropped from the map so the next identical query
+// re-sweeps. The caller's own cancellation context is ignored here —
+// the run obeys runCtx, which ends when the last subscriber leaves.
+func (c *sweepCache) lead(sh *cacheShard, key string, e *sweepEntry, runCtx context.Context, opts core.SweepOptions, run runFunc) {
+	ropts := opts
+	ropts.Context = runCtx
+	ropts.Progress = e.broadcast
+	res, err := run(ropts)
+	e.mu.Lock()
+	e.done = true
+	e.mu.Unlock()
+	e.c, e.err = res, err
+	keep := err == nil && !res.Partial()
+	sh.mu.Lock()
+	if sh.entries[key] == e { // not invalidated mid-run
+		if keep {
+			sh.keepLocked(key, c.perShardCap())
+		} else {
+			delete(sh.entries, key)
+		}
+	}
+	sh.mu.Unlock()
+	close(e.ready)
+	e.cancel() // release the context; the run has already returned
+}
+
+// waitEntry blocks until the entry completes or the caller's context
+// ends, whichever is first.
+func waitEntry(ctx context.Context, e *sweepEntry, id int) (Characterization, error) {
+	select {
+	case <-e.ready:
+		e.unsubscribe(id)
+		return e.c, e.err
+	case <-ctx.Done():
+		e.unsubscribe(id)
+		return Characterization{}, ctx.Err()
+	}
+}
+
+// invalidate empties every shard. In-flight entries are detached — the
+// callers waiting on them still get their results, but the results are
+// not retained.
+func (c *sweepCache) invalidate() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[string]*sweepEntry)
+		sh.order = nil
+		sh.mu.Unlock()
+	}
+}
+
+// SetSweepCacheCapacity bounds how many completed sweeps the keyed
+// cache retains across all shards (minimum one per shard). Lowering it
+// takes effect as new results are retained; it never interrupts
+// in-flight runs. entobenchd exposes this as -cachecap.
+func SetSweepCacheCapacity(n int) {
+	globalSweepCache.capMu.Lock()
+	if n < 1 {
+		n = 1
+	}
+	globalSweepCache.capacity = n
+	globalSweepCache.capMu.Unlock()
+}
+
+// RunSweepQuery returns the characterization of the given kernel set
+// on the given boards through the keyed cache: served from a completed
+// entry when an identical query already ran, coalesced onto an
+// identical in-flight run, or computed fresh. Options shape only a
+// cache-filling run (the worker count never changes the result); a
+// caller's Progress hook is honored for in-flight runs it leads or
+// joins, and not invoked on a pure cache hit. Callers must treat the
+// shared records as read-only.
+func RunSweepQuery(specs []core.Spec, archs []mcu.Arch, opts core.SweepOptions) (Characterization, error) {
+	key := SweepKey(specs, archs, harness.DefaultConfig())
+	return globalSweepCache.do(opts.Context, key, opts, func(ropts core.SweepOptions) (Characterization, error) {
+		recs, err := core.CharacterizeSuiteOpts(specs, archs, ropts)
+		return Characterization{Records: recs}, err
+	})
+}
+
 // RunCharacterization returns the full Table III/IV suite sweep,
-// computing it at most once per process with the default worker count
-// (GOMAXPROCS). Callers must treat the shared records as read-only.
+// computing it at most once per identical suite/board state with the
+// default worker count (GOMAXPROCS).
 func RunCharacterization() (Characterization, error) {
 	return RunCharacterizationWorkers(0)
 }
 
 // RunCharacterizationWorkers is RunCharacterization with an explicit
-// worker-pool size for the first (cache-filling) run; workers <= 0
-// means GOMAXPROCS. The worker count never changes the result (see
+// worker-pool size for a cache-filling run; workers <= 0 means
+// GOMAXPROCS. The worker count never changes the result (see
 // core.CharacterizeSuite), so later callers share the cached sweep
 // regardless of the count they ask for.
 func RunCharacterizationWorkers(workers int) (Characterization, error) {
 	return RunCharacterizationOpts(core.SweepOptions{Workers: workers})
 }
 
-// RunCharacterizationOpts is the memoized sweep with full options.
-// Options only shape the cache-filling run: a cache hit returns the
-// shared result without invoking opts.Progress.
+// RunCharacterizationOpts is the cached default-board sweep with full
+// options. Options only shape a cache-filling run: a cache hit returns
+// the shared result without invoking opts.Progress.
 //
-// Only complete, healthy sweeps are memoized. A partial run — contained
+// Only complete, healthy sweeps are retained. A partial run — contained
 // kernel failures, a watchdog timeout, cancellation — is returned to
-// its caller but never cached, so the memo can only ever serve the full
-// dataset and the next caller retries from scratch.
+// its caller but never cached, so the cache can only ever serve the
+// full dataset and the next identical query retries from scratch.
 func RunCharacterizationOpts(opts core.SweepOptions) (Characterization, error) {
-	sweepCache.mu.Lock()
-	defer sweepCache.mu.Unlock()
-	if sweepCache.done {
-		ctrCacheHit.Inc()
-		return sweepCache.c, sweepCache.err
-	}
-	ctrCacheMiss.Inc()
-	c, err := RunCharacterizationUncachedOpts(opts)
-	if err != nil || c.Partial() {
-		return c, err
-	}
-	sweepCache.c, sweepCache.err = c, nil
-	sweepCache.done = true
-	return c, nil
+	return RunSweepQuery(core.Suite(), mcu.TableIVSet(), opts)
 }
 
 // RunCharacterizationForArchs sweeps the whole suite over an explicit
-// board selection — user boards, a named set, any mix — bypassing the
-// process memo, which only covers the default Table IV set. Output is
-// deterministic for any worker count, like every sweep.
+// board selection — user boards, a named set, any mix — through the
+// same keyed cache (the selection is part of the key, so distinct
+// selections never collide and identical ones share one run). Output
+// is deterministic for any worker count, like every sweep.
 func RunCharacterizationForArchs(archs []mcu.Arch, opts core.SweepOptions) (Characterization, error) {
-	recs, err := core.CharacterizeSuiteOpts(core.Suite(), archs, opts)
-	return Characterization{Records: recs}, err
+	return RunSweepQuery(core.Suite(), archs, opts)
 }
 
 // RunCharacterizationUncached always recomputes the sweep, bypassing
-// and leaving untouched the process cache. Benchmarks and determinism
+// and leaving untouched the keyed cache. Benchmarks and determinism
 // tests use it; everything else should go through RunCharacterization.
 func RunCharacterizationUncached(workers int) (Characterization, error) {
 	return RunCharacterizationUncachedOpts(core.SweepOptions{Workers: workers})
@@ -92,13 +371,11 @@ func RunCharacterizationUncachedOpts(opts core.SweepOptions) (Characterization, 
 	return Characterization{Records: recs}, err
 }
 
-// InvalidateCharacterization drops the cached sweep so the next
-// RunCharacterization recomputes it — the explicit invalidation hook
-// for tests and for callers that mutate the modeled cost parameters.
+// InvalidateCharacterization empties the keyed sweep cache so the next
+// identical query recomputes — the explicit invalidation hook for
+// tests and for callers that mutate the modeled cost parameters.
+// Queries already in flight complete for their waiters but are not
+// retained.
 func InvalidateCharacterization() {
-	sweepCache.mu.Lock()
-	sweepCache.done = false
-	sweepCache.c = Characterization{}
-	sweepCache.err = nil
-	sweepCache.mu.Unlock()
+	globalSweepCache.invalidate()
 }

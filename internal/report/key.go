@@ -1,0 +1,52 @@
+package report
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mcu"
+)
+
+// Sweep cache keys. A characterization is fully determined by the
+// kernel set, the board cost models, and the harness configuration
+// (which carries the cache flag for single runs; the sweep itself
+// measures both cache settings per cell). SweepKey digests exactly
+// those inputs, so two queries share a cache entry if and only if they
+// would produce byte-identical v1 JSON exports.
+//
+// Kernel identity is by name plus descriptor metadata: the suite
+// registry rejects duplicate names, so within one process a name plus
+// its (stage, category, dataset, precision, FLOPs, SRAM gate) tuple
+// pins one Factory. Board identity is the full serialized Arch —
+// name, clock, FPU, SRAM, cache, every ModelParams field, and the
+// provenance Source (Source appears in the export's boards block, so
+// two otherwise-identical boards with different provenance must not
+// share bytes). This content digest is also the stepping stone to the
+// ROADMAP's persistent content-addressed cell cache: the same key
+// scheme, applied per cell instead of per sweep, keys an on-disk
+// store.
+
+// SweepKey returns the cache key of a characterization query:
+// "sweep-" plus the hex SHA-256 of the query's content digest.
+func SweepKey(specs []core.Spec, archs []mcu.Arch, cfg harness.Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "harness|%+v\n", cfg)
+	for _, s := range specs {
+		fmt.Fprintf(h, "kernel|%s|%s|%s|%s|%d|%d|%v|%d\n",
+			s.Name, s.Stage, s.Category, s.Dataset, s.Prec, s.FLOPs, s.M7Only, s.MinSRAMKB)
+	}
+	for _, a := range archs {
+		fmt.Fprintf(h, "board|%s|%s|%s|%g|%d|%d|%v|%s|%+v\n",
+			a.Name, a.Board, a.ISA, a.ClockHz, a.FPU, a.SRAMKB, a.HasCache, a.Source, a.Model)
+	}
+	return "sweep-" + hex.EncodeToString(h.Sum(nil))
+}
+
+// defaultSweepKey keys the canonical full-suite Table IV sweep — the
+// query RunCharacterization serves and the entobenchd default.
+func defaultSweepKey() string {
+	return SweepKey(core.Suite(), mcu.TableIVSet(), harness.DefaultConfig())
+}

@@ -1,0 +1,364 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mcu"
+	"repro/internal/report"
+)
+
+// Sweep submission and retrieval. Every POST /v1/sweep creates a job —
+// a server-side handle with an id, live progress, and (when done) the
+// rendered v1 JSON report. Jobs are handles, not computations: the
+// computation itself lives in the keyed sweep cache, so ten jobs for
+// identical queries share one characterization and each still streams
+// its own progress to its own SSE clients.
+
+// SweepRequest is the POST /v1/sweep body. The zero value (or an empty
+// body) requests the canonical full-suite default-board sweep — the
+// exact query `entobench sweep -json` runs, with byte-identical output.
+type SweepRequest struct {
+	// Kernels names the kernels to characterize; empty means the full
+	// suite in Table III order. Unknown names are a 400.
+	Kernels []string `json:"kernels,omitempty"`
+	// Archs is a board-selection query resolved exactly like the CLI's
+	// -archs flag: comma-separated set names and board names, resolved
+	// case-insensitively. Empty means the default Table IV set.
+	Archs string `json:"archs,omitempty"`
+	// Workers overrides the server's sweep worker-pool size for a
+	// cache-filling run; 0 keeps the server default. Never changes
+	// result bytes.
+	Workers int `json:"workers,omitempty"`
+	// CellTimeoutMS overrides the server's per-cell watchdog in
+	// milliseconds; 0 keeps the server default.
+	CellTimeoutMS int `json:"cell_timeout_ms,omitempty"`
+	// Async, when true, returns 202 with the job id immediately
+	// instead of blocking; poll /v1/sweep/{id} or stream
+	// /v1/sweep/{id}/events.
+	Async bool `json:"async,omitempty"`
+}
+
+// SweepAccepted is the 202 response to an async submission.
+type SweepAccepted struct {
+	ID     string `json:"id"`
+	Result string `json:"result"`
+	Events string `json:"events"`
+}
+
+// SweepStatus is the GET /v1/sweep/{id} body while the sweep is still
+// running (202) or after it failed outright (500).
+type SweepStatus struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Done    int    `json:"done"`
+	Skipped int    `json:"skipped"`
+	Total   int    `json:"total"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Job states.
+const (
+	StateRunning = "running"
+	StateDone    = "done"   // report available; may carry a failures block
+	StateFailed  = "failed" // no report assembled at all
+)
+
+// SweepIDHeader carries the job id on synchronous sweep responses, so
+// a client that POSTed synchronously can still attach an SSE watcher
+// from another connection or correlate server logs.
+const SweepIDHeader = "Ento-Sweep-Id"
+
+// progressEvent is one progress observation, SSE-rendered as the
+// `progress` event data.
+type progressEvent struct {
+	Done    int `json:"done"`
+	Skipped int `json:"skipped"`
+	Total   int `json:"total"`
+}
+
+// job is one submitted sweep: identity, monotone progress, fanout
+// subscriptions, and the outcome.
+type job struct {
+	id string
+
+	mu      sync.Mutex
+	state   string
+	prog    progressEvent
+	subs    map[int]chan progressEvent
+	nextSub int
+
+	doneCh     chan struct{} // closed on completion (done or failed)
+	body       []byte        // rendered v1 JSON report (StateDone)
+	errMsg     string        // failure message (StateFailed)
+	partial    bool
+	datapoints int
+}
+
+// update is the job's SweepOptions.Progress hook. The sweep engine
+// reports from pool workers concurrently, so observations can arrive
+// out of order; update keeps the stream monotone (an SSE client never
+// sees progress go backwards) and fans the event out without blocking
+// the sweep — a slow SSE client just misses intermediate events.
+func (j *job) update(done, skipped, total int) {
+	ev := progressEvent{Done: done, Skipped: skipped, Total: total}
+	j.mu.Lock()
+	if ev.Done+ev.Skipped < j.prog.Done+j.prog.Skipped {
+		j.mu.Unlock()
+		return
+	}
+	j.prog = ev
+	chans := make([]chan progressEvent, 0, len(j.subs))
+	for _, ch := range j.subs {
+		chans = append(chans, ch)
+	}
+	j.mu.Unlock()
+	for _, ch := range chans {
+		select {
+		case ch <- ev:
+		default: // subscriber lagging; it will catch up on a later event
+		}
+	}
+}
+
+// subscribe registers an SSE watcher and returns its id, its event
+// channel, and the progress snapshot at attach time.
+func (j *job) subscribe() (int, chan progressEvent, progressEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	id := j.nextSub
+	j.nextSub++
+	ch := make(chan progressEvent, 32)
+	j.subs[id] = ch
+	return id, ch, j.prog
+}
+
+// unsubscribe drops an SSE watcher.
+func (j *job) unsubscribe(id int) {
+	j.mu.Lock()
+	delete(j.subs, id)
+	j.mu.Unlock()
+}
+
+// finish publishes the outcome and wakes every waiter. A sweep that
+// assembled records — even partially — is StateDone with the rendered
+// report; only a sweep with nothing to report (bad request raced a
+// registry change, cancellation before any cell) is StateFailed.
+func (j *job) finish(body []byte, datapoints int, partial bool, errMsg string) {
+	j.mu.Lock()
+	if errMsg != "" && body == nil {
+		j.state = StateFailed
+		j.errMsg = errMsg
+	} else {
+		j.state = StateDone
+		j.body = body
+		j.datapoints = datapoints
+		j.partial = partial
+	}
+	j.mu.Unlock()
+	close(j.doneCh)
+}
+
+// status snapshots the job for the status body.
+func (j *job) status() SweepStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return SweepStatus{
+		ID: j.id, State: j.state,
+		Done: j.prog.Done, Skipped: j.prog.Skipped, Total: j.prog.Total,
+		Error: j.errMsg,
+	}
+}
+
+// jobTable is the id → job registry. Finished jobs are retained (for
+// result polling and late SSE attaches) up to maxFinishedJobs, then
+// evicted oldest-first; running jobs are never evicted.
+type jobTable struct {
+	mu       sync.Mutex
+	m        map[string]*job
+	finished []string
+	next     int
+}
+
+// maxFinishedJobs bounds how many completed job handles the table
+// keeps. The handles hold rendered reports, so this bound (together
+// with the sweep cache capacity) is what keeps a long-running server's
+// memory flat.
+const maxFinishedJobs = 128
+
+func (t *jobTable) init() { t.m = make(map[string]*job) }
+
+// create mints a new running job.
+func (t *jobTable) create() *job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	j := &job{
+		id:     fmt.Sprintf("s%d", t.next),
+		state:  StateRunning,
+		subs:   make(map[int]chan progressEvent),
+		doneCh: make(chan struct{}),
+	}
+	t.m[j.id] = j
+	return j
+}
+
+// lookup resolves a job id.
+func (t *jobTable) lookup(id string) (*job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.m[id]
+	return j, ok
+}
+
+// retire records a finished job for bounded retention.
+func (t *jobTable) retire(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.finished = append(t.finished, id)
+	for len(t.finished) > maxFinishedJobs {
+		victim := t.finished[0]
+		t.finished = t.finished[1:]
+		delete(t.m, victim)
+	}
+}
+
+// resolveSweep turns a request into the kernel and board selections,
+// reporting the first unresolvable name.
+func resolveSweep(req SweepRequest) ([]core.Spec, []mcu.Arch, error) {
+	var specs []core.Spec
+	if len(req.Kernels) == 0 {
+		specs = core.Suite()
+	} else {
+		for _, name := range req.Kernels {
+			sp, ok := core.ByName(name)
+			if !ok {
+				return nil, nil, fmt.Errorf("unknown kernel %q", name)
+			}
+			specs = append(specs, sp)
+		}
+	}
+	if req.Archs == "" {
+		return specs, mcu.TableIVSet(), nil
+	}
+	archs, err := mcu.ResolveArchs(req.Archs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return specs, archs, nil
+}
+
+// handleSweep is POST /v1/sweep: decode, resolve, run through the
+// keyed cache, respond. Synchronous requests block until the report is
+// ready and stream nothing; async requests return 202 immediately and
+// are watched via /v1/sweep/{id} and its /events stream.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "parse sweep request: %v", err)
+		return
+	}
+	specs, archs, err := resolveSweep(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := core.SweepOptions{Workers: s.opts.Workers, CellTimeout: s.opts.CellTimeout}
+	if req.Workers > 0 {
+		opts.Workers = req.Workers
+	}
+	if req.CellTimeoutMS > 0 {
+		opts.CellTimeout = time.Duration(req.CellTimeoutMS) * time.Millisecond
+	}
+
+	j := s.jobs.create()
+	if req.Async {
+		// Async jobs are owned by the server, not the submitting
+		// connection: they run on a background context and complete
+		// whether or not the submitter sticks around to watch.
+		go s.runJob(context.Background(), j, specs, archs, opts)
+		writeJSON(w, http.StatusAccepted, SweepAccepted{
+			ID:     j.id,
+			Result: "/v1/sweep/" + j.id,
+			Events: "/v1/sweep/" + j.id + "/events",
+		})
+		return
+	}
+	// Synchronous: the request context rides the cancellation plumbing.
+	// A disconnected client drops this job's cache subscription; the
+	// underlying run cancels only if no other client shares it.
+	s.runJob(r.Context(), j, specs, archs, opts)
+	st := j.status()
+	if st.State == StateFailed {
+		writeError(w, http.StatusInternalServerError, "sweep %s: %s", j.id, st.Error)
+		return
+	}
+	w.Header().Set(SweepIDHeader, j.id)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(j.body)
+}
+
+// runJob executes one job through the keyed sweep cache and publishes
+// its outcome. A partial sweep — contained kernel failures, watchdog
+// timeouts — still renders: the report carries the failures block and
+// the job completes as done (HTTP 200), because a characterization
+// with explicit gaps is a result, not a server error.
+func (s *Server) runJob(ctx context.Context, j *job, specs []core.Spec, archs []mcu.Arch, opts core.SweepOptions) {
+	opts.Context = ctx
+	opts.Progress = j.update
+	start := time.Now()
+	c, err := report.RunSweepQuery(specs, archs, opts)
+	if err != nil && len(c.Records) == 0 {
+		s.logf("sweep %s: failed after %v: %v", j.id, time.Since(start).Round(time.Millisecond), err)
+		j.finish(nil, 0, false, err.Error())
+		s.jobs.retire(j.id)
+		return
+	}
+	var buf bytes.Buffer
+	if werr := c.WriteJSON(&buf); werr != nil {
+		j.finish(nil, 0, false, werr.Error())
+		s.jobs.retire(j.id)
+		return
+	}
+	s.logf("sweep %s: %d datapoints in %v (partial=%v)",
+		j.id, c.Datapoints(), time.Since(start).Round(time.Millisecond), c.Partial())
+	j.finish(buf.Bytes(), c.Datapoints(), c.Partial(), "")
+	s.jobs.retire(j.id)
+}
+
+// handleSweepResult is GET /v1/sweep/{id}: the rendered report once
+// done (200), the live status while running (202), the failure after a
+// total loss (500), or 404 for an unknown id.
+func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep id %q", r.PathValue("id"))
+		return
+	}
+	st := j.status()
+	switch st.State {
+	case StateDone:
+		w.Header().Set(SweepIDHeader, j.id)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		j.mu.Lock()
+		body := j.body
+		j.mu.Unlock()
+		_, _ = w.Write(body)
+	case StateFailed:
+		writeJSON(w, http.StatusInternalServerError, st)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}

@@ -1,0 +1,207 @@
+// Package server implements characterization-as-a-service: the HTTP
+// handler behind cmd/entobenchd. It serves the full suite sweep — and
+// arbitrary kernel-subset × board-set queries — to many concurrent
+// clients over a small, fully documented wire surface (docs/server.md):
+//
+//	POST /v1/sweep                  run (or join, or serve cached) a sweep; v1 JSON report out
+//	GET  /v1/sweep/{id}             result / status of a submitted sweep
+//	GET  /v1/sweep/{id}/events      SSE progress stream of a sweep
+//	GET  /v1/boards                 board registry introspection
+//	GET  /v1/kernels                kernel registry introspection
+//	GET  /healthz                   liveness probe
+//	GET  /metrics                   obs counters, Prometheus text format
+//
+// The server is a thin shell over the same machinery the CLIs use: a
+// sweep request resolves through the registries (internal/mcu,
+// internal/core), runs through the keyed sharded cache
+// (report.RunSweepQuery) — so identical in-flight queries coalesce via
+// singleflight and repeated queries are served from memory — and
+// renders through the deterministic v1 JSON encoder, which is what
+// makes a served sweep byte-identical to `entobench sweep -json` for
+// the same query. Per-request contexts ride the sweep engine's
+// cancellation plumbing: a disconnected client drops its cache
+// subscription, and only when the last client of a run is gone does
+// the run itself cancel — one bad or abandoned query can never take
+// down cells another client is waiting on, which is the PR 5 fault
+// containment cashed in as a service guarantee.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mcu"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// Server counters (docs/observability.md, docs/server.md).
+var (
+	ctrRequests   = obs.NewCounter(obs.CounterServerRequests)
+	ctrSSEClients = obs.NewCounter(obs.CounterServerSSEClients)
+)
+
+// Options configures a Server. The zero value serves with GOMAXPROCS
+// sweep workers and no per-cell watchdog.
+type Options struct {
+	// Workers is the sweep worker-pool size used for cache-filling
+	// runs; <= 0 means GOMAXPROCS. The count never changes result
+	// bytes.
+	Workers int
+	// CellTimeout, when positive, arms the per-cell watchdog on every
+	// served sweep (core.SweepOptions.CellTimeout), so a hung custom
+	// kernel costs its own cells, not the server.
+	CellTimeout time.Duration
+	// Logf, when non-nil, receives one line per completed sweep job
+	// (Printf-style). Nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Server is the entobenchd HTTP handler state: the route mux and the
+// sweep job table.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+	jobs jobTable
+}
+
+// New builds a Server and registers its routes.
+func New(opts Options) *Server {
+	s := &Server{opts: opts, mux: http.NewServeMux()}
+	s.jobs.init()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/boards", s.handleBoards)
+	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/sweep/{id}", s.handleSweepResult)
+	s.mux.HandleFunc("GET /v1/sweep/{id}/events", s.handleSweepEvents)
+	return s
+}
+
+// Handler returns the root handler: the route mux wrapped with the
+// request counter.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctrRequests.Inc()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// logf logs one line when logging is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Route describes one wire endpoint — the metadata tools/checkdocs
+// pins docs/server.md against.
+type Route struct {
+	Method  string
+	Pattern string
+	Summary string
+}
+
+// Routes lists every endpoint the server registers, in docs order.
+// Adding a route here without documenting it in docs/server.md fails
+// the checkdocs gate (and vice versa: New must register exactly these).
+func Routes() []Route {
+	return []Route{
+		{"POST", "/v1/sweep", "run, join, or serve from cache a characterization sweep; v1 JSON report out"},
+		{"GET", "/v1/sweep/{id}", "result (done) or status (running) of a submitted sweep"},
+		{"GET", "/v1/sweep/{id}/events", "SSE progress stream of a sweep"},
+		{"GET", "/v1/boards", "board registry: every registered core with provenance and model"},
+		{"GET", "/v1/kernels", "kernel registry: every suite kernel with stage/category/dataset"},
+		{"GET", "/healthz", "liveness probe"},
+		{"GET", "/metrics", "obs counters in Prometheus text exposition format"},
+	}
+}
+
+// ErrorBody is the JSON error envelope of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError sends the JSON error envelope with the given status.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeJSON sends v as indented JSON (the house encoding: deterministic
+// struct-driven fields, two-space indent, trailing newline).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// handleHealthz is the liveness probe: a healthy process answers "ok".
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// Kernel is one row of the kernel-registry introspection response.
+type Kernel struct {
+	Name      string `json:"name"`
+	Stage     string `json:"stage"`
+	Category  string `json:"category"`
+	Dataset   string `json:"dataset"`
+	Precision string `json:"precision"`
+	MinSRAMKB int    `json:"min_sram_kb,omitempty"`
+	M7Only    bool   `json:"m7_only,omitempty"`
+}
+
+// handleKernels serves the suite registry: every kernel (curated plus
+// registered), in Table III order.
+func (s *Server) handleKernels(w http.ResponseWriter, _ *http.Request) {
+	suite := core.Suite()
+	out := struct {
+		Kernels []Kernel `json:"kernels"`
+	}{Kernels: make([]Kernel, 0, len(suite))}
+	for _, sp := range suite {
+		out.Kernels = append(out.Kernels, Kernel{
+			Name:      sp.Name,
+			Stage:     string(sp.Stage),
+			Category:  sp.Category,
+			Dataset:   sp.Dataset,
+			Precision: sp.Prec.String(),
+			MinSRAMKB: sp.MinSRAMKB,
+			M7Only:    sp.M7Only,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleBoards serves the board registry in registration order, in the
+// same shape as the JSON export's provenance block (report.JSONBoard).
+func (s *Server) handleBoards(w http.ResponseWriter, _ *http.Request) {
+	boards := mcu.All()
+	out := struct {
+		Boards []report.JSONBoard `json:"boards"`
+	}{Boards: make([]report.JSONBoard, 0, len(boards))}
+	for _, a := range boards {
+		out.Boards = append(out.Boards, report.JSONBoard{
+			Name:     a.Name,
+			Board:    a.Board,
+			ISA:      a.ISA,
+			ClockMHz: a.ClockHz / 1e6,
+			FPU:      a.FPU.String(),
+			SRAMKB:   a.SRAMKB,
+			HasCache: a.HasCache,
+			Source:   a.Source,
+			Model:    a.Model,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// SSE progress streaming for GET /v1/sweep/{id}/events. The stream
+// speaks plain Server-Sent Events (text/event-stream): zero client
+// dependencies beyond curl -N or a browser EventSource.
+
+// SSE event names (docs/server.md documents each).
+const (
+	// SSEEventProgress carries a progressEvent snapshot:
+	// {"done":D,"skipped":S,"total":T}. Progress is monotone — the
+	// stream never goes backwards even though sweep workers report
+	// concurrently — but not gap-free: a slow client skips intermediate
+	// snapshots rather than stalling the sweep.
+	SSEEventProgress = "progress"
+	// SSEEventDone terminates the stream of a sweep that produced a
+	// report: {"id":...,"datapoints":N,"partial":bool}. partial=true
+	// means the report carries a failures block.
+	SSEEventDone = "done"
+	// SSEEventError terminates the stream of a sweep that produced no
+	// report at all: {"id":...,"error":"..."}.
+	SSEEventError = "error"
+)
+
+// sseDone is the SSEEventDone payload.
+type sseDone struct {
+	ID         string `json:"id"`
+	Datapoints int    `json:"datapoints"`
+	Partial    bool   `json:"partial"`
+}
+
+// sseError is the SSEEventError payload.
+type sseError struct {
+	ID    string `json:"id"`
+	Error string `json:"error"`
+}
+
+// writeSSE emits one event frame and flushes it to the client.
+func writeSSE(w http.ResponseWriter, flusher http.Flusher, event string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	flusher.Flush()
+}
+
+// handleSweepEvents is GET /v1/sweep/{id}/events: subscribe to the
+// job's progress fanout, replay the current snapshot so a late client
+// starts from truth rather than zero, stream monotone progress frames,
+// and close with a terminal done/error frame. Attaching to an already
+// finished job replays the final progress snapshot and terminates
+// immediately.
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep id %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	ctrSSEClients.Inc()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	id, ch, snapshot := j.subscribe()
+	defer j.unsubscribe(id)
+	if snapshot.Total > 0 {
+		writeSSE(w, flusher, SSEEventProgress, snapshot)
+	}
+	for {
+		select {
+		case ev := <-ch:
+			writeSSE(w, flusher, SSEEventProgress, ev)
+		case <-j.doneCh:
+			// Drain any progress frames that raced completion so the
+			// last progress a client sees is the final count.
+			for {
+				select {
+				case ev := <-ch:
+					writeSSE(w, flusher, SSEEventProgress, ev)
+					continue
+				default:
+				}
+				break
+			}
+			st := j.status()
+			if st.State == StateFailed {
+				writeSSE(w, flusher, SSEEventError, sseError{ID: j.id, Error: st.Error})
+			} else {
+				j.mu.Lock()
+				done := sseDone{ID: j.id, Datapoints: j.datapoints, Partial: j.partial}
+				j.mu.Unlock()
+				writeSSE(w, flusher, SSEEventDone, done)
+			}
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -10,7 +10,13 @@
 //  4. the failure-model guide (docs/robustness.md) must document every
 //     JSON field of the export's failures block (report.JSONFailure),
 //     every cell status, and the sweep failure counters by their exact
-//     names.
+//     names;
+//  5. the server guide (docs/server.md) must document every route
+//     entobenchd registers (server.Routes()), every field of the
+//     exported wire structs, every SSE event name, and the server and
+//     sweep-cache counters — and docs/observability.md must carry
+//     every canonical counter name, so a counter cannot ship without
+//     its row.
 //
 // It prints one line per violation and exits non-zero if any exist.
 // Run it from the repository root: go run ./tools/checkdocs
@@ -30,6 +36,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/server"
 )
 
 func main() {
@@ -38,6 +45,8 @@ func main() {
 	problems = append(problems, checkMarkdownLinks()...)
 	problems = append(problems, checkBoardSchemaDocs("DESIGN.md")...)
 	problems = append(problems, checkRobustnessDocs("docs/robustness.md")...)
+	problems = append(problems, checkServerDocs("docs/server.md")...)
+	problems = append(problems, checkCounterDocs("docs/observability.md")...)
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, p)
 	}
@@ -156,6 +165,78 @@ func checkRobustnessDocs(path string) []string {
 		obs.CounterSweepCellsTimedOut,
 	} {
 		missing("counter", name)
+	}
+	return problems
+}
+
+// checkServerDocs pins the entobenchd guide to the wire surface:
+// every registered route (method + pattern, in backticks, exactly as
+// server.Routes() declares it), every JSON field of the exported wire
+// structs, every SSE event name, the sweep-id header, and the counters
+// a server operator watches must all be named in docs/server.md.
+func checkServerDocs(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v (the wire surface must be documented)", path, err)}
+	}
+	doc := string(data)
+	var problems []string
+	missing := func(kind, name string) {
+		if !strings.Contains(doc, "`"+name+"`") {
+			problems = append(problems, fmt.Sprintf("%s: does not document %s `%s`", path, kind, name))
+		}
+	}
+	for _, r := range server.Routes() {
+		missing("route", r.Method+" "+r.Pattern)
+	}
+	for _, t := range []reflect.Type{
+		reflect.TypeOf(server.SweepRequest{}),
+		reflect.TypeOf(server.SweepAccepted{}),
+		reflect.TypeOf(server.SweepStatus{}),
+		reflect.TypeOf(server.Kernel{}),
+		reflect.TypeOf(server.ErrorBody{}),
+	} {
+		for _, tag := range jsonTags(t) {
+			missing(t.Name()+" field", tag)
+		}
+	}
+	for _, ev := range []string{server.SSEEventProgress, server.SSEEventDone, server.SSEEventError} {
+		missing("SSE event", ev)
+	}
+	missing("response header", server.SweepIDHeader)
+	for _, name := range []string{
+		obs.CounterServerRequests,
+		obs.CounterServerSSEClients,
+		obs.CounterSweepCacheHit,
+		obs.CounterSweepCacheMiss,
+		obs.CounterSweepCacheCoalesced,
+		obs.CounterSweepCacheEvicted,
+	} {
+		missing("counter", name)
+	}
+	return problems
+}
+
+// checkCounterDocs requires a docs/observability.md row (backticked
+// name) for every canonical counter and span — the doc half of the
+// obs registry gate, enforced here so `go run ./tools/checkdocs`
+// catches the drift without running the test suite.
+func checkCounterDocs(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v (the observable surface must be documented)", path, err)}
+	}
+	doc := string(data)
+	var problems []string
+	for _, name := range obs.AllCounters {
+		if !strings.Contains(doc, "`"+name+"`") {
+			problems = append(problems, fmt.Sprintf("%s: does not document counter `%s`", path, name))
+		}
+	}
+	for _, name := range obs.AllSpans {
+		if !strings.Contains(doc, "`"+name+"`") {
+			problems = append(problems, fmt.Sprintf("%s: does not document span `%s`", path, name))
+		}
 	}
 	return problems
 }
