@@ -414,3 +414,61 @@ func BenchmarkRunCharacterization(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSweepWarm times the full suite sweep served entirely from a
+// warm persistent cell cache (-cachedir): every job loads from disk,
+// no kernel executes. The cold/warm ratio against
+// BenchmarkRunCharacterization/serial is the headline speedup of the
+// content-addressed store.
+func BenchmarkSweepWarm(b *testing.B) {
+	b.ReportAllocs()
+	cache, err := report.OpenCellCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.SweepOptions{Workers: 1, CellCache: cache}
+	// One cold sweep fills the store; the measured loop is all hits.
+	if _, err := report.RunCharacterizationUncachedOpts(opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := report.RunCharacterizationUncachedOpts(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.Datapoints() < 400 {
+			b.Fatalf("sweep produced %d datapoints", c.Datapoints())
+		}
+	}
+}
+
+// BenchmarkSweepIncremental times the incremental case the cache
+// exists for: the Table IV grid is warm, and each iteration sweeps it
+// plus one never-seen board, so only that board's cells compute — and
+// even those need no kernel execution, because the shared prepare
+// rehydrates from the cached reference cells.
+func BenchmarkSweepIncremental(b *testing.B) {
+	b.ReportAllocs()
+	cache, err := report.OpenCellCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := mcu.TableIVSet()
+	if _, err := core.CharacterizeSuiteOpts(core.Suite(), base, core.SweepOptions{Workers: 1, CellCache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		novel := mcu.M4
+		novel.Name = fmt.Sprintf("M4-inc-%d", i) // fresh content key every iteration
+		extended := append(append([]mcu.Arch{}, base...), novel)
+		recs, err := core.CharacterizeSuiteOpts(core.Suite(), extended, core.SweepOptions{Workers: 1, CellCache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}

@@ -11,12 +11,19 @@
 //	entobench table3 | table4 | table5 | table6 | table7 | table8
 //	entobench fig3 | fig4 [-step N] | fig5 [-n N]
 //	entobench sweep [-j N] [-boards FILE] [-archs LIST] [-json]
+//	                [-cachedir DIR] [-shard I/N]
 //	                [-trace FILE] [-progress]
 //	                [-cpuprofile FILE] [-memprofile FILE]
 //	                               # the full >400-datapoint characterization,
 //	                               # fanned across N worker goroutines;
 //	                               # -boards loads user board files and
-//	                               # -archs picks the cores (set name or list)
+//	                               # -archs picks the cores (set name or list);
+//	                               # -cachedir persists per-cell results so
+//	                               # overlapping sweeps compute only the delta;
+//	                               # -shard runs slice I of an N-way partition
+//	                               # and emits a shard bundle (requires -json)
+//	entobench merge [-o FILE] <shard.json>...
+//	                               # join shard bundles into the v1 JSON report
 //	entobench closedloop           # Section VI-E task-level demo
 //
 // The command table below (var commands) is the single source of truth
@@ -34,6 +41,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 
@@ -83,9 +91,12 @@ var commands = []command{
 		run: func([]string) error { return ento.WriteTable8(os.Stdout) }},
 	{name: "fig5", args: "[-n N]", summary: "relative-pose solver panels (Case Study #4)",
 		run: fig5},
-	{name: "sweep", args: "[-j N] [-boards FILE] [-archs LIST] [-json] [-trace FILE] [-progress] [-failfast] [-celltimeout DUR] [-cpuprofile FILE] [-memprofile FILE]",
+	{name: "sweep", args: "[-j N] [-boards FILE] [-archs LIST] [-json] [-cachedir DIR] [-shard I/N] [-trace FILE] [-progress] [-failfast] [-celltimeout DUR] [-cpuprofile FILE] [-memprofile FILE]",
 		summary: "full characterization with the datapoint count",
 		run:     sweep},
+	{name: "merge", args: "[-o FILE] <shard.json>...",
+		summary: "join shard bundles into one v1 JSON report",
+		run:     merge},
 	{name: "closedloop", summary: "Section VI-E demo: task-level metrics + compute bill",
 		run: func([]string) error { return closedLoop() }},
 }
@@ -355,6 +366,8 @@ func sweep(args []string) error {
 	progress := fs.Bool("progress", false, "live progress line on stderr")
 	failFast := fs.Bool("failfast", false, "stop dispatching cells after the first failure (default: contain failures per cell)")
 	cellTimeout := fs.Duration("celltimeout", 0, "per-cell watchdog: abandon any cell that takes longer (0 = off)")
+	cacheDir := fs.String("cachedir", "", "persistent per-cell result cache directory (created if missing)")
+	shardSpec := fs.String("shard", "", "run slice I of an N-way grid partition (\"I/N\") and emit a shard bundle; requires -json")
 	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to FILE")
 	memProf := fs.String("memprofile", "", "write a pprof heap profile after the sweep to FILE")
 	if err := fs.Parse(reorderArgs(fs, args)); err != nil {
@@ -405,6 +418,22 @@ func sweep(args []string) error {
 		CellTimeout: *cellTimeout,
 		Context:     ctx,
 	}
+	if *cacheDir != "" {
+		cc, cerr := report.OpenCellCache(*cacheDir)
+		if cerr != nil {
+			return cerr
+		}
+		opts.CellCache = cc
+	}
+	if *shardSpec != "" {
+		if !*jsonOut {
+			return errors.New("-shard emits a machine-readable bundle and requires -json")
+		}
+		opts.ShardIndex, opts.ShardCount, err = parseShard(*shardSpec)
+		if err != nil {
+			return err
+		}
+	}
 	var prog *obs.Progress
 	if *progress {
 		prog = obs.NewProgress(os.Stderr, "sweep")
@@ -412,6 +441,29 @@ func sweep(args []string) error {
 	}
 	if *tracePath != "" {
 		obs.StartTrace()
+	}
+	if opts.ShardCount > 0 {
+		// A shard run: straight to the engine (partial by construction,
+		// so the in-memory sweep cache must not retain it), bundle to
+		// stdout. Any owned-cell failure aborts with no bundle — merge
+		// inputs are healthy by construction.
+		sel := archs
+		if sel == nil {
+			sel = mcu.TableIVSet()
+		}
+		sr, serr := report.RunShard(core.Suite(), sel, opts)
+		if prog != nil {
+			prog.Done()
+		}
+		if *tracePath != "" {
+			if terr := writeTrace(*tracePath); terr != nil && serr == nil {
+				serr = terr
+			}
+		}
+		if serr != nil {
+			return serr
+		}
+		return report.WriteShardReport(os.Stdout, sr)
 	}
 	var c report.Characterization
 	if archs == nil {
@@ -467,6 +519,62 @@ func sweepFailureSummary(w io.Writer, c report.Characterization, err error) erro
 		return fmt.Errorf("sweep interrupted: partial results flushed (%d cells failed, %d skipped)", failed, skipped)
 	}
 	return fmt.Errorf("sweep completed with %d failed and %d skipped cell(s); partial results flushed", failed, skipped)
+}
+
+// parseShard parses an "I/N" partition slot.
+func parseShard(s string) (index, count int, err error) {
+	a, b, ok := strings.Cut(s, "/")
+	if ok {
+		i, err1 := strconv.Atoi(a)
+		n, err2 := strconv.Atoi(b)
+		if err1 == nil && err2 == nil && 1 <= i && i <= n {
+			return i, n, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("invalid -shard %q (want I/N with 1 <= I <= N)", s)
+}
+
+// merge joins shard bundles (entobench sweep -shard I/N -json) into the
+// single v1 JSON report a one-process sweep of the same query would
+// have produced, byte for byte. The bundles must form a complete
+// partition of one sweep; anything stale, duplicated, or missing is an
+// error.
+func merge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "", "write the merged report to FILE instead of stdout")
+	if err := fs.Parse(reorderArgs(fs, args)); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return errors.New("merge needs at least one shard bundle file")
+	}
+	shards := make([]report.ShardReport, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sr, err := report.ReadShardReport(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		shards = append(shards, sr)
+	}
+	c, err := report.MergeShards(shards)
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return c.WriteJSON(w)
 }
 
 // writeMemProfile forces a GC so the heap profile reflects live memory,

@@ -10,13 +10,17 @@
 // Usage:
 //
 //	entobenchd [-addr 127.0.0.1:8090] [-boards FILE] [-j N]
-//	           [-celltimeout DUR] [-cachecap N]
+//	           [-celltimeout DUR] [-cachecap N] [-cachedir DIR]
 //
 // -boards loads user board files into the registry at startup, so the
 // daemon can serve custom cores alongside the built-ins. -j and
 // -celltimeout set the worker-pool size and per-cell watchdog for
 // every cache-filling run (clients may override per request);
 // -cachecap bounds how many completed sweep results stay in memory.
+// -cachedir backs every cache-filling run with the persistent per-cell
+// store, so a restarted daemon starts warm: the first query after a
+// restart reloads its cells from disk instead of recomputing the grid
+// (docs/server.md has the operational details).
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
 // requests get a grace period to finish, and only then does the
@@ -53,6 +57,7 @@ type config struct {
 	workers     int
 	cellTimeout time.Duration
 	cacheCap    int
+	cacheDir    string
 }
 
 // shutdownGrace is how long in-flight requests get to finish after
@@ -69,6 +74,7 @@ func newFlagSet(cfg *config) *flag.FlagSet {
 	fs.IntVar(&cfg.workers, "j", 0, "sweep worker goroutines per cache-filling run (0 = GOMAXPROCS)")
 	fs.DurationVar(&cfg.cellTimeout, "celltimeout", 0, "per-cell watchdog for served sweeps: abandon any cell that takes longer (0 = off)")
 	fs.IntVar(&cfg.cacheCap, "cachecap", report.DefaultSweepCacheCapacity, "completed sweep results retained in the in-memory cache")
+	fs.StringVar(&cfg.cacheDir, "cachedir", "", "persistent per-cell result cache directory (created if missing); restarts start warm")
 	return fs
 }
 
@@ -98,11 +104,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	logf := func(format string, a ...any) {
 		fmt.Fprintf(stderr, "entobenchd: "+format+"\n", a...)
 	}
-	srv := server.New(server.Options{
+	opts := server.Options{
 		Workers:     cfg.workers,
 		CellTimeout: cfg.cellTimeout,
 		Logf:        logf,
-	})
+	}
+	if cfg.cacheDir != "" {
+		cc, err := report.OpenCellCache(cfg.cacheDir)
+		if err != nil {
+			return err
+		}
+		opts.CellCache = cc
+		logf("persistent cell cache at %s", cc.Dir())
+	}
+	srv := server.New(opts)
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

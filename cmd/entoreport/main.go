@@ -5,7 +5,7 @@
 // Usage:
 //
 //	entoreport [-o EXPERIMENTS.md] [-fig5n 50] [-fig4step 2] [-j N]
-//	           [-json FILE] [-boards FILE] [-archs LIST]
+//	           [-json FILE] [-boards FILE] [-archs LIST] [-cachedir DIR]
 //
 // -json additionally saves the machine-readable characterization export
 // (the same sweep the report renders as Tables III/IV) to FILE — the
@@ -13,7 +13,10 @@
 // see docs/observability.md for the schema. -boards loads user board
 // files into the registry and -archs selects the cores Tables III/IV
 // (and the JSON export) cover; the case studies keep their paper-fixed
-// core sets.
+// core sets. -cachedir backs the sweep with the persistent per-cell
+// store (cells computed by any prior run load from disk) and adds a
+// provenance block to the JSON export saying how many cells were
+// cached versus computed.
 //
 // SIGINT cancels the sweep; a partial characterization still flushes to
 // the -json file (marked partial:true, with a failures block) before
@@ -45,19 +48,29 @@ func main() {
 	jsonPath := flag.String("json", "", "also write the characterization JSON export to this file")
 	boards := flag.String("boards", "", "comma-separated board files to load before the sweep")
 	archsQ := flag.String("archs", "", "board selection for Tables III/IV: a set name or comma-separated board names")
+	cacheDir := flag.String("cachedir", "", "persistent per-cell result cache directory (created if missing)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	c, err := runSweep(ctx, *boards, *archsQ, *j)
+	var cache *report.PersistentCellCache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = report.OpenCellCache(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "entoreport:", err)
+			os.Exit(1)
+		}
+	}
+
+	c, err := runSweep(ctx, *boards, *archsQ, *j, cache)
 	if err != nil {
 		// Partial sweep: salvage what completed. The JSON export is the
 		// artifact overnight runs exist for, so flush it (partial:true)
 		// before exiting non-zero; the report itself is not generated
 		// from an incomplete dataset.
 		if *jsonPath != "" && len(c.Records) > 0 {
-			if werr := writeJSON(*jsonPath, c); werr != nil {
+			if werr := writeJSON(*jsonPath, c, cache); werr != nil {
 				fmt.Fprintln(os.Stderr, "entoreport:", werr)
 			} else {
 				fmt.Fprintf(os.Stderr, "entoreport: partial export (%d failed/skipped cells) written to %s\n",
@@ -73,7 +86,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, c); err != nil {
+		if err := writeJSON(*jsonPath, c, cache); err != nil {
 			fmt.Fprintln(os.Stderr, "entoreport:", err)
 			os.Exit(1)
 		}
@@ -93,7 +106,7 @@ func main() {
 // were given, an uncached explicit-arch sweep otherwise. The context
 // cancels the sweep; the partial characterization comes back alongside
 // the error.
-func runSweep(ctx context.Context, boardFiles, archsQ string, workers int) (report.Characterization, error) {
+func runSweep(ctx context.Context, boardFiles, archsQ string, workers int, cache *report.PersistentCellCache) (report.Characterization, error) {
 	for _, path := range strings.Split(boardFiles, ",") {
 		if path = strings.TrimSpace(path); path == "" {
 			continue
@@ -103,6 +116,9 @@ func runSweep(ctx context.Context, boardFiles, archsQ string, workers int) (repo
 		}
 	}
 	opts := core.SweepOptions{Workers: workers, Context: ctx}
+	if cache != nil {
+		opts.CellCache = cache
+	}
 	if archsQ == "" {
 		return report.RunCharacterizationOpts(opts)
 	}
@@ -114,13 +130,21 @@ func runSweep(ctx context.Context, boardFiles, archsQ string, workers int) (repo
 }
 
 // writeJSON saves the characterization export of the sweep the report
-// already paid for.
-func writeJSON(path string, c report.Characterization) error {
+// already paid for. With a persistent cell cache in play the export
+// carries the additive cache-provenance block (cells loaded from the
+// store versus computed and persisted); without one the bytes are
+// exactly the classic export.
+func writeJSON(path string, c report.Characterization, cache *report.PersistentCellCache) error {
+	rep := c.JSONExport()
+	if cache != nil {
+		prov := cache.Provenance()
+		rep.Cache = &prov
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := c.WriteJSON(f); err != nil {
+	if err := report.WriteJSONReport(f, rep); err != nil {
 		f.Close()
 		return err
 	}

@@ -52,8 +52,13 @@ type (
 	Estimate = mcu.Estimate
 	// SweepOptions configures a characterization sweep: worker count,
 	// progress hook, fail-fast vs contained failures, the per-cell
-	// watchdog timeout, and a cancellation context (DESIGN.md §12).
+	// watchdog timeout, a cancellation context (DESIGN.md §12), a
+	// persistent cell cache, and shard partitioning.
 	SweepOptions = core.SweepOptions
+	// CellCache serves and persists per-cell sweep results; plug one
+	// into SweepOptions.CellCache so overlapping sweeps compute only
+	// their delta. OpenCellCache returns the on-disk implementation.
+	CellCache = core.CellCache
 	// CellError is the provenance-carrying failure of one sweep cell
 	// (kernel, arch, cache, stage, status, underlying error).
 	CellError = core.CellError
@@ -197,6 +202,16 @@ func SweepOnOpts(archs []Arch, opts SweepOptions) (Characterization, error) {
 // can only ever serve the full dataset; see Characterization.Partial.
 func SweepOpts(opts SweepOptions) (Characterization, error) {
 	return report.RunCharacterizationOpts(opts)
+}
+
+// OpenCellCache opens (creating if needed) the persistent per-cell
+// result cache rooted at dir — the on-disk content-addressed store
+// behind every -cachedir flag. Plug the result into
+// SweepOptions.CellCache: cells computed by any prior sweep sharing
+// the directory load instead of recomputing, byte-identically, and
+// every newly computed healthy cell is persisted for the next run.
+func OpenCellCache(dir string) (CellCache, error) {
+	return report.OpenCellCache(dir)
 }
 
 // CellErrors extracts the per-cell failures from a sweep's aggregate

@@ -1,0 +1,179 @@
+// Package cellstore is the on-disk content-addressed store behind the
+// persistent per-cell sweep cache (-cachedir). It is a flat directory
+// of versioned JSON records, one file per content key: the key digests
+// everything that determines a cell's bytes (kernel spec, board model,
+// harness config — see report.CellKey), so a record is immutable once
+// written and lookups never need invalidation, only presence checks.
+//
+// Durability contract:
+//
+//   - Writes are atomic: each Put lands in a private temp file in the
+//     store directory and is published with os.Rename, so a concurrent
+//     reader — or another process sharing the directory — sees either
+//     no file or a complete record, never a torn one.
+//   - Reads are verified: every record carries a format tag, a version,
+//     its own key, and the SHA-256 of its payload. A record that fails
+//     any check (truncation, bit flips, a foreign or older format) is
+//     discarded — best-effort unlinked and counted on
+//     cellstore.corrupt_discarded — and reported as a miss, so
+//     corruption always heals into a recompute, never an error.
+//   - Concurrent Puts of the same key are benign: both writers produce
+//     identical bytes (the key is a content digest), and rename makes
+//     whichever lands last win without readers ever seeing a mix.
+package cellstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Format is the record envelope's format tag.
+const Format = "entobench.cell"
+
+// Version is the record envelope version. Bump it whenever the payload
+// schema or the measurement semantics change in a way the key does not
+// capture; old records then read as misses and recompute.
+const Version = 1
+
+// ctrCorruptDiscarded counts records discarded on read for failing an
+// integrity check (docs/observability.md).
+var ctrCorruptDiscarded = obs.NewCounter(obs.CounterCellstoreCorruptDiscarded)
+
+// envelope is the on-disk record: integrity metadata around an opaque
+// payload owned by the caller (report's cell result schema).
+type envelope struct {
+	Format  string          `json:"format"`
+	Version int             `json:"version"`
+	Key     string          `json:"key"`
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Store is one cache directory. It is safe for concurrent use by any
+// number of goroutines and processes.
+type Store struct {
+	dir string
+}
+
+// Open returns a Store rooted at dir, creating the directory (and
+// parents) if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cellstore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cellstore: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a content key to its file. Keys are digest-shaped
+// ("cell-<hex>"); anything else would be a caller bug, but the key is
+// sanitized anyway so a hostile key cannot escape the directory.
+func (s *Store) path(key string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, key)
+	return filepath.Join(s.dir, clean+".json")
+}
+
+// Get returns the payload stored under key, or ok=false on a miss. A
+// present-but-invalid record — wrong format, wrong version, key
+// mismatch, checksum mismatch, or unparseable JSON — is treated as a
+// miss: it is counted on cellstore.corrupt_discarded and best-effort
+// removed so the healed slot rewrites cleanly.
+func (s *Store) Get(key string) (payload []byte, ok bool) {
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		s.discard(p)
+		return nil, false
+	}
+	if env.Format != Format || env.Version != Version || env.Key != key {
+		s.discard(p)
+		return nil, false
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		s.discard(p)
+		return nil, false
+	}
+	return env.Payload, true
+}
+
+// discard removes an invalid record, tolerating races with other
+// healers (the file may already be gone).
+func (s *Store) discard(path string) {
+	ctrCorruptDiscarded.Inc()
+	os.Remove(path)
+}
+
+// Put stores payload under key, atomically. Concurrent Puts of the same
+// key — even from other processes — are safe; the rename is the commit
+// point.
+func (s *Store) Put(key string, payload []byte) error {
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(envelope{
+		Format:  Format,
+		Version: Version,
+		Key:     key,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: json.RawMessage(payload),
+	})
+	if err != nil {
+		return fmt.Errorf("cellstore: put %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("cellstore: put %s: %w", key, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cellstore: put %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cellstore: put %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cellstore: put %s: %w", key, err)
+	}
+	return nil
+}
+
+// Len counts valid-looking records currently in the store (by file
+// presence only; contents are verified on Get). It exists for tests and
+// ops introspection, not the hot path.
+func (s *Store) Len() int {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") && !strings.HasPrefix(e.Name(), ".") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,216 @@
+package cellstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"model":{"cycles":42}}`)
+	if err := s.Put("cell-abc123", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("cell-abc123")
+	if !ok {
+		t.Fatal("stored record missed")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload round trip: got %q, want %q", got, payload)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	if _, ok := s.Get("cell-never-stored"); ok {
+		t.Fatal("absent key hit")
+	}
+}
+
+// Every way a record can rot on disk — truncation, bit flips in the
+// payload, an envelope from a different version or format, a record
+// filed under the wrong key — must read as a miss, bump
+// cellstore.corrupt_discarded, and remove the file so the slot heals by
+// recomputation. Never an error.
+func TestCorruptRecordsDiscarded(t *testing.T) {
+	payload := []byte(`{"model":{"cycles":42}}`)
+
+	corruptions := []struct {
+		name    string
+		mutate  func(t *testing.T, s *Store, path string)
+		discard bool // expect a counted discard (vs a plain miss)
+	}{
+		{"truncated", func(t *testing.T, s *Store, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, true},
+		{"bit-flipped payload", func(t *testing.T, s *Store, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flip a digit inside the payload; the envelope stays
+			// parseable but the checksum no longer matches.
+			for i := range data {
+				if data[i] == '4' {
+					data[i] = '7'
+					break
+				}
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, true},
+		{"wrong version", func(t *testing.T, s *Store, path string) {
+			rewriteEnvelope(t, path, func(env map[string]any) { env["version"] = Version + 1 })
+		}, true},
+		{"wrong format", func(t *testing.T, s *Store, path string) {
+			rewriteEnvelope(t, path, func(env map[string]any) { env["format"] = "somebody.else" })
+		}, true},
+		{"key mismatch", func(t *testing.T, s *Store, path string) {
+			rewriteEnvelope(t, path, func(env map[string]any) { env["key"] = "cell-other" })
+		}, true},
+		{"not json at all", func(t *testing.T, s *Store, path string) {
+			if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, true},
+	}
+
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			const key = "cell-deadbeef"
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(s.Dir(), key+".json")
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("record not at expected path: %v", err)
+			}
+			tc.mutate(t, s, path)
+
+			before := obs.Counters()[obs.CounterCellstoreCorruptDiscarded]
+			if _, ok := s.Get(key); ok {
+				t.Fatal("corrupt record served as a hit")
+			}
+			after := obs.Counters()[obs.CounterCellstoreCorruptDiscarded]
+			if tc.discard && after != before+1 {
+				t.Fatalf("corrupt_discarded went %d -> %d, want +1", before, after)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt record not removed (stat err %v)", err)
+			}
+			// The healed slot rewrites and serves cleanly.
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); !ok || string(got) != string(payload) {
+				t.Fatalf("healed slot: ok=%v payload=%q", ok, got)
+			}
+		})
+	}
+}
+
+// rewriteEnvelope re-marshals the on-disk envelope after a field edit.
+// The payload checksum is left alone, so only the edited field trips
+// verification.
+func rewriteEnvelope(t *testing.T, path string, edit func(map[string]any)) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]any
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	edit(env)
+	out, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Hostile keys must not escape the store directory.
+func TestKeySanitized(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("../escape", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "escape.json")); !os.IsNotExist(err) {
+		t.Fatal("key escaped the store directory")
+	}
+	if _, ok := s.Get("../escape"); !ok {
+		t.Fatal("sanitized key did not round-trip")
+	}
+}
+
+// Concurrent writers and readers over one directory — the
+// multi-process -cachedir sharing contract, exercised in-process where
+// the race detector can see it. Same-key writers produce identical
+// bytes, so every read must see either a miss or the one true payload.
+func TestConcurrentSharedStore(t *testing.T) {
+	dir := t.TempDir()
+	const keys = 8
+	payloadFor := func(k int) []byte {
+		return []byte(fmt.Sprintf(`{"cell":%d}`, k))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each goroutine opens its own Store handle, like a separate
+			// process sharing the directory would.
+			s, err := Open(dir)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 50; i++ {
+				k := i % keys
+				key := fmt.Sprintf("cell-%d", k)
+				if err := s.Put(key, payloadFor(k)); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get(key); ok && string(got) != string(payloadFor(k)) {
+					t.Errorf("torn read: key %s payload %q", key, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Len(); n != keys {
+		t.Fatalf("Len = %d, want %d", n, keys)
+	}
+}

@@ -74,7 +74,60 @@ var (
 	ctrPanicsRecovered = obs.NewCounter(obs.CounterSweepPanicsRecovered)
 	// ctrCellsTimedOut counts jobs abandoned by the per-cell watchdog.
 	ctrCellsTimedOut = obs.NewCounter(obs.CounterSweepCellsTimedOut)
+	// ctrCellsCached counts jobs served from SweepOptions.CellCache
+	// instead of being executed.
+	ctrCellsCached = obs.NewCounter(obs.CounterSweepCellsCached)
+	// ctrCellsComputed counts jobs the engine actually executed —
+	// everything not cache-served and not skipped, including failures.
+	ctrCellsComputed = obs.NewCounter(obs.CounterSweepCellsComputed)
 )
+
+// StaticCellResult is the cacheable outcome of one kernel's
+// static-proxy job: the compressed op counts of the static solver plus
+// the modeled flash footprint.
+type StaticCellResult struct {
+	Static profile.Counts `json:"static"`
+	Flash  int            `json:"flash"`
+}
+
+// MeasuredCellResult is the cacheable outcome of one (arch, cache)
+// measurement cell. It carries everything the record assembly needs:
+// the cell's own model and measurement, plus the arch-independent
+// dynamic mix and validation verdict (so a cached reference cell can
+// rehydrate the record-level fields). ValidErr is the rendered
+// validation error — the export only ever prints it, so a string
+// round-trips byte-identically where an error value would not. Name is
+// the prepared problem's name: its length seeds trace synthesis, so
+// carrying it lets an incremental sweep rehydrate the kernel's shared
+// prepare from any cached cell (harness.RehydratePrepared) and measure
+// fresh (arch, cache) cells without re-executing the kernel, still
+// byte-identically.
+type MeasuredCellResult struct {
+	Model    mcu.Estimate        `json:"model"`
+	Meas     harness.Measurement `json:"meas"`
+	Counts   profile.Counts      `json:"counts"`
+	Name     string              `json:"name"`
+	Valid    bool                `json:"valid"`
+	ValidErr string              `json:"valid_err,omitempty"`
+}
+
+// CellCache serves and persists per-cell sweep results. The engine
+// consults it before executing a job and offers back every cell that
+// completed CellOK — failed, panicked, timed-out, and skipped jobs are
+// never stored, so a cache can only ever replay a healthy computation.
+// Implementations must be safe for concurrent use by pool workers; a
+// lookup miss must be cheap. The canonical implementation is
+// report.PersistentCellCache over internal/cellstore.
+type CellCache interface {
+	// LoadStatic returns the cached static-proxy result of spec, if any.
+	LoadStatic(spec Spec) (StaticCellResult, bool)
+	// StoreStatic persists a healthy static-proxy result.
+	StoreStatic(spec Spec, res StaticCellResult)
+	// LoadCell returns the cached (arch, cacheOn) cell of spec, if any.
+	LoadCell(spec Spec, arch mcu.Arch, cacheOn bool) (MeasuredCellResult, bool)
+	// StoreCell persists a healthy measurement cell.
+	StoreCell(spec Spec, arch mcu.Arch, cacheOn bool, res MeasuredCellResult)
+}
 
 // jobStatic marks a job as the per-kernel static-proxy run rather than
 // an (arch, cache) measurement cell.
@@ -108,13 +161,30 @@ type kernelPrep struct {
 // get returns the kernel's shared prepared state, computing it on the
 // first call. A recovered panic is stored as a PanicError so every
 // sharing cell sees the same failure.
-func (kp *kernelPrep) get(ctx context.Context, spec Spec) (*harness.Prepared, error) {
+//
+// When a cell cache is in play the prepare is rehydrated from the
+// kernel's cached reference cell when one exists: the prepared state is
+// only {name, counts, verdict}, all stored in every cached cell, and
+// MeasureOn is a pure function of them — so an incremental sweep (one
+// new board against a warm cache) measures the new cells without
+// executing the kernel at all, byte-identically.
+func (kp *kernelPrep) get(ctx context.Context, spec Spec, cc CellCache) (*harness.Prepared, error) {
 	kp.once.Do(func() {
 		defer func() {
 			if r := recover(); r != nil {
 				kp.err = &PanicError{Value: r, Stack: debug.Stack()}
 			}
 		}()
+		if cc != nil {
+			if mr, ok := cc.LoadCell(spec, kp.ref, true); ok && mr.Name != "" {
+				var validE error
+				if mr.ValidErr != "" {
+					validE = errors.New(mr.ValidErr)
+				}
+				kp.pp = harness.RehydratePrepared(mr.Name, mr.Counts, mr.Valid, validE)
+				return
+			}
+		}
 		// The reference cell's schedule: first fitting arch, cache on
 		// (cells are ordered arch-major, cache on/off), so the validation
 		// reps match what cell 0 executed when it ran the kernel itself.
@@ -167,6 +237,27 @@ type SweepOptions struct {
 	// ctx.Err(), so callers can distinguish cancellation from kernel
 	// failures. Nil means context.Background().
 	Context context.Context
+	// CellCache, when non-nil, serves jobs whose content-identical
+	// result a prior run persisted (loaded cells are byte-identical to
+	// recomputation) and persists every newly computed CellOK job.
+	// Failed, panicked, timed-out, and skipped jobs are never stored.
+	// Nil — the default — changes nothing on the hot path.
+	CellCache CellCache
+	// ShardIndex/ShardCount partition the job grid deterministically
+	// across processes: with ShardCount = N > 0 and ShardIndex = i in
+	// 1..N, the sweep executes only jobs whose serial index ≡ i-1
+	// (mod N) and marks every foreign job CellSkipped (with no error),
+	// so N shard runs cover each job exactly once and report.MergeShards
+	// reassembles the single-process bytes. ShardCount 0 disables
+	// sharding.
+	ShardIndex int
+	ShardCount int
+}
+
+// ownsJob reports whether this sweep's shard executes serial job index
+// j. With sharding off every job is owned.
+func (o SweepOptions) ownsJob(j int) bool {
+	return o.ShardCount <= 0 || j%o.ShardCount == o.ShardIndex-1
 }
 
 // PanicError is a recovered kernel panic: the panic value plus the
@@ -258,6 +349,9 @@ func CharacterizeSuite(specs []Spec, archs []mcu.Arch, workers int) ([]Record, e
 
 // CharacterizeSuiteOpts is CharacterizeSuite with full sweep options.
 func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([]Record, error) {
+	if opts.ShardCount > 0 && (opts.ShardIndex < 1 || opts.ShardIndex > opts.ShardCount) {
+		return nil, fmt.Errorf("core: shard index %d out of range 1..%d", opts.ShardIndex, opts.ShardCount)
+	}
 	sweepStart := time.Now()
 	ctx := opts.Context
 	if ctx == nil {
@@ -308,6 +402,15 @@ func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([
 		go func(lane int) {
 			defer wg.Done()
 			for j := range idx {
+				if !opts.ownsJob(j) {
+					// A foreign shard's job: skipped with no error, so
+					// this shard's bundle carries exactly its own cells
+					// and a healthy shard run exits clean.
+					commitSkip(records, &jobs[j], nil)
+					skipped.Add(1)
+					progress()
+					continue
+				}
 				if (opts.FailFast && failed.Load()) || ctx.Err() != nil {
 					commitSkip(records, &jobs[j], ctx.Err())
 					skipped.Add(1)
@@ -315,11 +418,26 @@ func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([
 					continue
 				}
 				spec := records[jobs[j].spec].Spec
+				if opts.CellCache != nil {
+					if res, hit := loadCachedJob(opts.CellCache, spec, &jobs[j]); hit {
+						commit(records, &jobs[j], res, CellOK, nil)
+						ctrCellsCached.Inc()
+						done.Add(1)
+						progress()
+						continue
+					}
+				}
 				traced := obs.TraceEnabled()
 				start := time.Now()
-				res, status, err := executeJob(ctx, spec, &jobs[j], &preps[jobs[j].spec], opts.CellTimeout)
+				res, status, err := executeJob(ctx, spec, &jobs[j], &preps[jobs[j].spec], opts.CellTimeout, opts.CellCache)
 				if traced {
 					recordJobSpan(&jobs[j], records, start, sweepStart, lane, status)
+				}
+				if status != CellSkipped {
+					ctrCellsComputed.Inc()
+				}
+				if status == CellOK && opts.CellCache != nil {
+					storeCachedJob(opts.CellCache, spec, &jobs[j], res)
 				}
 				commit(records, &jobs[j], res, status, err)
 				if status == CellSkipped {
@@ -397,12 +515,13 @@ func cellError(spec Spec, j *job, status CellStatus, err error) *CellError {
 // by the worker that owns the job — never by a (possibly abandoned)
 // watchdog child — so a timed-out computation cannot race the assembly.
 type jobResult struct {
-	static profile.Counts
-	flash  int
-	run    ArchRun
-	counts profile.Counts // reference-cell dynamic mix
-	valid  bool
-	validE error
+	static   profile.Counts
+	flash    int
+	run      ArchRun
+	counts   profile.Counts // reference-cell dynamic mix
+	valid    bool
+	validE   error
+	prepName string // the prepared problem's name (trace-synthesis seed)
 }
 
 // executeJob runs one job with panic isolation and, when timeout > 0,
@@ -410,9 +529,9 @@ type jobResult struct {
 // waits for its result, the deadline, or cancellation — whichever is
 // first. The returned status classifies the outcome; err is nil exactly
 // when status is CellOK.
-func executeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep, timeout time.Duration) (jobResult, CellStatus, error) {
+func executeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep, timeout time.Duration, cc CellCache) (jobResult, CellStatus, error) {
 	if timeout <= 0 {
-		res, err := computeJob(ctx, spec, j, prep)
+		res, err := computeJob(ctx, spec, j, prep, cc)
 		return classify(ctx, res, err)
 	}
 	type outcome struct {
@@ -424,7 +543,7 @@ func executeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep, timeou
 	// channel, and its late result is garbage-collected with it.
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := computeJob(ctx, spec, j, prep)
+		res, err := computeJob(ctx, spec, j, prep, cc)
 		ch <- outcome{res, err}
 	}()
 	timer := time.NewTimer(timeout)
@@ -471,7 +590,7 @@ func isPanic(err error) bool {
 // (or inside the shared prepare) and converted into a PanicError
 // carrying the captured stack. Cell jobs share one kernel execution
 // through prep and only run the arch-specific modeling themselves.
-func computeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep) (res jobResult, err error) {
+func computeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep, cc CellCache) (res jobResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
@@ -490,7 +609,7 @@ func computeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep) (res j
 		res.flash = mcu.FlashBytes(res.static)
 		return res, nil
 	}
-	pp, err := prep.get(ctx, spec)
+	pp, err := prep.get(ctx, spec, cc)
 	if err != nil {
 		return res, fmt.Errorf("core: run %s on %s: %w", spec.Name, j.arch.Name, err)
 	}
@@ -502,7 +621,49 @@ func computeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep) (res j
 	}
 	res.run = ArchRun{Arch: j.arch, CacheOn: j.cache, Model: r.Model, Meas: r.Measured}
 	res.counts, res.valid, res.validE = r.Counts, r.Valid, r.ValidErr
+	res.prepName = r.Kernel
 	return res, nil
+}
+
+// loadCachedJob consults the cell cache for one job and, on a hit,
+// rebuilds the exact jobResult the execution would have produced —
+// including the arch-independent dynamic mix and validation verdict, so
+// a cached reference cell still populates the record-level fields.
+func loadCachedJob(cc CellCache, spec Spec, j *job) (jobResult, bool) {
+	var res jobResult
+	if j.cell == jobStatic {
+		sr, ok := cc.LoadStatic(spec)
+		if !ok {
+			return res, false
+		}
+		res.static, res.flash = sr.Static, sr.Flash
+		return res, true
+	}
+	mr, ok := cc.LoadCell(spec, j.arch, j.cache)
+	if !ok {
+		return res, false
+	}
+	res.run = ArchRun{Arch: j.arch, CacheOn: j.cache, Model: mr.Model, Meas: mr.Meas}
+	res.counts, res.valid = mr.Counts, mr.Valid
+	if mr.ValidErr != "" {
+		res.validE = errors.New(mr.ValidErr)
+	}
+	return res, true
+}
+
+// storeCachedJob offers one healthy (CellOK) job result to the cell
+// cache. Only healthy results reach here, so the cache never learns a
+// partial or failed cell.
+func storeCachedJob(cc CellCache, spec Spec, j *job, res jobResult) {
+	if j.cell == jobStatic {
+		cc.StoreStatic(spec, StaticCellResult{Static: res.static, Flash: res.flash})
+		return
+	}
+	mr := MeasuredCellResult{Model: res.run.Model, Meas: res.run.Meas, Counts: res.counts, Name: res.prepName, Valid: res.valid}
+	if res.validE != nil {
+		mr.ValidErr = res.validE.Error()
+	}
+	cc.StoreCell(spec, j.arch, j.cache, mr)
 }
 
 // commit writes a job's outcome into its pre-assigned record slot. Only

@@ -216,6 +216,19 @@ func PrepareContext(ctx context.Context, p Problem, refArch mcu.Arch, prec mcu.P
 	return pp, nil
 }
 
+// RehydratePrepared reconstructs a Prepared from the arch-independent
+// values a prior prepare captured: the problem name (whose length seeds
+// trace synthesis, so it must be the name the original run used, not a
+// descriptor alias), the profiled per-rep counts, and the validation
+// verdict. MeasureOn is a pure function of exactly these, so a
+// rehydrated Prepared yields byte-identical measurements on any core
+// without executing a single kernel rep — how the sweep's persistent
+// cell cache measures new (arch, cache) cells of an already-seen
+// kernel.
+func RehydratePrepared(name string, counts profile.Counts, valid bool, validE error) *Prepared {
+	return &Prepared{name: name, counts: counts, valid: valid, validE: validE}
+}
+
 // Counts returns the per-rep operation mix of the profiled Solve.
 func (pp *Prepared) Counts() profile.Counts { return pp.counts }
 

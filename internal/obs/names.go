@@ -57,6 +57,19 @@ const (
 	// CounterSweepCellsTimedOut counts jobs abandoned by the per-cell
 	// watchdog (SweepOptions.CellTimeout).
 	CounterSweepCellsTimedOut = "sweep.cells_timed_out"
+	// CounterSweepCellsCached counts sweep jobs served from the
+	// persistent cell cache (SweepOptions.CellCache) instead of being
+	// computed.
+	CounterSweepCellsCached = "sweep.cells_cached"
+	// CounterSweepCellsComputed counts sweep jobs the engine actually
+	// executed — everything not loaded from the cell cache and not
+	// skipped, including jobs that then failed.
+	CounterSweepCellsComputed = "sweep.cells_computed"
+	// CounterCellstoreCorruptDiscarded counts on-disk cell records the
+	// store discarded on read because they failed an integrity check
+	// (truncation, bit flips, wrong version); each discard heals into a
+	// recompute, never an error.
+	CounterCellstoreCorruptDiscarded = "cellstore.corrupt_discarded"
 )
 
 // AllSpans is every span name the repo can emit, in docs order.
@@ -72,6 +85,9 @@ var AllCounters = []string{
 	CounterSweepCellsFailed,
 	CounterSweepPanicsRecovered,
 	CounterSweepCellsTimedOut,
+	CounterSweepCellsCached,
+	CounterSweepCellsComputed,
+	CounterCellstoreCorruptDiscarded,
 	CounterProfileSessions,
 	CounterHarnessRuns,
 	CounterHarnessHostReps,

@@ -1,0 +1,113 @@
+package report
+
+import (
+	"encoding/json"
+	"sync/atomic"
+
+	"repro/internal/cellstore"
+	"repro/internal/core"
+	"repro/internal/mcu"
+)
+
+// PersistentCellCache adapts the on-disk content-addressed store
+// (internal/cellstore) to the sweep engine's core.CellCache interface:
+// every healthy cell a sweep computes is persisted under its content
+// key (CellKey / StaticCellKey), and any later sweep — in this process
+// or another — that needs a content-identical cell loads it instead of
+// recomputing. Loaded cells are byte-identical to recomputation, so a
+// warm sweep's v1 JSON export matches a cold one's exactly.
+//
+// The adapter is safe for concurrent use by pool workers and by
+// multiple processes sharing one directory (the store's atomic-rename
+// writes and verified reads make cross-process sharing safe). Store
+// errors are deliberately swallowed: a cache that cannot persist —
+// disk full, read-only directory — degrades to computing every cell,
+// never to failing the sweep.
+type PersistentCellCache struct {
+	store *cellstore.Store
+
+	// Per-instance provenance: how many cells this cache served from
+	// disk and how many it persisted after computation. entoreport
+	// surfaces these in the export's cache block.
+	hits   atomic.Int64
+	stores atomic.Int64
+}
+
+// OpenCellCache opens (creating if needed) the persistent cell cache
+// rooted at dir — the implementation behind every -cachedir flag.
+func OpenCellCache(dir string) (*PersistentCellCache, error) {
+	st, err := cellstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &PersistentCellCache{store: st}, nil
+}
+
+// Dir returns the cache's root directory.
+func (p *PersistentCellCache) Dir() string { return p.store.Dir() }
+
+// LoadStatic implements core.CellCache.
+func (p *PersistentCellCache) LoadStatic(spec core.Spec) (core.StaticCellResult, bool) {
+	var res core.StaticCellResult
+	payload, ok := p.store.Get(StaticCellKey(spec))
+	if !ok || json.Unmarshal(payload, &res) != nil {
+		return core.StaticCellResult{}, false
+	}
+	p.hits.Add(1)
+	return res, true
+}
+
+// StoreStatic implements core.CellCache.
+func (p *PersistentCellCache) StoreStatic(spec core.Spec, res core.StaticCellResult) {
+	p.put(StaticCellKey(spec), res)
+}
+
+// LoadCell implements core.CellCache.
+func (p *PersistentCellCache) LoadCell(spec core.Spec, arch mcu.Arch, cacheOn bool) (core.MeasuredCellResult, bool) {
+	var res core.MeasuredCellResult
+	payload, ok := p.store.Get(CellKey(spec, arch, cacheOn))
+	if !ok || json.Unmarshal(payload, &res) != nil {
+		return core.MeasuredCellResult{}, false
+	}
+	p.hits.Add(1)
+	return res, true
+}
+
+// StoreCell implements core.CellCache.
+func (p *PersistentCellCache) StoreCell(spec core.Spec, arch mcu.Arch, cacheOn bool, res core.MeasuredCellResult) {
+	p.put(CellKey(spec, arch, cacheOn), res)
+}
+
+// put marshals and persists one payload, swallowing store errors (see
+// the type comment).
+func (p *PersistentCellCache) put(key string, v any) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	if p.store.Put(key, payload) == nil {
+		p.stores.Add(1)
+	}
+}
+
+// CacheProvenance describes how a sweep's cells were obtained when a
+// persistent cell cache was in play — the additive JSON cache block
+// entoreport emits with -cachedir.
+type CacheProvenance struct {
+	// Dir is the cache directory the run used.
+	Dir string `json:"dir"`
+	// CellsCached is how many cells this run loaded from the store.
+	CellsCached int `json:"cells_cached"`
+	// CellsComputed is how many healthy cells this run computed and
+	// persisted.
+	CellsComputed int `json:"cells_computed"`
+}
+
+// Provenance reports this cache instance's load/store tallies.
+func (p *PersistentCellCache) Provenance() CacheProvenance {
+	return CacheProvenance{
+		Dir:           p.store.Dir(),
+		CellsCached:   int(p.hits.Load()),
+		CellsComputed: int(p.stores.Load()),
+	}
+}

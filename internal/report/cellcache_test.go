@@ -1,0 +1,347 @@
+package report_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/cellstore"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/mcu"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// cacheTestSpecs returns a small fixed kernel subset, enough to cover
+// multiple kernels without paying for the whole suite per test.
+func cacheTestSpecs(t *testing.T) []core.Spec {
+	t.Helper()
+	var specs []core.Spec
+	for _, name := range []string{"madgwick", "mahony"} {
+		s, ok := core.ByName(name)
+		if !ok {
+			t.Fatalf("%s missing from suite", name)
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+// sweepJSON characterizes specs×archs with the given options and
+// renders the v1 JSON export — the byte-level artifact every cache and
+// shard invariant is stated against.
+func sweepJSON(t *testing.T, specs []core.Spec, archs []mcu.Arch, opts core.SweepOptions) []byte {
+	t.Helper()
+	recs, err := core.CharacterizeSuiteOpts(specs, archs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := (report.Characterization{Records: recs}).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The tentpole invariant: a sweep against a cold persistent cache and a
+// sweep against the warm cache both produce bytes identical to a plain
+// uncached sweep — the cache is invisible in the output, at any worker
+// count.
+func TestPersistentCacheByteIdentical(t *testing.T) {
+	specs := cacheTestSpecs(t)
+	archs := mcu.TableIVSet()
+	golden := sweepJSON(t, specs, archs, core.SweepOptions{Workers: 1})
+
+	cache, err := report.OpenCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := sweepJSON(t, specs, archs, core.SweepOptions{Workers: 1, CellCache: cache})
+	if !bytes.Equal(golden, cold) {
+		t.Fatal("cold cached sweep diverged from the uncached sweep")
+	}
+
+	for _, workers := range []int{1, 8} {
+		before := obs.Counters()
+		warm := sweepJSON(t, specs, archs, core.SweepOptions{Workers: workers, CellCache: cache})
+		if !bytes.Equal(golden, warm) {
+			t.Fatalf("warm cached sweep (j=%d) diverged from the uncached sweep", workers)
+		}
+		after := obs.Counters()
+		if d := after[obs.CounterSweepCellsComputed] - before[obs.CounterSweepCellsComputed]; d != 0 {
+			t.Fatalf("warm sweep (j=%d) computed %d cells, want 0", workers, d)
+		}
+		// 2 kernels × (1 static + 3 archs × 2 cache settings) jobs.
+		if d := after[obs.CounterSweepCellsCached] - before[obs.CounterSweepCellsCached]; d != 14 {
+			t.Fatalf("warm sweep (j=%d) served %d cells from cache, want 14", workers, d)
+		}
+	}
+}
+
+// The incremental invariant: against a cache warmed on the Table IV
+// set, a sweep extended by one novel board computes exactly that
+// board's cells — everything else loads, and the kernels themselves are
+// never re-executed (the shared prepare rehydrates from a cached cell,
+// so harness.reps.host stays flat). Bytes match the uncached sweep of
+// the extended selection exactly.
+func TestIncrementalSweepComputesOnlyNewCells(t *testing.T) {
+	specs := cacheTestSpecs(t)
+	base := mcu.TableIVSet()
+
+	novel := mcu.M4
+	novel.Name = "M4-novel"
+	novel.Board = "synthetic clone for incremental test"
+	extended := append(append([]mcu.Arch{}, base...), novel)
+
+	golden := sweepJSON(t, specs, extended, core.SweepOptions{Workers: 1})
+
+	cache, err := report.OpenCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepJSON(t, specs, base, core.SweepOptions{Workers: 1, CellCache: cache}) // warm the base grid
+
+	before := obs.Counters()
+	got := sweepJSON(t, specs, extended, core.SweepOptions{Workers: 1, CellCache: cache})
+	after := obs.Counters()
+
+	if !bytes.Equal(golden, got) {
+		t.Fatal("incremental sweep diverged from the uncached extended sweep")
+	}
+	// The delta is exactly the novel board: 2 kernels × 2 cache settings.
+	if d := after[obs.CounterSweepCellsComputed] - before[obs.CounterSweepCellsComputed]; d != 4 {
+		t.Fatalf("incremental sweep computed %d cells, want 4 (the novel board's)", d)
+	}
+	if d := after[obs.CounterSweepCellsCached] - before[obs.CounterSweepCellsCached]; d != 14 {
+		t.Fatalf("incremental sweep loaded %d cells, want 14 (the warm base grid)", d)
+	}
+	if d := after[obs.CounterHarnessHostReps] - before[obs.CounterHarnessHostReps]; d != 0 {
+		t.Fatalf("incremental sweep executed %d host reps, want 0 (prepare must rehydrate from cache)", d)
+	}
+}
+
+// Failed cells must never be persisted: a sweep full of hard failures
+// leaves the store empty, and a later sweep over the same cache fails
+// identically rather than loading a phantom healthy cell.
+func TestFailedCellsNeverPersisted(t *testing.T) {
+	specs := []core.Spec{
+		faultinject.ErroringSpec("cc-erroring"),
+		faultinject.PanickerSpec("cc-panicker"),
+	}
+	archs := mcu.TableIVSet()
+	dir := t.TempDir()
+	cache, err := report.OpenCellCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.CharacterizeSuiteOpts(specs, archs, core.SweepOptions{Workers: 2, CellCache: cache}); err == nil {
+		t.Fatal("fault sweep reported no error")
+	}
+	store, err := cellstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := store.Len(); n != 0 {
+		t.Fatalf("store holds %d records after an all-failures sweep, want 0", n)
+	}
+	// Spot-check the exact keys too: no cell, no static.
+	if _, ok := store.Get(report.CellKey(specs[0], archs[0], true)); ok {
+		t.Fatal("failed cell present under its content key")
+	}
+	if _, ok := store.Get(report.StaticCellKey(specs[1])); ok {
+		t.Fatal("failed static pass present under its content key")
+	}
+
+	recs, err := core.CharacterizeSuiteOpts(specs, archs, core.SweepOptions{Workers: 2, CellCache: cache})
+	if err == nil {
+		t.Fatal("second fault sweep reported no error")
+	}
+	for _, rec := range recs {
+		for _, cell := range rec.Cells {
+			if cell.Status == core.CellOK {
+				t.Fatalf("%s served a healthy cell from a cache that must be empty", rec.Spec.Name)
+			}
+		}
+	}
+}
+
+// Soft validation failures are healthy measurements: their cells are
+// persisted, and the warm replay round-trips the Valid=false verdict
+// and its rendered error byte-identically.
+func TestInvalidKernelCellsPersistAndReplay(t *testing.T) {
+	specs := []core.Spec{faultinject.InvalidSpec("cc-invalid")}
+	archs := mcu.TableIVSet()
+	cache, err := report.OpenCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := sweepJSON(t, specs, archs, core.SweepOptions{Workers: 1})
+	cold := sweepJSON(t, specs, archs, core.SweepOptions{Workers: 1, CellCache: cache})
+	warm := sweepJSON(t, specs, archs, core.SweepOptions{Workers: 1, CellCache: cache})
+	if !bytes.Equal(golden, cold) || !bytes.Equal(golden, warm) {
+		t.Fatal("invalid-kernel sweep bytes diverged across cache states")
+	}
+	if !bytes.Contains(warm, []byte("faultinject: result is NaN/Inf")) {
+		t.Fatal("validation error lost in the cached replay")
+	}
+}
+
+// A corrupted record heals transparently: the sweep discards it,
+// recomputes the cell, and still produces identical bytes.
+func TestCorruptCellHealsIntoRecompute(t *testing.T) {
+	specs := cacheTestSpecs(t)
+	archs := mcu.TableIVSet()
+	dir := t.TempDir()
+	cache, err := report.OpenCellCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := sweepJSON(t, specs, archs, core.SweepOptions{Workers: 1, CellCache: cache})
+
+	// Flip bits in one cell record and truncate another.
+	key := report.CellKey(specs[0], archs[0], true)
+	path := filepath.Join(dir, key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spath := filepath.Join(dir, report.StaticCellKey(specs[1])+".json")
+	sdata, err := os.ReadFile(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(spath, sdata[:len(sdata)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	before := obs.Counters()
+	got := sweepJSON(t, specs, archs, core.SweepOptions{Workers: 1, CellCache: cache})
+	after := obs.Counters()
+	if !bytes.Equal(golden, got) {
+		t.Fatal("sweep over a corrupted cache diverged")
+	}
+	if d := after[obs.CounterCellstoreCorruptDiscarded] - before[obs.CounterCellstoreCorruptDiscarded]; d != 2 {
+		t.Fatalf("corrupt_discarded rose by %d, want 2", d)
+	}
+	if d := after[obs.CounterSweepCellsComputed] - before[obs.CounterSweepCellsComputed]; d != 2 {
+		t.Fatalf("healing sweep computed %d cells, want exactly the 2 corrupted ones", d)
+	}
+	// And the heal re-persisted both: a third sweep is all-cache again.
+	before = obs.Counters()
+	sweepJSON(t, specs, archs, core.SweepOptions{Workers: 1, CellCache: cache})
+	after = obs.Counters()
+	if d := after[obs.CounterSweepCellsComputed] - before[obs.CounterSweepCellsComputed]; d != 0 {
+		t.Fatalf("post-heal sweep computed %d cells, want 0", d)
+	}
+}
+
+// Concurrent sweeps sharing one cache directory — distinct cache
+// handles, like separate processes — must both succeed and both produce
+// the golden bytes, whatever interleaving of puts and gets occurs.
+func TestConcurrentSweepsShareOneCacheDir(t *testing.T) {
+	specs := cacheTestSpecs(t)
+	archs := mcu.TableIVSet()
+	golden := sweepJSON(t, specs, archs, core.SweepOptions{Workers: 1})
+	dir := t.TempDir()
+
+	var wg sync.WaitGroup
+	results := make([][]byte, 4)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cache, err := report.OpenCellCache(dir)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			recs, err := core.CharacterizeSuiteOpts(specs, archs, core.SweepOptions{Workers: 2, CellCache: cache})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var buf bytes.Buffer
+			if err := (report.Characterization{Records: recs}).WriteJSON(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if !bytes.Equal(golden, got) {
+			t.Fatalf("concurrent sweep %d diverged from the golden bytes", i)
+		}
+	}
+}
+
+// The entoreport -cachedir provenance block is additive: setting
+// JSONReport.Cache adds a "cache" object that survives a
+// read/re-marshal round trip byte for byte, and leaving it nil emits
+// exactly the classic export (so every pre-existing golden holds).
+func TestCacheProvenanceBlockRoundTrips(t *testing.T) {
+	specs := cacheTestSpecs(t)
+	archs := mcu.TableIVSet()
+	recs, err := core.CharacterizeSuiteOpts(specs, archs, core.SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := report.Characterization{Records: recs}
+
+	var classic bytes.Buffer
+	if err := c.WriteJSON(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(classic.Bytes(), []byte(`"cache"`)) {
+		t.Fatal("classic export grew a cache block")
+	}
+
+	rep := c.JSONExport()
+	rep.Cache = &report.CacheProvenance{Dir: "/tmp/cells", CellsCached: 10, CellsComputed: 4}
+	var first bytes.Buffer
+	if err := report.WriteJSONReport(&first, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(first.Bytes(), []byte(`"cells_cached": 10`)) {
+		t.Fatalf("provenance block missing from export:\n%s", first.String())
+	}
+	back, err := report.ReadJSONReport(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := report.WriteJSONReport(&second, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("provenance-carrying export changed across a round trip")
+	}
+}
+
+// Provenance tallies come from the live counters of the cache handle.
+func TestPersistentCacheProvenanceCounts(t *testing.T) {
+	specs := cacheTestSpecs(t)
+	archs := mcu.TableIVSet()
+	cache, err := report.OpenCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepJSON(t, specs, archs, core.SweepOptions{Workers: 1, CellCache: cache})
+	sweepJSON(t, specs, archs, core.SweepOptions{Workers: 1, CellCache: cache})
+	prov := cache.Provenance()
+	if prov.Dir != cache.Dir() {
+		t.Fatalf("provenance dir %q != cache dir %q", prov.Dir, cache.Dir())
+	}
+	// Cold sweep: 14 stores; warm sweep: 14 loads.
+	if prov.CellsCached != 14 || prov.CellsComputed != 14 {
+		t.Fatalf("provenance = %+v, want 14 cached / 14 computed", prov)
+	}
+}

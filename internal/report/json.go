@@ -40,14 +40,20 @@ const (
 // BENCH_*.json produced by an interrupted or partly failed run is
 // explicit about what is missing. Clean runs omit both fields, keeping
 // their bytes identical to pre-fault-tolerance exports.
+// Cache is the additive persistent-cell-cache provenance block: set
+// only when the producer opted in (entoreport -cachedir), it records
+// how many cells were served from the on-disk store versus computed.
+// Producers whose output must stay byte-identical across cold and warm
+// runs — entobench sweep, the entobenchd server — never set it.
 type JSONReport struct {
-	Schema     string        `json:"schema"`
-	Version    int           `json:"version"`
-	Datapoints int           `json:"datapoints"`
-	Partial    bool          `json:"partial,omitempty"`
-	Boards     []JSONBoard   `json:"boards,omitempty"`
-	Failures   []JSONFailure `json:"failures,omitempty"`
-	Kernels    []JSONKernel  `json:"kernels"`
+	Schema     string           `json:"schema"`
+	Version    int              `json:"version"`
+	Datapoints int              `json:"datapoints"`
+	Partial    bool             `json:"partial,omitempty"`
+	Boards     []JSONBoard      `json:"boards,omitempty"`
+	Failures   []JSONFailure    `json:"failures,omitempty"`
+	Cache      *CacheProvenance `json:"cache,omitempty"`
+	Kernels    []JSONKernel     `json:"kernels"`
 }
 
 // JSONFailure is one sweep job that produced no measurement: which

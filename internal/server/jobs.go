@@ -273,7 +273,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opts := core.SweepOptions{Workers: s.opts.Workers, CellTimeout: s.opts.CellTimeout}
+	opts := core.SweepOptions{Workers: s.opts.Workers, CellTimeout: s.opts.CellTimeout, CellCache: s.opts.CellCache}
 	if req.Workers > 0 {
 		opts.Workers = req.Workers
 	}

@@ -55,6 +55,13 @@ type Options struct {
 	// served sweep (core.SweepOptions.CellTimeout), so a hung custom
 	// kernel costs its own cells, not the server.
 	CellTimeout time.Duration
+	// CellCache, when non-nil, backs every cache-filling run with the
+	// persistent per-cell store (entobenchd -cachedir): cells computed
+	// by any prior run — this process or an earlier one — load from
+	// disk, so a restarted daemon answers its first query warm. Served
+	// bytes are unchanged (loaded cells are byte-identical to
+	// recomputation).
+	CellCache core.CellCache
 	// Logf, when non-nil, receives one line per completed sweep job
 	// (Printf-style). Nil disables logging.
 	Logf func(format string, args ...any)
