@@ -16,6 +16,7 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -469,6 +470,61 @@ func BenchmarkSweepIncremental(b *testing.B) {
 		}
 		if len(recs) == 0 {
 			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkTraceIngest times the imported-trace path of the backend
+// seam (docs/backends.md): parsing a multi-cell capture CSV and
+// replaying every capture through the trace analyzer — the per-file
+// cost `sweep -backend trace -tracefile FILE` pays over the cells the
+// file covers, on top of the sweep itself.
+func BenchmarkTraceIngest(b *testing.B) {
+	b.ReportAllocs()
+	arch, ok := mcu.ByName("M4")
+	if !ok {
+		b.Fatal("no M4 board")
+	}
+	cfg := harness.DefaultConfig()
+	var captures []harness.TraceCapture
+	for _, name := range []string{"madgwick", "mahony", "fourati"} {
+		spec, ok := core.ByName(name)
+		if !ok {
+			b.Fatalf("no kernel %s", name)
+		}
+		pp, err := harness.Prepare(spec.Factory(), arch, spec.Prec, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cacheOn := range []bool{true, false} {
+			c := cfg
+			c.CacheOn = cacheOn
+			captures = append(captures, pp.SynthesizeCapture(arch, spec.Prec, c))
+		}
+	}
+	var buf bytes.Buffer
+	if err := harness.WriteTraceCSV(&buf, captures); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		caps, err := harness.ReadTraceCSV(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb, err := harness.NewTraceBackend(caps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range caps {
+			m, err := tb.Measure(harness.MeasureRequest{Kernel: c.Kernel, Arch: arch, CacheOn: c.CacheOn})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.LatencyS <= 0 {
+				b.Fatal("replayed capture produced no latency")
+			}
 		}
 	}
 }

@@ -11,6 +11,7 @@
 //	entobench table3 | table4 | table5 | table6 | table7 | table8
 //	entobench fig3 | fig4 [-step N] | fig5 [-n N]
 //	entobench sweep [-j N] [-boards FILE] [-archs LIST] [-json]
+//	                [-backend NAME] [-tracefile FILE]
 //	                [-cachedir DIR] [-shard I/N]
 //	                [-trace FILE] [-progress]
 //	                [-cpuprofile FILE] [-memprofile FILE]
@@ -18,10 +19,15 @@
 //	                               # fanned across N worker goroutines;
 //	                               # -boards loads user board files and
 //	                               # -archs picks the cores (set name or list);
+//	                               # -backend selects the measurement backend
+//	                               # and -tracefile replays captured traces
+//	                               # through the trace backend;
 //	                               # -cachedir persists per-cell results so
 //	                               # overlapping sweeps compute only the delta;
 //	                               # -shard runs slice I of an N-way partition
 //	                               # and emits a shard bundle (requires -json)
+//	entobench trace <kernel> [-arch M4] [-boards FILE] [-o FILE]
+//	                               # export a synthesized trace-capture CSV
 //	entobench merge [-o FILE] <shard.json>...
 //	                               # join shard bundles into the v1 JSON report
 //	entobench closedloop           # Section VI-E task-level demo
@@ -91,9 +97,12 @@ var commands = []command{
 		run: func([]string) error { return ento.WriteTable8(os.Stdout) }},
 	{name: "fig5", args: "[-n N]", summary: "relative-pose solver panels (Case Study #4)",
 		run: fig5},
-	{name: "sweep", args: "[-j N] [-boards FILE] [-archs LIST] [-json] [-cachedir DIR] [-shard I/N] [-trace FILE] [-progress] [-failfast] [-celltimeout DUR] [-cpuprofile FILE] [-memprofile FILE]",
+	{name: "sweep", args: "[-j N] [-boards FILE] [-archs LIST] [-json] [-backend NAME] [-tracefile FILE] [-cachedir DIR] [-shard I/N] [-trace FILE] [-progress] [-failfast] [-celltimeout DUR] [-cpuprofile FILE] [-memprofile FILE]",
 		summary: "full characterization with the datapoint count",
 		run:     sweep},
+	{name: "trace", args: "<kernel> [-arch M4] [-boards FILE] [-o FILE]",
+		summary: "export a kernel's synthesized capture as a trace CSV (cache on and off)",
+		run:     traceExport},
 	{name: "merge", args: "[-o FILE] <shard.json>...",
 		summary: "join shard bundles into one v1 JSON report",
 		run:     merge},
@@ -367,6 +376,8 @@ func sweep(args []string) error {
 	failFast := fs.Bool("failfast", false, "stop dispatching cells after the first failure (default: contain failures per cell)")
 	cellTimeout := fs.Duration("celltimeout", 0, "per-cell watchdog: abandon any cell that takes longer (0 = off)")
 	cacheDir := fs.String("cachedir", "", "persistent per-cell result cache directory (created if missing)")
+	backendName := fs.String("backend", "", "measurement backend for the cells (sim, trace, or a registered name; default sim)")
+	traceFile := fs.String("tracefile", "", "trace-capture CSV replayed by the trace backend (implies -backend trace)")
 	shardSpec := fs.String("shard", "", "run slice I of an N-way grid partition (\"I/N\") and emit a shard bundle; requires -json")
 	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to FILE")
 	memProf := fs.String("memprofile", "", "write a pprof heap profile after the sweep to FILE")
@@ -374,6 +385,10 @@ func sweep(args []string) error {
 		return err
 	}
 	archs, err := resolveSweepArchs(*boardFiles, *archsQ)
+	if err != nil {
+		return err
+	}
+	be, err := resolveBackend(*backendName, *traceFile)
 	if err != nil {
 		return err
 	}
@@ -417,6 +432,7 @@ func sweep(args []string) error {
 		FailFast:    *failFast,
 		CellTimeout: *cellTimeout,
 		Context:     ctx,
+		Backend:     be,
 	}
 	if *cacheDir != "" {
 		cc, cerr := report.OpenCellCache(*cacheDir)
@@ -498,6 +514,69 @@ func sweep(args []string) error {
 		return sweepFailureSummary(os.Stderr, c, err)
 	}
 	return nil
+}
+
+// resolveBackend turns the -backend/-tracefile pair into the sweep's
+// measurement backend. No flags means the classic simulator path (nil,
+// byte-identical to pre-backend sweeps); -tracefile loads its captures
+// into the trace backend; any other name resolves through the registry.
+// "sim" resolves too — the sweep engine normalizes it back to the
+// classic path, so `-backend sim` is a spelled-out default.
+func resolveBackend(name, traceFile string) (harness.Backend, error) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if traceFile != "" {
+		if name != "" && name != "trace" {
+			return nil, fmt.Errorf("-tracefile feeds the trace backend and cannot combine with -backend %s", name)
+		}
+		return harness.LoadTraceBackend(traceFile)
+	}
+	switch name {
+	case "":
+		return nil, nil
+	case "trace":
+		return nil, errors.New("-backend trace needs -tracefile FILE (the captures to replay)")
+	default:
+		be, ok := harness.BackendByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown backend %q (registered: %s)", name, strings.Join(harness.BackendNames(), ", "))
+		}
+		return be, nil
+	}
+}
+
+// traceExport writes one kernel's synthesized capture — cache on and
+// cache off — as a trace-capture CSV, the file format the trace backend
+// replays. It doubles as the reference producer for lab captures: match
+// its header and per-cell meta row and `sweep -backend trace` ingests
+// real measurements the same way.
+func traceExport(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	arch := fs.String("arch", "M4", "target core: M0+, M4, M33, M7, or a custom board")
+	boards := fs.String("boards", "", "comma-separated board files to load before resolving -arch")
+	out := fs.String("o", "", "write the capture CSV to FILE instead of stdout")
+	if err := fs.Parse(reorderArgs(fs, args)); err != nil {
+		return err
+	}
+	if _, err := loadBoardFiles(*boards); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("trace needs a kernel name")
+	}
+	captures, err := ento.SynthesizeCaptures(fs.Arg(0), *arch)
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return harness.WriteTraceCSV(w, captures)
 }
 
 // sweepFailureSummary prints every failed/skipped cell to w and returns

@@ -11,6 +11,7 @@
 //
 //	entobenchd [-addr 127.0.0.1:8090] [-boards FILE] [-j N]
 //	           [-celltimeout DUR] [-cachecap N] [-cachedir DIR]
+//	           [-backend NAME] [-tracefile FILE]
 //
 // -boards loads user board files into the registry at startup, so the
 // daemon can serve custom cores alongside the built-ins. -j and
@@ -20,7 +21,12 @@
 // -cachedir backs every cache-filling run with the persistent per-cell
 // store, so a restarted daemon starts warm: the first query after a
 // restart reloads its cells from disk instead of recomputing the grid
-// (docs/server.md has the operational details).
+// (docs/server.md has the operational details). -backend sets the
+// default measurement backend for every served sweep and -tracefile
+// loads a trace-capture CSV into the trace backend, registering it so
+// requests can also select it by name (`"backend": "trace"`); clients
+// override the default per request, and `"backend": "sim"` restores
+// the classic simulator path (docs/backends.md).
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
 // requests get a grace period to finish, and only then does the
@@ -45,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/harness"
 	"repro/internal/mcu"
 	"repro/internal/report"
 	"repro/internal/server"
@@ -58,6 +65,8 @@ type config struct {
 	cellTimeout time.Duration
 	cacheCap    int
 	cacheDir    string
+	backend     string
+	traceFile   string
 }
 
 // shutdownGrace is how long in-flight requests get to finish after
@@ -75,6 +84,8 @@ func newFlagSet(cfg *config) *flag.FlagSet {
 	fs.DurationVar(&cfg.cellTimeout, "celltimeout", 0, "per-cell watchdog for served sweeps: abandon any cell that takes longer (0 = off)")
 	fs.IntVar(&cfg.cacheCap, "cachecap", report.DefaultSweepCacheCapacity, "completed sweep results retained in the in-memory cache")
 	fs.StringVar(&cfg.cacheDir, "cachedir", "", "persistent per-cell result cache directory (created if missing); restarts start warm")
+	fs.StringVar(&cfg.backend, "backend", "", "default measurement backend for served sweeps (sim, trace, or a registered name; default sim)")
+	fs.StringVar(&cfg.traceFile, "tracefile", "", "trace-capture CSV loaded into the trace backend at startup (implies -backend trace)")
 	return fs
 }
 
@@ -117,6 +128,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		opts.CellCache = cc
 		logf("persistent cell cache at %s", cc.Dir())
 	}
+	be, err := resolveBackend(cfg.backend, cfg.traceFile)
+	if err != nil {
+		return err
+	}
+	if be != nil {
+		opts.Backend = be
+		logf("default backend %s (source %s)", be.Name(), be.Source())
+	}
 	srv := server.New(opts)
 
 	ln, err := net.Listen("tcp", cfg.addr)
@@ -151,6 +170,40 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	logf("stopped")
 	return nil
+}
+
+// resolveBackend turns -backend/-tracefile into the server's default
+// measurement backend, with the same semantics as `entobench sweep`. A
+// trace backend loaded from -tracefile is additionally registered in
+// the process backend registry, so wire requests can select it with
+// `"backend": "trace"` even when it is not the default.
+func resolveBackend(name, traceFile string) (harness.Backend, error) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if traceFile != "" {
+		if name != "" && name != "trace" {
+			return nil, fmt.Errorf("-tracefile feeds the trace backend and cannot combine with -backend %s", name)
+		}
+		tb, err := harness.LoadTraceBackend(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := harness.RegisterBackend(tb); err != nil {
+			return nil, err
+		}
+		return tb, nil
+	}
+	switch name {
+	case "", "sim":
+		return nil, nil // classic simulator path
+	case "trace":
+		return nil, errors.New("-backend trace needs -tracefile FILE (the captures to replay)")
+	default:
+		be, ok := harness.BackendByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown backend %q (registered: %s)", name, strings.Join(harness.BackendNames(), ", "))
+		}
+		return be, nil
+	}
 }
 
 // loadBoardFiles registers every board file in a comma-separated list.

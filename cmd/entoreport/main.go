@@ -6,6 +6,7 @@
 //
 //	entoreport [-o EXPERIMENTS.md] [-fig5n 50] [-fig4step 2] [-j N]
 //	           [-json FILE] [-boards FILE] [-archs LIST] [-cachedir DIR]
+//	           [-backend NAME] [-tracefile FILE]
 //
 // -json additionally saves the machine-readable characterization export
 // (the same sweep the report renders as Tables III/IV) to FILE — the
@@ -16,7 +17,11 @@
 // core sets. -cachedir backs the sweep with the persistent per-cell
 // store (cells computed by any prior run load from disk) and adds a
 // provenance block to the JSON export saying how many cells were
-// cached versus computed.
+// cached versus computed. -backend selects the measurement backend for
+// the characterization cells and -tracefile replays externally captured
+// traces through the trace backend (docs/backends.md); covered cells
+// carry source "measured" in the JSON export, the rest fall back to the
+// simulator.
 //
 // SIGINT cancels the sweep; a partial characterization still flushes to
 // the -json file (marked partial:true, with a failures block) before
@@ -36,6 +41,7 @@ import (
 
 	"repro/ento"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/mcu"
 	"repro/internal/report"
 )
@@ -49,6 +55,8 @@ func main() {
 	boards := flag.String("boards", "", "comma-separated board files to load before the sweep")
 	archsQ := flag.String("archs", "", "board selection for Tables III/IV: a set name or comma-separated board names")
 	cacheDir := flag.String("cachedir", "", "persistent per-cell result cache directory (created if missing)")
+	backendName := flag.String("backend", "", "measurement backend for the cells (sim, trace, or a registered name; default sim)")
+	traceFile := flag.String("tracefile", "", "trace-capture CSV replayed by the trace backend (implies -backend trace)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -62,8 +70,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	be, err := resolveBackend(*backendName, *traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "entoreport:", err)
+		os.Exit(1)
+	}
 
-	c, err := runSweep(ctx, *boards, *archsQ, *j, cache)
+	c, err := runSweep(ctx, *boards, *archsQ, *j, cache, be)
 	if err != nil {
 		// Partial sweep: salvage what completed. The JSON export is the
 		// artifact overnight runs exist for, so flush it (partial:true)
@@ -106,7 +119,7 @@ func main() {
 // were given, an uncached explicit-arch sweep otherwise. The context
 // cancels the sweep; the partial characterization comes back alongside
 // the error.
-func runSweep(ctx context.Context, boardFiles, archsQ string, workers int, cache *report.PersistentCellCache) (report.Characterization, error) {
+func runSweep(ctx context.Context, boardFiles, archsQ string, workers int, cache *report.PersistentCellCache, be harness.Backend) (report.Characterization, error) {
 	for _, path := range strings.Split(boardFiles, ",") {
 		if path = strings.TrimSpace(path); path == "" {
 			continue
@@ -115,7 +128,7 @@ func runSweep(ctx context.Context, boardFiles, archsQ string, workers int, cache
 			return report.Characterization{}, err
 		}
 	}
-	opts := core.SweepOptions{Workers: workers, Context: ctx}
+	opts := core.SweepOptions{Workers: workers, Context: ctx, Backend: be}
 	if cache != nil {
 		opts.CellCache = cache
 	}
@@ -127,6 +140,32 @@ func runSweep(ctx context.Context, boardFiles, archsQ string, workers int, cache
 		return report.Characterization{}, err
 	}
 	return report.RunCharacterizationForArchs(archs, opts)
+}
+
+// resolveBackend turns the -backend/-tracefile pair into the sweep's
+// measurement backend, with the same semantics as `entobench sweep`:
+// no flags → the classic simulator path, -tracefile → the trace
+// backend, any other name → the process registry.
+func resolveBackend(name, traceFile string) (harness.Backend, error) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if traceFile != "" {
+		if name != "" && name != "trace" {
+			return nil, fmt.Errorf("-tracefile feeds the trace backend and cannot combine with -backend %s", name)
+		}
+		return harness.LoadTraceBackend(traceFile)
+	}
+	switch name {
+	case "":
+		return nil, nil
+	case "trace":
+		return nil, fmt.Errorf("-backend trace needs -tracefile FILE (the captures to replay)")
+	default:
+		be, ok := harness.BackendByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown backend %q (registered: %s)", name, strings.Join(harness.BackendNames(), ", "))
+		}
+		return be, nil
+	}
 }
 
 // writeJSON saves the characterization export of the sweep the report

@@ -53,7 +53,8 @@ type (
 	// SweepOptions configures a characterization sweep: worker count,
 	// progress hook, fail-fast vs contained failures, the per-cell
 	// watchdog timeout, a cancellation context (DESIGN.md §12), a
-	// persistent cell cache, and shard partitioning.
+	// persistent cell cache, a measurement backend, and shard
+	// partitioning.
 	SweepOptions = core.SweepOptions
 	// CellCache serves and persists per-cell sweep results; plug one
 	// into SweepOptions.CellCache so overlapping sweeps compute only
@@ -65,6 +66,22 @@ type (
 	// CellStatus classifies how a sweep cell ended (ok, failed,
 	// panicked, timed_out, skipped).
 	CellStatus = core.CellStatus
+	// Backend is a measurement backend: ROI events and modeled cost in,
+	// Measurement out (see docs/backends.md). The built-in "sim" backend
+	// is the synthetic reference rig; TraceBackend replays externally
+	// captured current/GPIO traces.
+	Backend = harness.Backend
+	// MeasureRequest is the resolved input of one Backend measurement.
+	MeasureRequest = harness.MeasureRequest
+	// TraceCapture is one externally captured cell: waveform, GPIO
+	// edges, and the recorded rep count.
+	TraceCapture = harness.TraceCapture
+)
+
+// Measurement provenance labels (JSONCell.Source, ArchRun.Source).
+const (
+	SourceModeled  = harness.SourceModeled
+	SourceMeasured = harness.SourceMeasured
 )
 
 // Pipeline stages of the suite.
@@ -113,6 +130,28 @@ func ArchSet(query string) ([]Arch, error) { return mcu.ResolveArchs(query) }
 // Table III rows.
 func RegisterKernel(s Spec) error { return core.Register(s) }
 
+// RegisterBackend adds a measurement backend to the process registry —
+// the third registry beside boards and kernels. A registered backend
+// resolves by name in BackendByName, `entobench sweep -backend`, and
+// the entobenchd wire protocol. "sim" is built in.
+func RegisterBackend(be Backend) error { return harness.RegisterBackend(be) }
+
+// BackendByName resolves a registered measurement backend
+// case-insensitively.
+func BackendByName(name string) (Backend, bool) { return harness.BackendByName(name) }
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string { return harness.BackendNames() }
+
+// LoadTraceBackend reads a trace-capture CSV file (docs/backends.md
+// documents the schema) into a replay backend. Plug the result into
+// SweepOptions.Backend — cells the file covers are measured from the
+// captures, the rest fall back to the simulator — or register it for
+// by-name selection.
+func LoadTraceBackend(path string) (*harness.TraceBackend, error) {
+	return harness.LoadTraceBackend(path)
+}
+
 // DefaultConfig returns the standard harness configuration.
 func DefaultConfig() Config { return harness.DefaultConfig() }
 
@@ -134,6 +173,37 @@ func Run(kernel, archName string, cacheOn bool) (Result, error) {
 	cfg := harness.DefaultConfig()
 	cfg.CacheOn = cacheOn
 	return harness.Run(spec.Factory(), arch, spec.Prec, cfg)
+}
+
+// SynthesizeCaptures prepares one suite kernel and synthesizes its
+// trace captures — cache on and cache off — on one core: the cells
+// `entobench trace` exports and the trace backend replays. The
+// waveforms are exactly what a classic sweep would synthesize for the
+// same cells, so replaying them reproduces the modeled measurements.
+func SynthesizeCaptures(kernel, archName string) ([]TraceCapture, error) {
+	spec, ok := core.ByName(kernel)
+	if !ok {
+		return nil, fmt.Errorf("ento: unknown kernel %q", kernel)
+	}
+	arch, ok := mcu.ByName(archName)
+	if !ok {
+		return nil, fmt.Errorf("ento: unknown architecture %q", archName)
+	}
+	if !spec.Fits(arch) {
+		return nil, fmt.Errorf("ento: %s does not fit the %s's %d KB SRAM", kernel, arch.Name, arch.SRAMKB)
+	}
+	cfg := harness.DefaultConfig()
+	pp, err := harness.Prepare(spec.Factory(), arch, spec.Prec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	captures := make([]TraceCapture, 0, 2)
+	for _, cacheOn := range []bool{true, false} {
+		c := cfg
+		c.CacheOn = cacheOn
+		captures = append(captures, pp.SynthesizeCapture(arch, spec.Prec, c))
+	}
+	return captures, nil
 }
 
 // RunProblem executes a user-provided Problem (a custom kernel) exactly

@@ -1,0 +1,188 @@
+package core_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mcu"
+)
+
+// partialLab is a fake measured backend covering exactly one kernel on
+// one board — the smallest backend that forces a sweep to mix measured
+// and modeled cells. Measurements delegate to the simulator so results
+// stay deterministic.
+type partialLab struct {
+	kernel string
+	arch   string
+}
+
+func (p partialLab) Name() string        { return "labx" }
+func (p partialLab) Source() string      { return harness.SourceMeasured }
+func (p partialLab) Fingerprint() string { return "fp1" }
+func (p partialLab) Covers(kernel, arch string, cacheOn bool) bool {
+	return strings.EqualFold(kernel, p.kernel) && strings.EqualFold(arch, p.arch)
+}
+func (p partialLab) Measure(req harness.MeasureRequest) (harness.Measurement, error) {
+	return harness.SimBackend{}.Measure(req)
+}
+
+// saltSpy is a CellCache that never hits but records every backend salt
+// offered to it, proving measured and modeled cells key differently.
+type saltSpy struct {
+	mu    sync.Mutex
+	salts map[string]string // "kernel/arch/cache" -> backend salt
+}
+
+func (s *saltSpy) LoadStatic(core.Spec) (core.StaticCellResult, bool) {
+	return core.StaticCellResult{}, false
+}
+func (s *saltSpy) StoreStatic(core.Spec, core.StaticCellResult) {}
+func (s *saltSpy) LoadCell(spec core.Spec, arch mcu.Arch, cacheOn bool, backend string) (core.MeasuredCellResult, bool) {
+	s.record(spec, arch, cacheOn, backend)
+	return core.MeasuredCellResult{}, false
+}
+func (s *saltSpy) StoreCell(spec core.Spec, arch mcu.Arch, cacheOn bool, backend string, _ core.MeasuredCellResult) {
+	s.record(spec, arch, cacheOn, backend)
+}
+func (s *saltSpy) record(spec core.Spec, arch mcu.Arch, cacheOn bool, backend string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := spec.Name + "/" + arch.Name + "/"
+	if cacheOn {
+		key += "on"
+	} else {
+		key += "off"
+	}
+	if prev, ok := s.salts[key]; ok && prev != backend {
+		panic("one cell offered two different salts: " + prev + " vs " + backend)
+	}
+	s.salts[key] = backend
+}
+
+func backendTestSpecs(t *testing.T) []core.Spec {
+	t.Helper()
+	var specs []core.Spec
+	for _, name := range []string{"madgwick", "mahony"} {
+		spec, ok := core.ByName(name)
+		if !ok {
+			t.Fatalf("no %s kernel", name)
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// TestSweepMixedBackendProvenance: a partial backend covering one
+// (kernel, board) drives a sweep where exactly its cells are measured,
+// every other cell falls back to the simulator as modeled, and the
+// measurement values match the classic sweep bit for bit.
+func TestSweepMixedBackendProvenance(t *testing.T) {
+	specs := backendTestSpecs(t)
+	archs := []mcu.Arch{mcu.M4, mcu.M33}
+	lab := partialLab{kernel: "madgwick", arch: "M4"}
+
+	classic, err := core.CharacterizeSuiteOpts(specs, archs, core.SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spy := &saltSpy{salts: make(map[string]string)}
+	mixed, err := core.CharacterizeSuiteOpts(specs, archs, core.SweepOptions{
+		Workers: 1, Backend: lab, CellCache: spy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixed) != len(classic) {
+		t.Fatalf("%d records, want %d", len(mixed), len(classic))
+	}
+	var measured, modeled int
+	for ri, rec := range mixed {
+		for ci, cell := range rec.Cells {
+			covered := rec.Spec.Name == "madgwick" && cell.Arch.Name == "M4"
+			wantBackend, wantSource, wantSalt := "sim", harness.SourceModeled, ""
+			if covered {
+				wantBackend, wantSource, wantSalt = "labx", harness.SourceMeasured, "labx+fp1"
+			}
+			if cell.Backend != wantBackend || cell.Source != wantSource {
+				t.Errorf("%s/%s cache=%v provenance = %s/%s, want %s/%s",
+					rec.Spec.Name, cell.Arch.Name, cell.CacheOn, cell.Backend, cell.Source, wantBackend, wantSource)
+			}
+			if covered {
+				measured++
+			} else {
+				modeled++
+			}
+			// The classic counterpart cell: same measurement, no label.
+			cc := classic[ri].Cells[ci]
+			if cc.Backend != "" || cc.Source != "" {
+				t.Errorf("classic cell %s/%s carries provenance %q/%q", rec.Spec.Name, cc.Arch.Name, cc.Backend, cc.Source)
+			}
+			if cell.Meas != cc.Meas {
+				t.Errorf("%s/%s cache=%v measurement diverges from classic sweep", rec.Spec.Name, cell.Arch.Name, cell.CacheOn)
+			}
+			key := rec.Spec.Name + "/" + cell.Arch.Name + "/off"
+			if cell.CacheOn {
+				key = rec.Spec.Name + "/" + cell.Arch.Name + "/on"
+			}
+			if salt, ok := spy.salts[key]; !ok || salt != wantSalt {
+				t.Errorf("cache salt for %s = %q (seen %v), want %q", key, salt, ok, wantSalt)
+			}
+		}
+	}
+	if measured == 0 || modeled == 0 {
+		t.Fatalf("sweep is not mixed: %d measured, %d modeled cells", measured, modeled)
+	}
+}
+
+// TestSweepBackendDeterminism: worker count must not change anything a
+// backend-aware sweep reports — values or provenance labels.
+func TestSweepBackendDeterminism(t *testing.T) {
+	specs := backendTestSpecs(t)
+	archs := []mcu.Arch{mcu.M4, mcu.M33}
+	lab := partialLab{kernel: "madgwick", arch: "M4"}
+	one, err := core.CharacterizeSuiteOpts(specs, archs, core.SweepOptions{Workers: 1, Backend: lab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := core.CharacterizeSuiteOpts(specs, archs, core.SweepOptions{Workers: 8, Backend: lab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := range one {
+		for ci := range one[ri].Cells {
+			a, b := one[ri].Cells[ci], eight[ri].Cells[ci]
+			if a.Meas != b.Meas || a.Backend != b.Backend || a.Source != b.Source {
+				t.Errorf("%s/%s cache=%v differs across worker counts", one[ri].Spec.Name, a.Arch.Name, a.CacheOn)
+			}
+		}
+	}
+}
+
+// TestSweepSimBackendIsClassic: selecting the simulator explicitly is
+// normalized to the classic path — no labels, no cache-key salt.
+func TestSweepSimBackendIsClassic(t *testing.T) {
+	specs := backendTestSpecs(t)[:1]
+	archs := []mcu.Arch{mcu.M4}
+	spy := &saltSpy{salts: make(map[string]string)}
+	recs, err := core.CharacterizeSuiteOpts(specs, archs, core.SweepOptions{
+		Workers: 1, Backend: harness.SimBackend{}, CellCache: spy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		for _, cell := range rec.Cells {
+			if cell.Backend != "" || cell.Source != "" {
+				t.Errorf("explicit sim left provenance %q/%q on %s/%s", cell.Backend, cell.Source, rec.Spec.Name, cell.Arch.Name)
+			}
+		}
+	}
+	for key, salt := range spy.salts {
+		if salt != "" {
+			t.Errorf("explicit sim salted cache key %s with %q", key, salt)
+		}
+	}
+}

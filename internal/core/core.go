@@ -112,6 +112,13 @@ type ArchRun struct {
 	CacheOn bool
 	Model   mcu.Estimate
 	Meas    harness.Measurement
+	// Backend and Source record which measurement backend produced Meas
+	// and its provenance label ("modeled" / "measured"). Both are empty
+	// on the classic simulated path — a sweep with no explicit backend —
+	// and set on every cell of a backend-aware sweep, including the
+	// simulator-fallback cells of a partial backend.
+	Backend string
+	Source  string
 	Status  CellStatus
 	Err     error
 }

@@ -116,17 +116,51 @@ type MeasuredCellResult struct {
 // completed CellOK — failed, panicked, timed-out, and skipped jobs are
 // never stored, so a cache can only ever replay a healthy computation.
 // Implementations must be safe for concurrent use by pool workers; a
-// lookup miss must be cheap. The canonical implementation is
-// report.PersistentCellCache over internal/cellstore.
+// lookup miss must be cheap. The backend string is the measurement
+// backend's cache-key salt (harness.BackendSalt): empty on the classic
+// simulated path, non-empty for externally measured cells, so modeled
+// and measured results never collide under one key. The canonical
+// implementation is report.PersistentCellCache over internal/cellstore.
 type CellCache interface {
 	// LoadStatic returns the cached static-proxy result of spec, if any.
 	LoadStatic(spec Spec) (StaticCellResult, bool)
 	// StoreStatic persists a healthy static-proxy result.
 	StoreStatic(spec Spec, res StaticCellResult)
-	// LoadCell returns the cached (arch, cacheOn) cell of spec, if any.
-	LoadCell(spec Spec, arch mcu.Arch, cacheOn bool) (MeasuredCellResult, bool)
-	// StoreCell persists a healthy measurement cell.
-	StoreCell(spec Spec, arch mcu.Arch, cacheOn bool, res MeasuredCellResult)
+	// LoadCell returns the cached (arch, cacheOn) cell of spec measured
+	// by the salted backend, if any.
+	LoadCell(spec Spec, arch mcu.Arch, cacheOn bool, backend string) (MeasuredCellResult, bool)
+	// StoreCell persists a healthy measurement cell under its backend.
+	StoreCell(spec Spec, arch mcu.Arch, cacheOn bool, backend string, res MeasuredCellResult)
+}
+
+// cellBackend is the resolved measurement backend of one sweep cell:
+// the rig that measures it (nil = the reference simulator), the
+// provenance labels the record carries, and the cache-key salt. It is
+// computed deterministically from the sweep-level backend and the cell
+// identity — never persisted — so a cached cell always re-derives the
+// same labels it would earn when computed fresh.
+type cellBackend struct {
+	be     harness.Backend // nil means the simulator
+	name   string          // registry name; "" on the classic path
+	source string          // harness.SourceModeled / SourceMeasured; "" classic
+	salt   string          // harness.BackendSalt contribution to cache keys
+}
+
+// resolveCellBackend maps the sweep-level backend selection onto one
+// (kernel, arch, cache) cell. A nil sweep backend is the classic path:
+// unlabeled, unsalted. A partial backend that doesn't cover the cell
+// falls back to the simulator — the cell is labeled "sim"/modeled (the
+// sweep was explicitly backend-aware, so every cell states its
+// provenance) but keeps the classic empty salt, sharing cached cells
+// with classic sweeps byte-identically.
+func resolveCellBackend(be harness.Backend, kernel, archName string, cacheOn bool) cellBackend {
+	if be == nil {
+		return cellBackend{}
+	}
+	if pb, ok := be.(harness.PartialBackend); ok && !pb.Covers(kernel, archName, cacheOn) {
+		return cellBackend{name: "sim", source: harness.SourceModeled}
+	}
+	return cellBackend{be: be, name: be.Name(), source: be.Source(), salt: harness.BackendSalt(be)}
 }
 
 // jobStatic marks a job as the per-kernel static-proxy run rather than
@@ -168,7 +202,7 @@ type kernelPrep struct {
 // MeasureOn is a pure function of them — so an incremental sweep (one
 // new board against a warm cache) measures the new cells without
 // executing the kernel at all, byte-identically.
-func (kp *kernelPrep) get(ctx context.Context, spec Spec, cc CellCache) (*harness.Prepared, error) {
+func (kp *kernelPrep) get(ctx context.Context, spec Spec, cc CellCache, be harness.Backend) (*harness.Prepared, error) {
 	kp.once.Do(func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -176,7 +210,12 @@ func (kp *kernelPrep) get(ctx context.Context, spec Spec, cc CellCache) (*harnes
 			}
 		}()
 		if cc != nil {
-			if mr, ok := cc.LoadCell(spec, kp.ref, true); ok && mr.Name != "" {
+			// The reference cell is (ref arch, cache on); its cache key
+			// carries whatever backend salt that cell earns this sweep.
+			// The rehydrated fields (name, counts, verdict) are backend-
+			// independent, so any healthy cached copy serves.
+			refCB := resolveCellBackend(be, spec.Name, kp.ref.Name, true)
+			if mr, ok := cc.LoadCell(spec, kp.ref, true, refCB.salt); ok && mr.Name != "" {
 				var validE error
 				if mr.ValidErr != "" {
 					validE = errors.New(mr.ValidErr)
@@ -243,6 +282,16 @@ type SweepOptions struct {
 	// Failed, panicked, timed-out, and skipped jobs are never stored.
 	// Nil — the default — changes nothing on the hot path.
 	CellCache CellCache
+	// Backend selects the measurement backend cells run through
+	// (harness.Backend). Nil — and the canonical simulator, to which
+	// nil is normalized — is the classic synthetic path, byte-identical
+	// to every sweep before the seam existed. A non-nil backend labels
+	// every cell with its provenance (ArchRun.Backend/Source): cells a
+	// partial backend covers are measured by it, the rest fall back to
+	// the simulator, which is how one report mixes measured and modeled
+	// cells. The backend's identity salts cell-cache keys so modeled
+	// and measured results never collide.
+	Backend harness.Backend
 	// ShardIndex/ShardCount partition the job grid deterministically
 	// across processes: with ShardCount = N > 0 and ShardIndex = i in
 	// 1..N, the sweep executes only jobs whose serial index ≡ i-1
@@ -352,6 +401,11 @@ func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([
 	if opts.ShardCount > 0 && (opts.ShardIndex < 1 || opts.ShardIndex > opts.ShardCount) {
 		return nil, fmt.Errorf("core: shard index %d out of range 1..%d", opts.ShardIndex, opts.ShardCount)
 	}
+	// Selecting the simulator explicitly is the classic path: normalize
+	// it to nil so keys, labels, and bytes are identical either way.
+	if _, isSim := opts.Backend.(harness.SimBackend); isSim {
+		opts.Backend = nil
+	}
 	sweepStart := time.Now()
 	ctx := opts.Context
 	if ctx == nil {
@@ -418,8 +472,12 @@ func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([
 					continue
 				}
 				spec := records[jobs[j].spec].Spec
+				var cb cellBackend
+				if jobs[j].cell != jobStatic {
+					cb = resolveCellBackend(opts.Backend, spec.Name, jobs[j].arch.Name, jobs[j].cache)
+				}
 				if opts.CellCache != nil {
-					if res, hit := loadCachedJob(opts.CellCache, spec, &jobs[j]); hit {
+					if res, hit := loadCachedJob(opts.CellCache, spec, &jobs[j], cb); hit {
 						commit(records, &jobs[j], res, CellOK, nil)
 						ctrCellsCached.Inc()
 						done.Add(1)
@@ -429,7 +487,7 @@ func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([
 				}
 				traced := obs.TraceEnabled()
 				start := time.Now()
-				res, status, err := executeJob(ctx, spec, &jobs[j], &preps[jobs[j].spec], opts.CellTimeout, opts.CellCache)
+				res, status, err := executeJob(ctx, spec, &jobs[j], &preps[jobs[j].spec], opts.CellTimeout, opts.CellCache, opts.Backend)
 				if traced {
 					recordJobSpan(&jobs[j], records, start, sweepStart, lane, status)
 				}
@@ -437,7 +495,7 @@ func CharacterizeSuiteOpts(specs []Spec, archs []mcu.Arch, opts SweepOptions) ([
 					ctrCellsComputed.Inc()
 				}
 				if status == CellOK && opts.CellCache != nil {
-					storeCachedJob(opts.CellCache, spec, &jobs[j], res)
+					storeCachedJob(opts.CellCache, spec, &jobs[j], cb, res)
 				}
 				commit(records, &jobs[j], res, status, err)
 				if status == CellSkipped {
@@ -529,9 +587,9 @@ type jobResult struct {
 // waits for its result, the deadline, or cancellation — whichever is
 // first. The returned status classifies the outcome; err is nil exactly
 // when status is CellOK.
-func executeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep, timeout time.Duration, cc CellCache) (jobResult, CellStatus, error) {
+func executeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep, timeout time.Duration, cc CellCache, be harness.Backend) (jobResult, CellStatus, error) {
 	if timeout <= 0 {
-		res, err := computeJob(ctx, spec, j, prep, cc)
+		res, err := computeJob(ctx, spec, j, prep, cc, be)
 		return classify(ctx, res, err)
 	}
 	type outcome struct {
@@ -543,7 +601,7 @@ func executeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep, timeou
 	// channel, and its late result is garbage-collected with it.
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := computeJob(ctx, spec, j, prep, cc)
+		res, err := computeJob(ctx, spec, j, prep, cc, be)
 		ch <- outcome{res, err}
 	}()
 	timer := time.NewTimer(timeout)
@@ -590,7 +648,7 @@ func isPanic(err error) bool {
 // (or inside the shared prepare) and converted into a PanicError
 // carrying the captured stack. Cell jobs share one kernel execution
 // through prep and only run the arch-specific modeling themselves.
-func computeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep, cc CellCache) (res jobResult, err error) {
+func computeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep, cc CellCache, be harness.Backend) (res jobResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
@@ -609,17 +667,19 @@ func computeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep, cc Cel
 		res.flash = mcu.FlashBytes(res.static)
 		return res, nil
 	}
-	pp, err := prep.get(ctx, spec, cc)
+	pp, err := prep.get(ctx, spec, cc, be)
 	if err != nil {
 		return res, fmt.Errorf("core: run %s on %s: %w", spec.Name, j.arch.Name, err)
 	}
 	cfg := harness.DefaultConfig()
 	cfg.CacheOn = j.cache
-	r, err := pp.MeasureOn(j.arch, spec.Prec, cfg)
+	cb := resolveCellBackend(be, spec.Name, j.arch.Name, j.cache)
+	r, err := pp.MeasureOnBackend(j.arch, spec.Prec, cfg, cb.be)
 	if err != nil {
 		return res, fmt.Errorf("core: run %s on %s: %w", spec.Name, j.arch.Name, err)
 	}
-	res.run = ArchRun{Arch: j.arch, CacheOn: j.cache, Model: r.Model, Meas: r.Measured}
+	res.run = ArchRun{Arch: j.arch, CacheOn: j.cache, Model: r.Model, Meas: r.Measured,
+		Backend: cb.name, Source: cb.source}
 	res.counts, res.valid, res.validE = r.Counts, r.Valid, r.ValidErr
 	res.prepName = r.Kernel
 	return res, nil
@@ -628,8 +688,12 @@ func computeJob(ctx context.Context, spec Spec, j *job, prep *kernelPrep, cc Cel
 // loadCachedJob consults the cell cache for one job and, on a hit,
 // rebuilds the exact jobResult the execution would have produced —
 // including the arch-independent dynamic mix and validation verdict, so
-// a cached reference cell still populates the record-level fields.
-func loadCachedJob(cc CellCache, spec Spec, j *job) (jobResult, bool) {
+// a cached reference cell still populates the record-level fields. The
+// provenance labels come from the cell's resolved backend, never from
+// the cached payload: a cell cached by a classic sweep and loaded by a
+// backend-aware one (or vice versa) re-derives the labels this sweep
+// would assign.
+func loadCachedJob(cc CellCache, spec Spec, j *job, cb cellBackend) (jobResult, bool) {
 	var res jobResult
 	if j.cell == jobStatic {
 		sr, ok := cc.LoadStatic(spec)
@@ -639,11 +703,12 @@ func loadCachedJob(cc CellCache, spec Spec, j *job) (jobResult, bool) {
 		res.static, res.flash = sr.Static, sr.Flash
 		return res, true
 	}
-	mr, ok := cc.LoadCell(spec, j.arch, j.cache)
+	mr, ok := cc.LoadCell(spec, j.arch, j.cache, cb.salt)
 	if !ok {
 		return res, false
 	}
-	res.run = ArchRun{Arch: j.arch, CacheOn: j.cache, Model: mr.Model, Meas: mr.Meas}
+	res.run = ArchRun{Arch: j.arch, CacheOn: j.cache, Model: mr.Model, Meas: mr.Meas,
+		Backend: cb.name, Source: cb.source}
 	res.counts, res.valid = mr.Counts, mr.Valid
 	if mr.ValidErr != "" {
 		res.validE = errors.New(mr.ValidErr)
@@ -652,9 +717,9 @@ func loadCachedJob(cc CellCache, spec Spec, j *job) (jobResult, bool) {
 }
 
 // storeCachedJob offers one healthy (CellOK) job result to the cell
-// cache. Only healthy results reach here, so the cache never learns a
-// partial or failed cell.
-func storeCachedJob(cc CellCache, spec Spec, j *job, res jobResult) {
+// cache under the cell's backend salt. Only healthy results reach here,
+// so the cache never learns a partial or failed cell.
+func storeCachedJob(cc CellCache, spec Spec, j *job, cb cellBackend, res jobResult) {
 	if j.cell == jobStatic {
 		cc.StoreStatic(spec, StaticCellResult{Static: res.static, Flash: res.flash})
 		return
@@ -663,7 +728,7 @@ func storeCachedJob(cc CellCache, spec Spec, j *job, res jobResult) {
 	if res.validE != nil {
 		mr.ValidErr = res.validE.Error()
 	}
-	cc.StoreCell(spec, j.arch, j.cache, mr)
+	cc.StoreCell(spec, j.arch, j.cache, cb.salt, mr)
 }
 
 // commit writes a job's outcome into its pre-assigned record slot. Only

@@ -67,34 +67,77 @@ type MeasurementRow struct {
 	Valid       bool
 }
 
-// ReadResultsCSV parses a measurement log written by WriteResultsCSV.
+// ReadResultsCSV parses a measurement log written by WriteResultsCSV —
+// or hand-exported from a real capture tool, which is messier. The
+// reader tolerates what tolerance is safe for (CRLF line endings,
+// blank lines, `#` comment lines) and reports everything else as a
+// clear per-line error naming the offending field: a malformed value
+// silently parsed as zero would poison a calibration downstream.
 func ReadResultsCSV(r io.Reader) ([]MeasurementRow, error) {
 	cr := csv.NewReader(r)
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	if len(records) == 0 {
+	cr.Comment = '#'
+	cr.FieldsPerRecord = -1 // length checked per row for better errors
+
+	header, err := cr.Read()
+	if err == io.EOF {
 		return nil, fmt.Errorf("harness: empty measurement log")
 	}
-	if len(records[0]) != len(csvHeader) || records[0][0] != "kernel" {
+	if err != nil {
+		return nil, fmt.Errorf("harness: measurement-log header: %w", err)
+	}
+	if len(header) != len(csvHeader) || header[0] != "kernel" {
 		return nil, fmt.Errorf("harness: unrecognized measurement-log header")
 	}
-	out := make([]MeasurementRow, 0, len(records)-1)
-	for _, rec := range records[1:] {
+	var out []MeasurementRow
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("harness: measurement log: %w", err)
+		}
+		line, _ := cr.FieldPos(0)
+		if len(rec) != len(csvHeader) {
+			return nil, fmt.Errorf("harness: measurement log line %d: %d fields, want %d",
+				line, len(rec), len(csvHeader))
+		}
+		fieldErr := func(col int, err error) error {
+			return fmt.Errorf("harness: measurement log line %d: %s %q: %w",
+				line, csvHeader[col], rec[col], err)
+		}
 		var row MeasurementRow
 		row.Kernel = rec[0]
 		row.Arch = rec[1]
 		row.Precision = rec[2]
-		row.CacheOn, _ = strconv.ParseBool(rec[3])
-		row.Cycles, _ = strconv.ParseFloat(rec[8], 64)
-		row.LatencyUs, _ = strconv.ParseFloat(rec[9], 64)
-		row.EnergyUJ, _ = strconv.ParseFloat(rec[10], 64)
-		row.AvgPowerMW, _ = strconv.ParseFloat(rec[11], 64)
-		row.PeakPowerMW, _ = strconv.ParseFloat(rec[12], 64)
-		row.Reps, _ = strconv.Atoi(rec[13])
-		row.Valid, _ = strconv.ParseBool(rec[14])
+		if row.CacheOn, err = strconv.ParseBool(rec[3]); err != nil {
+			return nil, fieldErr(3, err)
+		}
+		if row.Cycles, err = strconv.ParseFloat(rec[8], 64); err != nil {
+			return nil, fieldErr(8, err)
+		}
+		if row.LatencyUs, err = strconv.ParseFloat(rec[9], 64); err != nil {
+			return nil, fieldErr(9, err)
+		}
+		if row.EnergyUJ, err = strconv.ParseFloat(rec[10], 64); err != nil {
+			return nil, fieldErr(10, err)
+		}
+		if row.AvgPowerMW, err = strconv.ParseFloat(rec[11], 64); err != nil {
+			return nil, fieldErr(11, err)
+		}
+		if row.PeakPowerMW, err = strconv.ParseFloat(rec[12], 64); err != nil {
+			return nil, fieldErr(12, err)
+		}
+		if row.Reps, err = strconv.Atoi(rec[13]); err != nil {
+			return nil, fieldErr(13, err)
+		}
+		if row.Valid, err = strconv.ParseBool(rec[14]); err != nil {
+			return nil, fieldErr(14, err)
+		}
 		out = append(out, row)
+	}
+	if out == nil {
+		out = []MeasurementRow{}
 	}
 	return out, nil
 }

@@ -54,3 +54,83 @@ func TestReadResultsCSVRejectsGarbage(t *testing.T) {
 		t.Fatal("wrong header accepted")
 	}
 }
+
+// TestReadResultsCSVTolerance: hand-edited and exporter-mangled logs —
+// CRLF endings, comment lines, blank lines — must parse to the same
+// rows as the pristine file.
+func TestReadResultsCSVTolerance(t *testing.T) {
+	p := &vvadd{n: 128}
+	res, err := harness.Run(p, mcu.M4, mcu.PrecF32, harness.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := harness.WriteResultsCSV(&buf, []harness.Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	messy := strings.Join([]string{
+		"# measurement log, rig bench-3",
+		lines[0],
+		"",
+		lines[1],
+		"# trailing note",
+		"",
+	}, "\r\n")
+	rows, err := harness.ReadResultsCSV(strings.NewReader(messy))
+	if err != nil {
+		t.Fatalf("messy-but-legal log rejected: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Kernel != "vvadd" || rows[0].Arch != "M4" {
+		t.Fatalf("messy parse lost the row: %+v", rows)
+	}
+}
+
+// TestReadResultsCSVEmptyLog: a header with no data rows is a valid,
+// empty log — not nil, not an error.
+func TestReadResultsCSVEmptyLog(t *testing.T) {
+	var buf bytes.Buffer
+	if err := harness.WriteResultsCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := harness.ReadResultsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows == nil || len(rows) != 0 {
+		t.Fatalf("rows = %#v, want empty non-nil slice", rows)
+	}
+}
+
+// TestReadResultsCSVErrorNamesLineAndColumn: a malformed value must
+// fail with the line number, the column name, and the offending value —
+// the difference between a fixable log and a mystery.
+func TestReadResultsCSVErrorNamesLineAndColumn(t *testing.T) {
+	p := &vvadd{n: 128}
+	res, err := harness.Run(p, mcu.M4, mcu.PrecF32, harness.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := harness.WriteResultsCSV(&buf, []harness.Result{res, res}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	fields := strings.Split(lines[2], ",")
+	fields[10] = "plenty" // energy_uj
+	lines[2] = strings.Join(fields, ",")
+	_, err = harness.ReadResultsCSV(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+	if err == nil {
+		t.Fatal("corrupt row accepted")
+	}
+	for _, want := range []string{"line 3", "energy_uj", "plenty"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	// Wrong field count, same contract.
+	_, err = harness.ReadResultsCSV(strings.NewReader(lines[0] + "\nvvadd,M4,f32\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("short-row error does not carry the line: %v", err)
+	}
+}

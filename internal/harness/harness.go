@@ -118,7 +118,8 @@ type Result struct {
 	CacheOn   bool
 	Counts    profile.Counts // per-rep operation counts
 	Model     mcu.Estimate   // analytic model output
-	Measured  Measurement    // trace-pipeline output
+	Measured  Measurement    // measurement-backend output
+	Source    string         // provenance of Measured: SourceModeled or SourceMeasured
 	Valid     bool
 	ValidErr  error
 }
@@ -241,15 +242,34 @@ func (pp *Prepared) Valid() (bool, error) { return pp.valid, pp.validE }
 // so one Prepared can be measured on any number of (arch, cache)
 // configurations, concurrently if desired.
 func (pp *Prepared) MeasureOn(arch mcu.Arch, prec mcu.Precision, cfg Config) (Result, error) {
+	return pp.MeasureOnBackend(arch, prec, cfg, nil)
+}
+
+// MeasureOnBackend is MeasureOn with an explicit measurement backend:
+// the analytic estimate and rep auto-scaling happen here, then the
+// backend turns the resolved request into a Measurement. A nil backend
+// means the reference simulator (byte-identical to MeasureOn), whose
+// cells carry no Source label — the classic path. A non-nil backend
+// stamps its provenance label on the Result.
+func (pp *Prepared) MeasureOnBackend(arch mcu.Arch, prec mcu.Precision, cfg Config, be Backend) (Result, error) {
 	ctrRuns.Inc()
 	res := Result{Kernel: pp.name, Arch: arch, Precision: prec, CacheOn: cfg.CacheOn,
 		Counts: pp.counts}
 	res.Model = arch.Estimate(pp.counts, prec, cfg.CacheOn)
 	reps := autoReps(cfg, res.Model.LatencyS)
 
-	// Synthesize the measurement traces and run the analysis pipeline.
-	trace, events := SynthesizeTrace(res.Model, arch, cfg.CacheOn, reps, int64(len(pp.name)))
-	meas, err := Analyze(trace, events, reps)
+	req := MeasureRequest{
+		Kernel: pp.name, Arch: arch, Prec: prec, CacheOn: cfg.CacheOn,
+		Reps: reps, Model: res.Model, Seed: int64(len(pp.name)),
+	}
+	var meas Measurement
+	var err error
+	if be == nil {
+		meas, err = SimBackend{}.Measure(req)
+	} else {
+		meas, err = be.Measure(req)
+		res.Source = be.Source()
+	}
 	if err != nil {
 		return res, err
 	}

@@ -17,28 +17,16 @@ type Trace struct {
 	StartS   float64 // timestamp of sample 0 on the logic-analyzer clock
 }
 
-// idlePower is the modeled sleep/idle draw per core while outside the
-// ROI (clock-gated wait loop).
-func idlePower(arch mcu.Arch) float64 {
-	switch arch.Name {
-	case "M0+":
-		return 0.004
-	case "M33":
-		return 0.009
-	case "M7":
-		return 0.045
-	default:
-		return 0.035
-	}
-}
-
 // SynthesizeTrace renders the power waveform and GPIO event log of one
 // harness run: lead-in idle, a trigger edge, the latency-pin ROI
 // spanning all reps, then tail idle. The waveform carries the modeled
 // average power with deterministic activity bursts that reach the
-// modeled peak — what an inline current probe actually records.
+// modeled peak — what an inline current probe actually records. The
+// outside-ROI floor is the board model's declared idle draw
+// (Arch.IdlePowerW), so custom boards synthesize with their own sleep
+// current instead of a hard-coded table.
 func SynthesizeTrace(est mcu.Estimate, arch mcu.Arch, cacheOn bool, reps int, seed int64) (Trace, []GPIOEvent) {
-	idle := idlePower(arch)
+	idle := arch.IdlePowerW()
 	roiDur := est.LatencyS * float64(reps)
 	lead := 500e-6
 	tail := 500e-6

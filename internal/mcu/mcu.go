@@ -208,6 +208,12 @@ type Arch struct {
 	SRAMKB   int     `json:"sram_kb"`
 	HasCache bool    `json:"has_cache"` // real I/D caches (M7, M33) vs flash accelerator (M4)
 
+	// IdleW is the modeled sleep/idle draw while the core sits outside
+	// the ROI in a clock-gated wait loop — the floor the synthesized
+	// current trace rests on between kernel invocations. Zero means the
+	// conservative default (DefaultIdlePowerW); see IdlePowerW.
+	IdleW float64 `json:"idle_power_w,omitempty"`
+
 	// Model holds the calibrated cost and power parameters.
 	Model ModelParams `json:"model"`
 
@@ -215,6 +221,19 @@ type Arch struct {
 	// file path, or "registered" — and flows into the JSON export's
 	// model-provenance block. The registry sets it; board files cannot.
 	Source string `json:"-"`
+}
+
+// DefaultIdlePowerW is the idle draw assumed for boards whose file
+// doesn't declare idle_power_w — a mid-range Cortex-M figure.
+const DefaultIdlePowerW = 0.035
+
+// IdlePowerW resolves the board's outside-ROI idle draw: the declared
+// idle_power_w, or DefaultIdlePowerW when the board file omits it.
+func (a Arch) IdlePowerW() float64 {
+	if a.IdleW > 0 {
+		return a.IdleW
+	}
+	return DefaultIdlePowerW
 }
 
 // Validate checks the identity fields and the model; it is what
@@ -234,6 +253,9 @@ func (a Arch) Validate() error {
 	}
 	if a.FPU < NoFPU || a.FPU > SPDP {
 		return fmt.Errorf("invalid FPU kind %d", int(a.FPU))
+	}
+	if a.IdleW < 0 {
+		return fmt.Errorf("idle_power_w = %g, must be non-negative (0 = default)", a.IdleW)
 	}
 	if err := a.Model.Validate(); err != nil {
 		return err

@@ -1,0 +1,108 @@
+package report_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mcu"
+	"repro/internal/report"
+)
+
+// TestKeysSaltedByBackend: backend identity must partition the key
+// space — a measured sweep or cell can never collide with the modeled
+// result of the same query, while the empty salt (the classic path)
+// keys exactly as before the seam existed.
+func TestKeysSaltedByBackend(t *testing.T) {
+	spec, ok := core.ByName("madgwick")
+	if !ok {
+		t.Fatal("no madgwick kernel")
+	}
+	specs := []core.Spec{spec}
+	archs := []mcu.Arch{mcu.M4}
+	cfg := harness.DefaultConfig()
+
+	classic := report.SweepKey(specs, archs, cfg, "")
+	traced := report.SweepKey(specs, archs, cfg, "trace+fp1")
+	if classic == traced {
+		t.Error("SweepKey ignores the backend salt")
+	}
+	if report.SweepKey(specs, archs, cfg, "trace+fp1") != traced {
+		t.Error("SweepKey with a fixed salt is not deterministic")
+	}
+	if report.SweepKey(specs, archs, cfg, "trace+fp2") == traced {
+		t.Error("SweepKey ignores the backend fingerprint")
+	}
+
+	cClassic := report.CellKey(spec, mcu.M4, true, "")
+	cTraced := report.CellKey(spec, mcu.M4, true, "trace+fp1")
+	if cClassic == cTraced {
+		t.Error("CellKey ignores the backend salt")
+	}
+	if report.CellKey(spec, mcu.M4, true, "trace+fp1") != cTraced {
+		t.Error("CellKey with a fixed salt is not deterministic")
+	}
+}
+
+// TestJSONProvenanceExport: labeled cells export their source and an
+// aggregate backends block; the unlabeled fixture — the classic path —
+// exports neither, which is what keeps the schema golden byte-stable.
+func TestJSONProvenanceExport(t *testing.T) {
+	classic := syntheticCharacterization()
+	var classicBuf bytes.Buffer
+	if err := classic.WriteJSON(&classicBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, forbidden := range []string{`"backends"`, `"source": "modeled"`, `"source": "measured"`} {
+		if strings.Contains(classicBuf.String(), forbidden) {
+			t.Errorf("classic export contains %s", forbidden)
+		}
+	}
+
+	labeled := syntheticCharacterization()
+	// First kernel: one trace-measured cell, one simulator fallback —
+	// the mixed sweep a partial backend produces.
+	labeled.Records[0].Cells[0].Backend = "trace"
+	labeled.Records[0].Cells[0].Source = harness.SourceMeasured
+	labeled.Records[0].Cells[1].Backend = "sim"
+	labeled.Records[0].Cells[1].Source = harness.SourceModeled
+	labeled.Records[1].Cells[0].Backend = "sim"
+	labeled.Records[1].Cells[0].Source = harness.SourceModeled
+	rep := labeled.JSONExport()
+
+	if got := rep.Kernels[0].Cells[0].Source; got != harness.SourceMeasured {
+		t.Errorf("measured cell source = %q", got)
+	}
+	if got := rep.Kernels[0].Cells[1].Source; got != harness.SourceModeled {
+		t.Errorf("fallback cell source = %q", got)
+	}
+	if len(rep.Backends) != 2 {
+		t.Fatalf("backends block = %+v, want trace and sim", rep.Backends)
+	}
+	// First-appearance order: the measured cell leads the fixture.
+	if rep.Backends[0].Name != "trace" || rep.Backends[0].Source != harness.SourceMeasured || rep.Backends[0].Cells != 1 {
+		t.Errorf("trace entry = %+v", rep.Backends[0])
+	}
+	if rep.Backends[1].Name != "sim" || rep.Backends[1].Source != harness.SourceModeled || rep.Backends[1].Cells != 2 {
+		t.Errorf("sim entry = %+v", rep.Backends[1])
+	}
+
+	// The labeled report round-trips bit-exactly like any other.
+	var buf bytes.Buffer
+	if err := report.WriteJSONReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := report.ReadJSONReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := report.WriteJSONReport(&again, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("labeled report does not round-trip byte-exactly")
+	}
+}

@@ -313,7 +313,11 @@ func SetSweepCacheCapacity(n int) {
 // joins, and not invoked on a pure cache hit. Callers must treat the
 // shared records as read-only.
 func RunSweepQuery(specs []core.Spec, archs []mcu.Arch, opts core.SweepOptions) (Characterization, error) {
-	key := SweepKey(specs, archs, harness.DefaultConfig())
+	// The backend is part of the query identity: a trace-backed sweep
+	// and the classic sweep of the same grid must never share an entry.
+	// The classic path (nil or canonical simulator) contributes nothing,
+	// preserving every pre-seam key.
+	key := SweepKey(specs, archs, harness.DefaultConfig(), harness.BackendSalt(opts.Backend))
 	return globalSweepCache.do(opts.Context, key, opts, func(ropts core.SweepOptions) (Characterization, error) {
 		recs, err := core.CharacterizeSuiteOpts(specs, archs, ropts)
 		return Characterization{Records: recs}, err

@@ -62,10 +62,12 @@ func (p *PersistentCellCache) StoreStatic(spec core.Spec, res core.StaticCellRes
 	p.put(StaticCellKey(spec), res)
 }
 
-// LoadCell implements core.CellCache.
-func (p *PersistentCellCache) LoadCell(spec core.Spec, arch mcu.Arch, cacheOn bool) (core.MeasuredCellResult, bool) {
+// LoadCell implements core.CellCache. The backend salt is part of the
+// content key, so a measured cell can never be served to a modeled
+// query or vice versa.
+func (p *PersistentCellCache) LoadCell(spec core.Spec, arch mcu.Arch, cacheOn bool, backend string) (core.MeasuredCellResult, bool) {
 	var res core.MeasuredCellResult
-	payload, ok := p.store.Get(CellKey(spec, arch, cacheOn))
+	payload, ok := p.store.Get(CellKey(spec, arch, cacheOn, backend))
 	if !ok || json.Unmarshal(payload, &res) != nil {
 		return core.MeasuredCellResult{}, false
 	}
@@ -74,8 +76,8 @@ func (p *PersistentCellCache) LoadCell(spec core.Spec, arch mcu.Arch, cacheOn bo
 }
 
 // StoreCell implements core.CellCache.
-func (p *PersistentCellCache) StoreCell(spec core.Spec, arch mcu.Arch, cacheOn bool, res core.MeasuredCellResult) {
-	p.put(CellKey(spec, arch, cacheOn), res)
+func (p *PersistentCellCache) StoreCell(spec core.Spec, arch mcu.Arch, cacheOn bool, backend string, res core.MeasuredCellResult) {
+	p.put(CellKey(spec, arch, cacheOn, backend), res)
 }
 
 // put marshals and persists one payload, swallowing store errors (see

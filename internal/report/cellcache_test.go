@@ -148,7 +148,7 @@ func TestFailedCellsNeverPersisted(t *testing.T) {
 		t.Fatalf("store holds %d records after an all-failures sweep, want 0", n)
 	}
 	// Spot-check the exact keys too: no cell, no static.
-	if _, ok := store.Get(report.CellKey(specs[0], archs[0], true)); ok {
+	if _, ok := store.Get(report.CellKey(specs[0], archs[0], true, "")); ok {
 		t.Fatal("failed cell present under its content key")
 	}
 	if _, ok := store.Get(report.StaticCellKey(specs[1])); ok {
@@ -202,7 +202,7 @@ func TestCorruptCellHealsIntoRecompute(t *testing.T) {
 	golden := sweepJSON(t, specs, archs, core.SweepOptions{Workers: 1, CellCache: cache})
 
 	// Flip bits in one cell record and truncate another.
-	key := report.CellKey(specs[0], archs[0], true)
+	key := report.CellKey(specs[0], archs[0], true, "")
 	path := filepath.Join(dir, key+".json")
 	data, err := os.ReadFile(path)
 	if err != nil {

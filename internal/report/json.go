@@ -45,15 +45,31 @@ const (
 // how many cells were served from the on-disk store versus computed.
 // Producers whose output must stay byte-identical across cold and warm
 // runs — entobench sweep, the entobenchd server — never set it.
+//
+// Backends is the additive measurement-backend provenance block (see
+// docs/backends.md): present only on backend-aware sweeps, one entry
+// per backend that measured at least one cell, in first-appearance
+// order, with its cell count. Classic sweeps omit it, keeping their
+// bytes identical to pre-seam exports.
 type JSONReport struct {
 	Schema     string           `json:"schema"`
 	Version    int              `json:"version"`
 	Datapoints int              `json:"datapoints"`
 	Partial    bool             `json:"partial,omitempty"`
 	Boards     []JSONBoard      `json:"boards,omitempty"`
+	Backends   []JSONBackend    `json:"backends,omitempty"`
 	Failures   []JSONFailure    `json:"failures,omitempty"`
 	Cache      *CacheProvenance `json:"cache,omitempty"`
 	Kernels    []JSONKernel     `json:"kernels"`
+}
+
+// JSONBackend is the measurement provenance of one backend in the
+// export: its registry name, the source label its cells carry, and how
+// many cells it measured.
+type JSONBackend struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	Cells  int    `json:"cells"`
 }
 
 // JSONFailure is one sweep job that produced no measurement: which
@@ -107,10 +123,15 @@ type JSONKernel struct {
 	Cells        []JSONCell `json:"cells"`
 }
 
-// JSONCell is one (arch, cache) measurement cell.
+// JSONCell is one (arch, cache) measurement cell. Source is the
+// per-cell measurement provenance — "modeled" for simulator cells,
+// "measured" for externally captured ones — present exactly when the
+// sweep ran with an explicit backend; classic exports omit it on every
+// cell (additive, still v1).
 type JSONCell struct {
 	Arch     string          `json:"arch"`
 	CacheOn  bool            `json:"cache_on"`
+	Source   string          `json:"source,omitempty"`
 	Model    JSONModel       `json:"model"`
 	Measured JSONMeasurement `json:"measured"`
 }
@@ -184,6 +205,25 @@ func (c Characterization) JSONExport() JSONReport {
 			})
 		}
 	}
+	// The backends block mirrors the boards block: one entry per
+	// measurement backend appearing in the cells, first-appearance
+	// order. Classic cells carry no backend, so classic exports skip the
+	// block entirely.
+	beIdx := map[string]int{}
+	for _, r := range c.Records {
+		for _, cell := range r.Cells {
+			if cell.Status != core.CellOK || cell.Backend == "" {
+				continue
+			}
+			i, ok := beIdx[cell.Backend]
+			if !ok {
+				i = len(rep.Backends)
+				beIdx[cell.Backend] = i
+				rep.Backends = append(rep.Backends, JSONBackend{Name: cell.Backend, Source: cell.Source})
+			}
+			rep.Backends[i].Cells++
+		}
+	}
 	for _, r := range c.Records {
 		k := JSONKernel{
 			Name:         r.Spec.Name,
@@ -209,6 +249,7 @@ func (c Characterization) JSONExport() JSONReport {
 			k.Cells = append(k.Cells, JSONCell{
 				Arch:    cell.Arch.Name,
 				CacheOn: cell.CacheOn,
+				Source:  cell.Source,
 				Model: JSONModel{
 					Cycles:      cell.Model.Cycles,
 					LatencyUS:   cell.Model.LatencyS * 1e6,

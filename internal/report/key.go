@@ -59,10 +59,23 @@ func hashHarness(h hash.Hash, cfg harness.Config) {
 	fmt.Fprintf(h, "harness|%+v\n", cfg)
 }
 
+// hashBackend writes the measurement-backend salt line into a digest —
+// only when there is one. The classic simulated path contributes
+// nothing, so every key minted before the backend seam existed (and
+// every warm cache built from them) stays byte-identical.
+func hashBackend(h hash.Hash, backend string) {
+	if backend != "" {
+		fmt.Fprintf(h, "backend|%s\n", backend)
+	}
+}
+
 // SweepKey returns the cache key of a characterization query:
-// "sweep-" plus the hex SHA-256 of the query's content digest.
-func SweepKey(specs []core.Spec, archs []mcu.Arch, cfg harness.Config) string {
+// "sweep-" plus the hex SHA-256 of the query's content digest. backend
+// is the measurement backend's salt (harness.BackendSalt) — empty for
+// classic sweeps.
+func SweepKey(specs []core.Spec, archs []mcu.Arch, cfg harness.Config, backend string) string {
 	h := sha256.New()
+	hashBackend(h, backend)
 	hashHarness(h, cfg)
 	for _, s := range specs {
 		hashKernel(h, s)
@@ -79,12 +92,16 @@ func SweepKey(specs []core.Spec, archs []mcu.Arch, cfg harness.Config) string {
 // full board model, and the per-cell harness configuration (the sweep
 // default with CacheOn set to the cell's setting), plus the payload
 // schema version — the same identity the sweep-level key uses, applied
-// to one cell.
-func CellKey(spec core.Spec, arch mcu.Arch, cacheOn bool) string {
+// to one cell. backend is the measurement backend's salt
+// (harness.BackendSalt): empty for simulator cells, which therefore
+// keep their pre-seam keys; non-empty for externally measured cells,
+// so modeled and measured results never collide in the store.
+func CellKey(spec core.Spec, arch mcu.Arch, cacheOn bool, backend string) string {
 	cfg := harness.DefaultConfig()
 	cfg.CacheOn = cacheOn
 	h := sha256.New()
 	fmt.Fprintf(h, "cellschema|%d\n", cellSchemaVersion)
+	hashBackend(h, backend)
 	hashHarness(h, cfg)
 	hashKernel(h, spec)
 	hashBoard(h, arch)
@@ -105,5 +122,5 @@ func StaticCellKey(spec core.Spec) string {
 // defaultSweepKey keys the canonical full-suite Table IV sweep — the
 // query RunCharacterization serves and the entobenchd default.
 func defaultSweepKey() string {
-	return SweepKey(core.Suite(), mcu.TableIVSet(), harness.DefaultConfig())
+	return SweepKey(core.Suite(), mcu.TableIVSet(), harness.DefaultConfig(), "")
 }

@@ -95,12 +95,18 @@ func profileCounts(c JSONCounts) profile.Counts {
 // Arch's own JSON encoding deliberately omits) so the merger rebuilds
 // the exact ArchRun without any registry lookups.
 type ShardCell struct {
-	Index   int                 `json:"index"`
-	CacheOn bool                `json:"cache_on"`
-	Arch    mcu.Arch            `json:"arch"`
-	Source  string              `json:"source,omitempty"`
-	Model   mcu.Estimate        `json:"model"`
-	Meas    harness.Measurement `json:"meas"`
+	Index   int      `json:"index"`
+	CacheOn bool     `json:"cache_on"`
+	Arch    mcu.Arch `json:"arch"`
+	Source  string   `json:"source,omitempty"`
+	// Backend/MeasSource carry the cell's measurement-backend provenance
+	// (core.ArchRun Backend/Source). The `source` tag above is taken by
+	// the board's definition provenance, hence `meas_source`. Both are
+	// empty for classic sweeps, keeping pre-seam bundles byte-identical.
+	Backend    string              `json:"backend,omitempty"`
+	MeasSource string              `json:"meas_source,omitempty"`
+	Model      mcu.Estimate        `json:"model"`
+	Meas       harness.Measurement `json:"meas"`
 }
 
 // RunShard executes one shard of a sweep — opts.ShardIndex of
@@ -121,7 +127,7 @@ func RunShard(specs []core.Spec, archs []mcu.Arch, opts core.SweepOptions) (Shar
 	sr := ShardReport{
 		Schema:   ShardSchema,
 		Version:  ShardVersion,
-		SweepKey: SweepKey(specs, archs, harness.DefaultConfig()),
+		SweepKey: SweepKey(specs, archs, harness.DefaultConfig(), harness.BackendSalt(opts.Backend)),
 		Shard:    opts.ShardIndex,
 		Of:       opts.ShardCount,
 		Kernels:  make([]ShardKernel, 0, len(recs)),
@@ -157,12 +163,14 @@ func RunShard(specs []core.Spec, archs []mcu.Arch, opts core.SweepOptions) (Shar
 				k.Ref = ref
 			}
 			k.Cells = append(k.Cells, ShardCell{
-				Index:   i,
-				CacheOn: cell.CacheOn,
-				Arch:    cell.Arch,
-				Source:  cell.Arch.Source,
-				Model:   cell.Model,
-				Meas:    cell.Meas,
+				Index:      i,
+				CacheOn:    cell.CacheOn,
+				Arch:       cell.Arch,
+				Source:     cell.Arch.Source,
+				Backend:    cell.Backend,
+				MeasSource: cell.Source,
+				Model:      cell.Model,
+				Meas:       cell.Meas,
 			})
 		}
 		sr.Kernels = append(sr.Kernels, k)
@@ -289,6 +297,8 @@ func MergeShards(shards []ShardReport) (Characterization, error) {
 				rec.Cells[c.Index] = core.ArchRun{
 					Arch:    arch,
 					CacheOn: c.CacheOn,
+					Backend: c.Backend,
+					Source:  c.MeasSource,
 					Model:   c.Model,
 					Meas:    c.Meas,
 				}

@@ -8,10 +8,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/mcu"
 	"repro/internal/report"
 )
@@ -41,6 +43,13 @@ type SweepRequest struct {
 	// CellTimeoutMS overrides the server's per-cell watchdog in
 	// milliseconds; 0 keeps the server default.
 	CellTimeoutMS int `json:"cell_timeout_ms,omitempty"`
+	// Backend selects the measurement backend for this sweep by
+	// registry name; empty keeps the server default (classic simulator
+	// unless the daemon was started with -backend/-tracefile). "sim"
+	// explicitly restores the classic path; unknown names are a 400.
+	// Cells a partial backend covers carry source "measured" in the
+	// report, the rest fall back to the simulator (docs/backends.md).
+	Backend string `json:"backend,omitempty"`
 	// Async, when true, returns 202 with the job id immediately
 	// instead of blocking; poll /v1/sweep/{id} or stream
 	// /v1/sweep/{id}/events.
@@ -273,12 +282,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opts := core.SweepOptions{Workers: s.opts.Workers, CellTimeout: s.opts.CellTimeout, CellCache: s.opts.CellCache}
+	opts := core.SweepOptions{Workers: s.opts.Workers, CellTimeout: s.opts.CellTimeout, CellCache: s.opts.CellCache, Backend: s.opts.Backend}
 	if req.Workers > 0 {
 		opts.Workers = req.Workers
 	}
 	if req.CellTimeoutMS > 0 {
 		opts.CellTimeout = time.Duration(req.CellTimeoutMS) * time.Millisecond
+	}
+	if req.Backend != "" {
+		be, ok := harness.BackendByName(req.Backend)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "unknown backend %q (registered: %s)",
+				req.Backend, strings.Join(harness.BackendNames(), ", "))
+			return
+		}
+		opts.Backend = be
 	}
 
 	j := s.jobs.create()

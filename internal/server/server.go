@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/mcu"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -62,6 +63,12 @@ type Options struct {
 	// bytes are unchanged (loaded cells are byte-identical to
 	// recomputation).
 	CellCache core.CellCache
+	// Backend, when non-nil, is the default measurement backend for
+	// every served sweep (entobenchd -backend/-tracefile); nil serves
+	// the classic simulator path. Requests override it with the
+	// `backend` field — "sim" restores the classic path, any other name
+	// resolves through the process backend registry.
+	Backend harness.Backend
 	// Logf, when non-nil, receives one line per completed sweep job
 	// (Printf-style). Nil disables logging.
 	Logf func(format string, args ...any)

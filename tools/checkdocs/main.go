@@ -16,7 +16,11 @@
 //     exported wire structs, every SSE event name, and the server and
 //     sweep-cache counters — and docs/observability.md must carry
 //     every canonical counter name, so a counter cannot ship without
-//     its row.
+//     its row;
+//  6. the backend guide (docs/backends.md) must document every
+//     trace-capture CSV column, both provenance labels, every method
+//     of the harness.Backend interface, and every field of the
+//     export's backends block (report.JSONBackend).
 //
 // It prints one line per violation and exits non-zero if any exist.
 // Run it from the repository root: go run ./tools/checkdocs
@@ -33,6 +37,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/mcu"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -47,6 +52,7 @@ func main() {
 	problems = append(problems, checkRobustnessDocs("docs/robustness.md")...)
 	problems = append(problems, checkServerDocs("docs/server.md")...)
 	problems = append(problems, checkCounterDocs("docs/observability.md")...)
+	problems = append(problems, checkBackendDocs("docs/backends.md")...)
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, p)
 	}
@@ -213,6 +219,39 @@ func checkServerDocs(path string) []string {
 		obs.CounterSweepCacheEvicted,
 	} {
 		missing("counter", name)
+	}
+	return problems
+}
+
+// checkBackendDocs pins the measurement-backend guide to the code:
+// every trace-capture CSV column, both provenance labels, every
+// method of the Backend interface, and every JSON field of the
+// export's backends block must be named, in backticks, in
+// docs/backends.md.
+func checkBackendDocs(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v (the backend seam must be documented)", path, err)}
+	}
+	doc := string(data)
+	var problems []string
+	missing := func(kind, name string) {
+		if !strings.Contains(doc, "`"+name+"`") {
+			problems = append(problems, fmt.Sprintf("%s: does not document %s `%s`", path, kind, name))
+		}
+	}
+	for _, col := range harness.TraceCSVHeader {
+		missing("trace CSV column", col)
+	}
+	for _, label := range []string{harness.SourceModeled, harness.SourceMeasured} {
+		missing("provenance label", label)
+	}
+	bt := reflect.TypeOf((*harness.Backend)(nil)).Elem()
+	for i := 0; i < bt.NumMethod(); i++ {
+		missing("Backend method", bt.Method(i).Name)
+	}
+	for _, tag := range jsonTags(reflect.TypeOf(report.JSONBackend{})) {
+		missing("backends-block field", tag)
 	}
 	return problems
 }
