@@ -284,6 +284,18 @@ func OpenCellCache(dir string) (CellCache, error) {
 	return report.OpenCellCache(dir)
 }
 
+// OpenCellCacheQuota is OpenCellCache with a byte-size bound on the
+// backing directory (the implementation behind entobenchd
+// -cachequota): past the quota the least-recently-used records are
+// garbage-collected, and evicted cells simply recompute on their next
+// miss. quota <= 0 means unbounded. The store also self-protects
+// against persistent write failure — disk full flips it read-only
+// (warm cells keep serving) until a probe write succeeds again; see
+// docs/robustness.md.
+func OpenCellCacheQuota(dir string, quota int64) (CellCache, error) {
+	return report.OpenCellCacheQuota(dir, quota)
+}
+
 // CellErrors extracts the per-cell failures from a sweep's aggregate
 // error, in deterministic serial sweep order. A nil error — or one that
 // is pure cancellation — yields nil.

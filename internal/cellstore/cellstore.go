@@ -20,16 +20,43 @@
 //   - Concurrent Puts of the same key are benign: both writers produce
 //     identical bytes (the key is a content digest), and rename makes
 //     whichever lands last win without readers ever seeing a mix.
+//
+// Resource-pressure contract (docs/robustness.md):
+//
+//   - A byte-size quota (SetQuota) bounds the directory: when a Put
+//     pushes the store past the quota, the least-recently-used records
+//     (Get refreshes recency) are garbage-collected down to 90% of the
+//     bound and counted on cellstore.gc_evicted. Evicted cells simply
+//     recompute on their next miss.
+//   - Transient write errors retry a bounded number of times with
+//     jittered backoff before giving up, so one flaky fsync never
+//     costs a cell its persistence.
+//   - A persistent write failure — disk full (ENOSPC) immediately,
+//     or repeated exhausted retries — flips the store into read-only
+//     degraded mode: Puts become cheap refusals, Gets keep serving
+//     every warm cell, and the transition is counted on
+//     cellstore.degraded and surfaced through Degraded() (which
+//     entobenchd reports on /healthz). While degraded the store
+//     periodically re-probes the disk on Put and exits degraded mode
+//     on the first success, so clearing the disk heals the daemon
+//     without a restart.
 package cellstore
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -46,6 +73,34 @@ const Version = 1
 // integrity check (docs/observability.md).
 var ctrCorruptDiscarded = obs.NewCounter(obs.CounterCellstoreCorruptDiscarded)
 
+// ctrGCEvicted counts records the quota's LRU garbage collector
+// removed; ctrDegraded counts transitions into read-only degraded mode
+// (docs/observability.md).
+var (
+	ctrGCEvicted = obs.NewCounter(obs.CounterCellstoreGCEvicted)
+	ctrDegraded  = obs.NewCounter(obs.CounterCellstoreDegraded)
+)
+
+// Write-retry policy: a transient Put error (anything but disk-full)
+// retries up to putRetries times with jittered exponential backoff
+// starting at putBackoffBase. Disk-full never retries — a full disk
+// does not heal in milliseconds — and flips the store degraded at
+// once.
+const (
+	putRetries     = 3
+	putBackoffBase = 2 * time.Millisecond
+)
+
+// degradeAfterFailures is how many consecutive retry-exhausted Puts
+// (of any error kind) it takes to conclude the failure is persistent
+// and enter degraded mode without an explicit disk-full signal.
+const degradeAfterFailures = 3
+
+// DefaultProbeInterval is how often a degraded store re-probes the
+// disk: at most one Put per interval attempts a real write, and the
+// first success exits degraded mode.
+const DefaultProbeInterval = 5 * time.Second
+
 // envelope is the on-disk record: integrity metadata around an opaque
 // payload owned by the caller (report's cell result schema).
 type envelope struct {
@@ -60,6 +115,32 @@ type envelope struct {
 // number of goroutines and processes.
 type Store struct {
 	dir string
+
+	// quota, when > 0, bounds the directory's total record bytes;
+	// sizing state is maintained approximately under mu and trued up by
+	// every GC scan.
+	mu        sync.Mutex
+	quota     int64
+	size      int64
+	sizeKnown bool
+
+	// Degraded-mode state. degraded flips on a persistent write
+	// failure; reason carries the rendered cause for /healthz;
+	// consecFails counts retry-exhausted Puts since the last success;
+	// lastProbe rate-limits recovery probes to one per probeEvery.
+	degraded    atomic.Bool
+	reason      atomic.Value // string
+	consecFails atomic.Int64
+	lastProbe   atomic.Int64 // unix nanos
+	probeEvery  atomic.Int64 // nanos; DefaultProbeInterval unless set
+
+	// faultHook, when set, is consulted before every disk touch — the
+	// chaos harness's injection point (internal/chaos). A non-nil error
+	// from the hook is treated exactly like the real syscall failing.
+	faultHook atomic.Value // func(op, key string) error
+
+	// backoffSleep is the retry delay function; tests shorten it.
+	backoffSleep func(d time.Duration)
 }
 
 // Open returns a Store rooted at dir, creating the directory (and
@@ -71,11 +152,100 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cellstore: open %s: %w", dir, err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir, backoffSleep: time.Sleep}
+	s.probeEvery.Store(int64(DefaultProbeInterval))
+	return s, nil
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetQuota bounds the store's total record bytes; n <= 0 removes the
+// bound. When a Put pushes the directory past the quota the
+// least-recently-used records are collected down to 90% of it.
+func (s *Store) SetQuota(n int64) {
+	s.mu.Lock()
+	s.quota = n
+	s.sizeKnown = false // re-scan on the next accounted Put
+	s.mu.Unlock()
+}
+
+// Quota returns the configured byte bound (0 = unbounded).
+func (s *Store) Quota() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quota
+}
+
+// SetProbeInterval sets how often a degraded store re-probes the disk
+// on Put; d <= 0 probes on every Put (test and chaos-harness use).
+func (s *Store) SetProbeInterval(d time.Duration) { s.probeEvery.Store(int64(d)) }
+
+// SetFaultHook installs (or, with nil, removes) a fault-injection hook
+// consulted before every disk operation with the operation name
+// ("put", "get") and the record key. A non-nil return is treated as
+// the real operation failing — the chaos harness's seam
+// (internal/chaos); production code never sets it.
+func (s *Store) SetFaultHook(h func(op, key string) error) {
+	s.faultHook.Store(&h)
+}
+
+// hookErr consults the fault hook, if any.
+func (s *Store) hookErr(op, key string) error {
+	if p, ok := s.faultHook.Load().(*func(op, key string) error); ok && *p != nil {
+		return (*p)(op, key)
+	}
+	return nil
+}
+
+// Degraded reports whether the store is in read-only degraded mode,
+// and why. A degraded store keeps serving Gets and refuses Puts
+// cheaply until a recovery probe succeeds.
+func (s *Store) Degraded() (bool, string) {
+	if !s.degraded.Load() {
+		return false, ""
+	}
+	reason, _ := s.reason.Load().(string)
+	return true, reason
+}
+
+// enterDegraded flips the store read-only (idempotently) and records
+// the cause; each actual transition is counted.
+func (s *Store) enterDegraded(cause error) {
+	s.reason.Store(fmt.Sprintf("cell store read-only: %v", cause))
+	s.lastProbe.Store(time.Now().UnixNano())
+	if s.degraded.CompareAndSwap(false, true) {
+		ctrDegraded.Inc()
+	}
+}
+
+// exitDegraded returns the store to writable after a successful probe.
+func (s *Store) exitDegraded() {
+	s.degraded.Store(false)
+	s.consecFails.Store(0)
+}
+
+// probeDue reports whether a degraded Put should attempt a real write;
+// at most one Put per probe interval does.
+func (s *Store) probeDue() bool {
+	every := s.probeEvery.Load()
+	if every <= 0 {
+		return true
+	}
+	last := s.lastProbe.Load()
+	now := time.Now().UnixNano()
+	return now-last >= every && s.lastProbe.CompareAndSwap(last, now)
+}
+
+// isDiskFull recognizes the no-space family of write errors — the
+// canonical persistent failure that degrades the store immediately.
+func isDiskFull(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}
+
+// ErrDegraded is the sentinel a Put returns while the store is
+// read-only and no probe is due.
+var ErrDegraded = errors.New("cellstore: degraded (read-only)")
 
 // path maps a content key to its file. Keys are digest-shaped
 // ("cell-<hex>"); anything else would be a caller bug, but the key is
@@ -97,6 +267,9 @@ func (s *Store) path(key string) string {
 // miss: it is counted on cellstore.corrupt_discarded and best-effort
 // removed so the healed slot rewrites cleanly.
 func (s *Store) Get(key string) (payload []byte, ok bool) {
+	if s.hookErr("get", key) != nil {
+		return nil, false // injected read fault: a miss, never an error
+	}
 	p := s.path(key)
 	data, err := os.ReadFile(p)
 	if err != nil {
@@ -116,6 +289,11 @@ func (s *Store) Get(key string) (payload []byte, ok bool) {
 		s.discard(p)
 		return nil, false
 	}
+	if s.Quota() > 0 {
+		// Refresh recency so the LRU collector evicts cold cells first.
+		now := time.Now()
+		_ = os.Chtimes(p, now, now)
+	}
 	return env.Payload, true
 }
 
@@ -128,8 +306,14 @@ func (s *Store) discard(path string) {
 
 // Put stores payload under key, atomically. Concurrent Puts of the same
 // key — even from other processes — are safe; the rename is the commit
-// point.
+// point. Transient errors retry with jittered backoff; disk-full (or a
+// run of exhausted retries) flips the store into read-only degraded
+// mode, in which Puts return ErrDegraded cheaply until a periodic
+// probe write succeeds again.
 func (s *Store) Put(key string, payload []byte) error {
+	if s.degraded.Load() && !s.probeDue() {
+		return ErrDegraded
+	}
 	sum := sha256.Sum256(payload)
 	data, err := json.Marshal(envelope{
 		Format:  Format,
@@ -141,24 +325,137 @@ func (s *Store) Put(key string, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("cellstore: put %s: %w", key, err)
 	}
+	for attempt := 0; ; attempt++ {
+		err = s.putOnce(key, data)
+		if err == nil {
+			if s.degraded.Load() {
+				s.exitDegraded()
+			}
+			s.consecFails.Store(0)
+			s.account(int64(len(data)))
+			return nil
+		}
+		if isDiskFull(err) {
+			s.enterDegraded(err)
+			return fmt.Errorf("cellstore: put %s: %w", key, err)
+		}
+		if attempt >= putRetries {
+			break
+		}
+		// Jittered exponential backoff: base·2^attempt plus up to 100%
+		// jitter, so concurrent writers hitting one flaky disk don't
+		// retry in lockstep.
+		d := putBackoffBase << attempt
+		s.backoffSleep(d + time.Duration(rand.Int63n(int64(d))))
+	}
+	if s.consecFails.Add(1) >= degradeAfterFailures {
+		s.enterDegraded(err)
+	}
+	return fmt.Errorf("cellstore: put %s: %w", key, err)
+}
+
+// putOnce is one atomic temp-write-rename attempt.
+func (s *Store) putOnce(key string, data []byte) error {
+	if err := s.hookErr("put", key); err != nil {
+		return err
+	}
 	tmp, err := os.CreateTemp(s.dir, ".put-*")
 	if err != nil {
-		return fmt.Errorf("cellstore: put %s: %w", key, err)
+		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("cellstore: put %s: %w", key, err)
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("cellstore: put %s: %w", key, err)
+		return err
 	}
 	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("cellstore: put %s: %w", key, err)
+		return err
 	}
 	return nil
+}
+
+// account tracks the approximate store size after a successful Put and
+// triggers the LRU collector past the quota. Overwrites of an existing
+// key overcount until the next GC scan trues the number up — the bound
+// is operational, not exact.
+func (s *Store) account(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quota <= 0 {
+		return
+	}
+	if !s.sizeKnown {
+		s.size = s.scanSizeLocked()
+		s.sizeKnown = true
+	} else {
+		s.size += n
+	}
+	if s.size > s.quota {
+		s.gcLocked()
+	}
+}
+
+// scanSizeLocked sums the on-disk record bytes.
+func (s *Store) scanSizeLocked() int64 {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// gcLocked evicts least-recently-used records until the store fits in
+// 90% of the quota (hysteresis, so one hot Put doesn't GC every time),
+// counting each eviction. Recency is file mtime, refreshed by Get.
+func (s *Store) gcLocked() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type rec struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var recs []rec
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		recs = append(recs, rec{e.Name(), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].mtime.Before(recs[j].mtime) })
+	target := s.quota * 9 / 10
+	for _, r := range recs {
+		if total <= target {
+			break
+		}
+		if os.Remove(filepath.Join(s.dir, r.name)) == nil {
+			total -= r.size
+			ctrGCEvicted.Inc()
+		}
+	}
+	s.size = total
 }
 
 // Len counts valid-looking records currently in the store (by file

@@ -2,11 +2,15 @@ package cellstore
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -212,5 +216,186 @@ func TestConcurrentSharedStore(t *testing.T) {
 	}
 	if n := s.Len(); n != keys {
 		t.Fatalf("Len = %d, want %d", n, keys)
+	}
+}
+
+// quotaStore opens a store with a byte quota and instant backoff so
+// retry tests don't sleep for real.
+func quotaStore(t *testing.T, quota int64) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetQuota(quota)
+	s.backoffSleep = func(time.Duration) {}
+	return s
+}
+
+func TestQuotaGCEvictsOldestFirst(t *testing.T) {
+	obs.ResetCounters()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Size one record, then quota for ~4 of them.
+	payload := []byte(fmt.Sprintf(`{"pad":%q}`, strings.Repeat("x", 256)))
+	if err := s.Put("cell-size-probe", payload); err != nil {
+		t.Fatal(err)
+	}
+	var recordSize int64
+	entries, _ := os.ReadDir(s.Dir())
+	for _, e := range entries {
+		info, _ := e.Info()
+		recordSize = info.Size()
+	}
+	os.Remove(filepath.Join(s.Dir(), "cell-size-probe.json"))
+	s.SetQuota(4*recordSize + recordSize/2)
+
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("cell-gc-%d", i)
+		if err := s.Put(key, payload); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+		// mtime granularity can be coarse; force distinct recency.
+		p := filepath.Join(s.Dir(), key+".json")
+		mt := time.Now().Add(time.Duration(i-8) * time.Second)
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One more put triggers accounting past the quota.
+	if err := s.Put("cell-gc-last", payload); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Len(); n > 5 {
+		t.Fatalf("store holds %d records, want <= 5 after GC under quota", n)
+	}
+	if got := obs.Counters()[obs.CounterCellstoreGCEvicted]; got == 0 {
+		t.Fatal("cellstore.gc_evicted did not count")
+	}
+	// The newest record must have survived; the oldest must be gone.
+	if _, ok := s.Get("cell-gc-last"); !ok {
+		t.Fatal("newest record evicted — GC is not LRU")
+	}
+	if _, ok := s.Get("cell-gc-0"); ok {
+		t.Fatal("oldest record survived a GC that evicted others")
+	}
+}
+
+func TestTransientWriteErrorRetriesAndRecovers(t *testing.T) {
+	s := quotaStore(t, 0)
+	fails := 0
+	s.SetFaultHook(func(op, key string) error {
+		if op == "put" && fails < 2 {
+			fails++
+			return fmt.Errorf("injected transient write error %d", fails)
+		}
+		return nil
+	})
+	if err := s.Put("cell-retry", []byte(`{"v":1}`)); err != nil {
+		t.Fatalf("put failed despite retries: %v", err)
+	}
+	if fails != 2 {
+		t.Fatalf("fault hook fired %d times, want 2 (then success)", fails)
+	}
+	if degraded, _ := s.Degraded(); degraded {
+		t.Fatal("transient error degraded the store")
+	}
+	if _, ok := s.Get("cell-retry"); !ok {
+		t.Fatal("retried put did not land")
+	}
+}
+
+func TestDiskFullDegradesImmediatelyAndProbesBack(t *testing.T) {
+	obs.ResetCounters()
+	s := quotaStore(t, 0)
+	s.SetProbeInterval(0) // probe on every put
+	full := true
+	s.SetFaultHook(func(op, key string) error {
+		if op == "put" && full {
+			return fmt.Errorf("injected: %w", syscall.ENOSPC)
+		}
+		return nil
+	})
+	if err := s.Put("cell-full", []byte(`{"v":1}`)); err == nil {
+		t.Fatal("put succeeded against a full disk")
+	}
+	degraded, reason := s.Degraded()
+	if !degraded {
+		t.Fatal("ENOSPC did not degrade the store")
+	}
+	if reason == "" {
+		t.Fatal("degraded store carries no reason")
+	}
+	if got := obs.Counters()[obs.CounterCellstoreDegraded]; got != 1 {
+		t.Fatalf("cellstore.degraded = %d, want 1", got)
+	}
+	// Degraded stores still serve warm cells: write one before
+	// degradation would be cleaner, but Get has no write path — prove
+	// reads work by healing the disk and probing back first.
+	full = false
+	if err := s.Put("cell-healed", []byte(`{"v":2}`)); err != nil {
+		t.Fatalf("probe put after heal: %v", err)
+	}
+	if degraded, _ := s.Degraded(); degraded {
+		t.Fatal("successful probe did not exit degraded mode")
+	}
+	if _, ok := s.Get("cell-healed"); !ok {
+		t.Fatal("post-recovery put unreadable")
+	}
+	// Re-entering degraded mode counts again.
+	full = true
+	if err := s.Put("cell-full-2", []byte(`{"v":3}`)); err == nil {
+		t.Fatal("put succeeded against a re-filled disk")
+	}
+	if got := obs.Counters()[obs.CounterCellstoreDegraded]; got != 2 {
+		t.Fatalf("cellstore.degraded = %d after second transition, want 2", got)
+	}
+}
+
+func TestDegradedGetStillServesWarmCells(t *testing.T) {
+	s := quotaStore(t, 0)
+	s.SetProbeInterval(time.Hour) // no probe during the test
+	if err := s.Put("cell-warm", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultHook(func(op, key string) error {
+		if op == "put" {
+			return fmt.Errorf("injected: %w", syscall.ENOSPC)
+		}
+		return nil
+	})
+	if err := s.Put("cell-cold", []byte(`{"v":2}`)); err == nil {
+		t.Fatal("put succeeded against a full disk")
+	}
+	if _, ok := s.Get("cell-warm"); !ok {
+		t.Fatal("degraded store lost a warm cell")
+	}
+	// Cheap refusal path: no probe due, so Put returns ErrDegraded
+	// without touching the hook or the disk.
+	if err := s.Put("cell-cold", []byte(`{"v":2}`)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded put = %v, want ErrDegraded", err)
+	}
+}
+
+func TestRepeatedExhaustedRetriesDegrade(t *testing.T) {
+	s := quotaStore(t, 0)
+	s.SetFaultHook(func(op, key string) error {
+		if op == "put" {
+			return fmt.Errorf("injected persistent (non-ENOSPC) failure")
+		}
+		return nil
+	})
+	for i := 0; i < degradeAfterFailures; i++ {
+		if degraded, _ := s.Degraded(); degraded {
+			t.Fatalf("degraded after only %d exhausted puts", i)
+		}
+		if err := s.Put(fmt.Sprintf("cell-fail-%d", i), []byte(`{}`)); err == nil {
+			t.Fatal("injected failure did not surface")
+		}
+	}
+	if degraded, _ := s.Degraded(); !degraded {
+		t.Fatalf("%d consecutive exhausted puts did not degrade the store", degradeAfterFailures)
 	}
 }

@@ -1,0 +1,236 @@
+// Package chaos is the fault-injection and overload harness capping the
+// robustness work (docs/robustness.md): deliberately hostile conditions
+// — full disks, flaky measurement hardware, client storms past the
+// admission budget — driven against the real serving stack to prove the
+// service guarantees docs/server.md makes. Like internal/faultinject it
+// is test infrastructure shipped as a package: the soak test
+// (go test -race ./internal/chaos/) and the CI chaos-smoke job are its
+// consumers, and the seams it drives (cellstore.SetFaultHook,
+// report.PersistentCellCache.Backing, harness.Backend) are public so
+// operators can rehearse the same failures against their own builds.
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"repro/internal/harness"
+	"repro/internal/server"
+)
+
+// DiskFullHook is a cellstore fault hook failing every write with
+// ENOSPC — the canonical persistent failure that must flip the store
+// into read-only degraded mode immediately. Reads pass through, so a
+// degraded store keeps serving warm cells.
+func DiskFullHook() func(op, key string) error {
+	return func(op, key string) error {
+		if op == "put" {
+			return fmt.Errorf("chaos: injected disk full writing %s: %w", key, syscall.ENOSPC)
+		}
+		return nil
+	}
+}
+
+// IntermittentHook is a cellstore fault hook failing every nth
+// operation of the given kind ("put" or "get") with err — transient
+// flakiness the store's bounded retry must absorb without degrading.
+func IntermittentHook(op string, n int64, err error) func(string, string) error {
+	var calls atomic.Int64
+	return func(gotOp, key string) error {
+		if gotOp != op || n <= 0 {
+			return nil
+		}
+		if calls.Add(1)%n == 0 {
+			return fmt.Errorf("chaos: injected %s fault on %s: %w", op, key, err)
+		}
+		return nil
+	}
+}
+
+// FlakyBackend wraps a measurement backend and fails every Nth Measure
+// call — the flaky-probe analogue. The sweep engine must charge each
+// injected failure to its own cell and leave every other cell intact.
+// The fingerprint is salted so flaky-run cells can never pollute a
+// cache entry the clean backend would serve.
+type FlakyBackend struct {
+	// Inner is the wrapped backend.
+	Inner harness.Backend
+	// EveryN fails every Nth Measure call; <= 0 injects nothing.
+	EveryN int64
+
+	calls atomic.Int64
+}
+
+// Name implements harness.Backend.
+func (f *FlakyBackend) Name() string { return "chaos-flaky" }
+
+// Source implements harness.Backend: provenance follows the inner
+// backend — chaos changes failure behavior, not measurement identity.
+func (f *FlakyBackend) Source() string { return f.Inner.Source() }
+
+// Fingerprint implements harness.Backend, salting the inner
+// fingerprint so flaky cells get their own cache keys.
+func (f *FlakyBackend) Fingerprint() string {
+	return "chaos-flaky:" + f.Inner.Fingerprint()
+}
+
+// Measure implements harness.Backend.
+func (f *FlakyBackend) Measure(req harness.MeasureRequest) (harness.Measurement, error) {
+	if n := f.calls.Add(1); f.EveryN > 0 && n%f.EveryN == 0 {
+		return harness.Measurement{}, fmt.Errorf("chaos: injected measure failure (call %d)", n)
+	}
+	return f.Inner.Measure(req)
+}
+
+// StormOptions configures a client storm.
+type StormOptions struct {
+	// Clients is the number of concurrent clients.
+	Clients int
+	// RequestsPerClient is how many sweep POSTs each client issues.
+	RequestsPerClient int
+	// Bodies are the request bodies, dealt round-robin across the
+	// storm; mixing warm, coalescible, and cold queries is what drives
+	// the admission controller through every verdict.
+	Bodies []string
+	// Client optionally supplies the HTTP client (and its connection
+	// pool); nil builds one and closes its idle connections when the
+	// storm ends.
+	Client *http.Client
+}
+
+// StormStats tallies a storm's responses by verdict.
+type StormStats struct {
+	Requests int64 // POSTs issued
+	OK       int64 // 200: served a report
+	ShedSync int64 // 429: synchronous admission refusal
+	ShedBusy int64 // 503: async refusal or queue eviction
+	Deadline int64 // 504: deadline_exceeded
+}
+
+// Storm hammers baseURL's POST /v1/sweep with Clients concurrent
+// clients and classifies every response. It returns an error — with
+// the stats gathered so far — on the first response that violates the
+// wire contract: a status outside {200, 429, 503, 504}, or a shed
+// missing its Retry-After header or machine-readable overloaded body.
+// A storm that returns nil error is the load-shedding guarantee
+// demonstrated: every client got either a report or a well-formed,
+// retryable refusal.
+func Storm(ctx context.Context, baseURL string, o StormOptions) (StormStats, error) {
+	client := o.Client
+	if client == nil {
+		tr := &http.Transport{MaxIdleConnsPerHost: 256}
+		client = &http.Client{Transport: tr}
+		defer tr.CloseIdleConnections()
+	}
+
+	var stats StormStats
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	count := func(n *int64) {
+		mu.Lock()
+		*n++
+		mu.Unlock()
+	}
+
+	var seq atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < o.RequestsPerClient; r++ {
+				if ctx.Err() != nil {
+					return
+				}
+				body := o.Bodies[int(seq.Add(1))%len(o.Bodies)]
+				count(&stats.Requests)
+				if err := stormPost(ctx, client, baseURL, body, &stats, count); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return stats, firstErr
+}
+
+// stormPost issues one sweep POST and classifies the response.
+func stormPost(ctx context.Context, client *http.Client, baseURL, body string, stats *StormStats, count func(*int64)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/sweep", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil // storm canceled, not a contract violation
+		}
+		return fmt.Errorf("chaos storm: transport error: %w", err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("chaos storm: reading response body: %w", err)
+	}
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		count(&stats.OK)
+		return nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		if err := checkShed(resp, payload); err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			count(&stats.ShedSync)
+		} else {
+			count(&stats.ShedBusy)
+		}
+		return nil
+	case http.StatusGatewayTimeout:
+		var eb server.ErrorBody
+		if err := json.Unmarshal(payload, &eb); err != nil || eb.Code != server.ErrCodeDeadlineExceeded {
+			return fmt.Errorf("chaos storm: malformed 504 body %q", payload)
+		}
+		count(&stats.Deadline)
+		return nil
+	default:
+		return fmt.Errorf("chaos storm: unexpected status %d: %s", resp.StatusCode, payload)
+	}
+}
+
+// checkShed verifies one shed response against the wire contract:
+// Retry-After in whole seconds >= 1, and an ErrorBody with code
+// "overloaded", a non-empty message, and a mirrored retry_after_ms.
+func checkShed(resp *http.Response, payload []byte) error {
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		return fmt.Errorf("chaos storm: shed %d with bad Retry-After %q", resp.StatusCode, ra)
+	}
+	var eb server.ErrorBody
+	if err := json.Unmarshal(payload, &eb); err != nil {
+		return fmt.Errorf("chaos storm: shed %d body not JSON: %s", resp.StatusCode, payload)
+	}
+	if eb.Code != server.ErrCodeOverloaded || eb.Error == "" || eb.RetryAfterMS < 1000 {
+		return fmt.Errorf("chaos storm: shed %d body violates contract: %s", resp.StatusCode, payload)
+	}
+	return nil
+}

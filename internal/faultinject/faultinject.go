@@ -13,6 +13,7 @@ import (
 	"errors"
 	"math"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -130,6 +131,20 @@ func HangerSpec(name string, release <-chan struct{}) core.Spec {
 				select {}
 			}
 			<-release
+		}})
+	})
+}
+
+// SlowSpec is a kernel whose Solve sleeps d before recording the benign
+// op mix — the slow-hardware analogue. Unlike HangerSpec it always
+// finishes, so a canceled sweep drains within one job's tail: it is the
+// kernel deadline tests use to cut a sweep between jobs rather than
+// wedge a worker.
+func SlowSpec(name string, d time.Duration) core.Spec {
+	return spec(name, func() harness.Problem {
+		return New(name, Hooks{Solve: func() {
+			time.Sleep(d)
+			benignSolve()
 		}})
 	})
 }

@@ -38,6 +38,16 @@ const (
 	// CounterServerSSEClients counts SSE progress streams opened
 	// (GET /v1/sweep/{id}/events).
 	CounterServerSSEClients = "server.sse_clients"
+	// CounterServerShedTotal counts sweep requests the admission
+	// controller refused under load: synchronous submissions answered
+	// 429 and queued async jobs evicted to make room (answered 503 on
+	// poll). Every shed carries Retry-After (docs/server.md).
+	CounterServerShedTotal = "server.shed_total"
+	// CounterServerQueueDepth is gauge-valued: the current number of
+	// admitted-but-waiting async sweep jobs in the bounded admission
+	// queue (incremented on enqueue, decremented on dispatch or
+	// eviction). Exported as a Prometheus gauge.
+	CounterServerQueueDepth = "server.queue_depth"
 	// CounterProfileSessions counts goroutine-scoped profiling sessions
 	// created (profile.ensureSession).
 	CounterProfileSessions = "profile.sessions.created"
@@ -70,6 +80,15 @@ const (
 	// (truncation, bit flips, wrong version); each discard heals into a
 	// recompute, never an error.
 	CounterCellstoreCorruptDiscarded = "cellstore.corrupt_discarded"
+	// CounterCellstoreGCEvicted counts on-disk cell records the
+	// byte-size quota's LRU garbage collector removed
+	// (cellstore.Store.SetQuota / entobenchd -cachequota).
+	CounterCellstoreGCEvicted = "cellstore.gc_evicted"
+	// CounterCellstoreDegraded counts transitions of a cell store into
+	// read-only degraded mode after a persistent write failure (disk
+	// full, dead directory). A degraded store keeps serving warm cells
+	// and probes its way back to writable; /healthz surfaces the state.
+	CounterCellstoreDegraded = "cellstore.degraded"
 )
 
 // AllSpans is every span name the repo can emit, in docs order.
@@ -88,11 +107,15 @@ var AllCounters = []string{
 	CounterSweepCellsCached,
 	CounterSweepCellsComputed,
 	CounterCellstoreCorruptDiscarded,
+	CounterCellstoreGCEvicted,
+	CounterCellstoreDegraded,
 	CounterProfileSessions,
 	CounterHarnessRuns,
 	CounterHarnessHostReps,
 	CounterServerRequests,
 	CounterServerSSEClients,
+	CounterServerShedTotal,
+	CounterServerQueueDepth,
 }
 
 func knownCounterName(name string) bool {

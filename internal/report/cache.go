@@ -3,6 +3,7 @@ package report
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -92,10 +93,11 @@ func (e *sweepEntry) subscribe(progress func(done, skipped, total int)) int {
 }
 
 // unsubscribe drops a waiter; when the last one leaves a still-running
-// entry, the underlying sweep is canceled.
-func (e *sweepEntry) unsubscribe(id int) {
+// entry, the underlying sweep is canceled. Reports whether this call
+// was the one that canceled the run.
+func (e *sweepEntry) unsubscribe(id int) bool {
 	if id < 0 {
-		return
+		return false
 	}
 	e.mu.Lock()
 	delete(e.subs, id)
@@ -104,6 +106,7 @@ func (e *sweepEntry) unsubscribe(id int) {
 	if last {
 		e.cancel()
 	}
+	return last
 }
 
 // broadcast fans one progress update out to every subscribed waiter.
@@ -266,17 +269,35 @@ func (c *sweepCache) lead(sh *cacheShard, key string, e *sweepEntry, runCtx cont
 }
 
 // waitEntry blocks until the entry completes or the caller's context
-// ends, whichever is first.
+// ends, whichever is first. A caller whose departure cancels the run
+// (it was the last subscriber) collects the canceled run's partial
+// result instead of discarding it: the sweep returns promptly once its
+// context ends, carrying every cell completed before the cutoff, which
+// is what lets a deadline_ms request still render a partial report.
 func waitEntry(ctx context.Context, e *sweepEntry, id int) (Characterization, error) {
 	select {
 	case <-e.ready:
 		e.unsubscribe(id)
 		return e.c, e.err
 	case <-ctx.Done():
-		e.unsubscribe(id)
+		if e.unsubscribe(id) {
+			// Bounded: a healthy sweep returns within one job's tail of
+			// cancellation, but a kernel hung with no watchdog armed never
+			// returns — fall back to the bare context error rather than
+			// wedging this caller alongside the stuck worker.
+			select {
+			case <-e.ready:
+				return e.c, e.err
+			case <-time.After(cancelCollectGrace):
+			}
+		}
 		return Characterization{}, ctx.Err()
 	}
 }
+
+// cancelCollectGrace bounds how long a departing last subscriber waits
+// for its canceled run to land a partial result in waitEntry.
+const cancelCollectGrace = 2 * time.Second
 
 // invalidate empties every shard. In-flight entries are detached — the
 // callers waiting on them still get their results, but the results are
@@ -322,6 +343,20 @@ func RunSweepQuery(specs []core.Spec, archs []mcu.Arch, opts core.SweepOptions) 
 		recs, err := core.CharacterizeSuiteOpts(specs, archs, ropts)
 		return Characterization{Records: recs}, err
 	})
+}
+
+// SweepQueryPresent reports whether the keyed cache already holds an
+// entry — completed or in flight — for the given query. The server's
+// admission controller uses it to let warm and coalescible requests
+// through for free: only queries that would start a fresh sweep consume
+// admission capacity.
+func SweepQueryPresent(specs []core.Spec, archs []mcu.Arch, be harness.Backend) bool {
+	key := SweepKey(specs, archs, harness.DefaultConfig(), harness.BackendSalt(be))
+	sh := globalSweepCache.shard(key)
+	sh.mu.Lock()
+	_, ok := sh.entries[key]
+	sh.mu.Unlock()
+	return ok
 }
 
 // RunCharacterization returns the full Table III/IV suite sweep,

@@ -43,8 +43,35 @@ func OpenCellCache(dir string) (*PersistentCellCache, error) {
 	return &PersistentCellCache{store: st}, nil
 }
 
+// OpenCellCacheQuota is OpenCellCache with a byte-size bound on the
+// backing directory (entobenchd -cachequota): past the quota the
+// least-recently-used records are garbage-collected. quota <= 0 means
+// unbounded.
+func OpenCellCacheQuota(dir string, quota int64) (*PersistentCellCache, error) {
+	p, err := OpenCellCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	p.store.SetQuota(quota)
+	return p, nil
+}
+
 // Dir returns the cache's root directory.
 func (p *PersistentCellCache) Dir() string { return p.store.Dir() }
+
+// Backing exposes the underlying store — the chaos harness's seam for
+// fault injection and probe tuning.
+func (p *PersistentCellCache) Backing() *cellstore.Store { return p.store }
+
+// Health reports whether the cache is fully operational and, when it is
+// not, why. A degraded cache still serves warm cells; entobenchd
+// surfaces the state on /healthz.
+func (p *PersistentCellCache) Health() (ok bool, reasons []string) {
+	if degraded, reason := p.store.Degraded(); degraded {
+		return false, []string{reason}
+	}
+	return true, nil
+}
 
 // LoadStatic implements core.CellCache.
 func (p *PersistentCellCache) LoadStatic(spec core.Spec) (core.StaticCellResult, bool) {

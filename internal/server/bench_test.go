@@ -84,3 +84,34 @@ func BenchmarkServerSweepLoad(b *testing.B) {
 		})
 	})
 }
+
+// BenchmarkAdmissionUncontended prices the admission control added in
+// front of /v1/sweep on the path that matters: an uncontended server
+// serving a warm query. Every request walks the full decision —
+// request parsing, sweep-weight computation, the warm-path exemption
+// probe, acquire/release — and must stay within noise of the
+// pre-admission serving cost. Serial and in-process (no listener, no
+// client) so ns/op isolates the handler, not the network stack; the
+// budget lives in BENCH_server_baseline.json.
+func BenchmarkAdmissionUncontended(b *testing.B) {
+	report.InvalidateCharacterization()
+	h := server.New(server.Options{Workers: 4}).Handler()
+	const q = `{"kernels":["madgwick"],"archs":"M4"}`
+	warm := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(q))
+	h.ServeHTTP(warm, req)
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warm-up status %d: %s", warm.Code, warm.Body.String())
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(q))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}

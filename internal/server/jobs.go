@@ -43,6 +43,13 @@ type SweepRequest struct {
 	// CellTimeoutMS overrides the server's per-cell watchdog in
 	// milliseconds; 0 keeps the server default.
 	CellTimeoutMS int `json:"cell_timeout_ms,omitempty"`
+	// DeadlineMS bounds the whole sweep in milliseconds: the request's
+	// context expires after this long, canceling any cells still
+	// unfinished (the PR 5 cancellation plumbing), and a sweep that
+	// produced nothing by then answers 504. 0 means no client deadline;
+	// the server's -maxdeadline caps the value and applies as the
+	// default when it is set.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 	// Backend selects the measurement backend for this sweep by
 	// registry name; empty keeps the server default (classic simulator
 	// unless the daemon was started with -backend/-tracefile). "sim"
@@ -76,9 +83,11 @@ type SweepStatus struct {
 
 // Job states.
 const (
+	StateQueued  = "queued" // async job admitted but waiting for capacity
 	StateRunning = "running"
 	StateDone    = "done"   // report available; may carry a failures block
 	StateFailed  = "failed" // no report assembled at all
+	StateShed    = "shed"   // async job evicted from the admission queue under load
 )
 
 // SweepIDHeader carries the job id on synchronous sweep responses, so
@@ -94,6 +103,23 @@ type progressEvent struct {
 	Total   int `json:"total"`
 }
 
+// subscriber is one SSE watcher attached to a job's progress fanout.
+// missed counts consecutive events dropped because its channel was
+// full; a watcher that misses stallKickAfter in a row is presumed
+// stalled (a client that stopped reading but never disconnected) and
+// kicked, so its handler goroutine can never outlive the job by much
+// and the fanout never carries dead weight.
+type subscriber struct {
+	ch       chan progressEvent
+	kicked   chan struct{}
+	missed   int
+	kickSent bool // kicked already closed; never close twice
+}
+
+// stallKickAfter is how many consecutive missed events (on top of a
+// full 32-event buffer) mark a subscriber as stalled.
+const stallKickAfter = 64
+
 // job is one submitted sweep: identity, monotone progress, fanout
 // subscriptions, and the outcome.
 type job struct {
@@ -102,21 +128,23 @@ type job struct {
 	mu      sync.Mutex
 	state   string
 	prog    progressEvent
-	subs    map[int]chan progressEvent
+	subs    map[int]*subscriber
 	nextSub int
 
-	doneCh     chan struct{} // closed on completion (done or failed)
-	body       []byte        // rendered v1 JSON report (StateDone)
-	errMsg     string        // failure message (StateFailed)
-	partial    bool
-	datapoints int
+	doneCh      chan struct{} // closed on completion (done, failed, or shed)
+	body        []byte        // rendered v1 JSON report (StateDone)
+	errMsg      string        // failure message (StateFailed / StateShed)
+	partial     bool
+	datapoints  int
+	deadlineHit bool // sweep died of deadline_ms with nothing to report
 }
 
 // update is the job's SweepOptions.Progress hook. The sweep engine
 // reports from pool workers concurrently, so observations can arrive
 // out of order; update keeps the stream monotone (an SSE client never
 // sees progress go backwards) and fans the event out without blocking
-// the sweep — a slow SSE client just misses intermediate events.
+// the sweep — a slow SSE client just misses intermediate events, and a
+// persistently stalled one is kicked (see subscriber).
 func (j *job) update(done, skipped, total int) {
 	ev := progressEvent{Done: done, Skipped: skipped, Total: total}
 	j.mu.Lock()
@@ -125,29 +153,38 @@ func (j *job) update(done, skipped, total int) {
 		return
 	}
 	j.prog = ev
-	chans := make([]chan progressEvent, 0, len(j.subs))
-	for _, ch := range j.subs {
-		chans = append(chans, ch)
+	var kicks []chan struct{}
+	for _, sub := range j.subs {
+		select {
+		case sub.ch <- ev:
+			sub.missed = 0
+		default: // subscriber lagging; it will catch up on a later event
+			sub.missed++
+			if sub.missed >= stallKickAfter && !sub.kickSent {
+				sub.kickSent = true
+				kicks = append(kicks, sub.kicked)
+			}
+		}
 	}
 	j.mu.Unlock()
-	for _, ch := range chans {
-		select {
-		case ch <- ev:
-		default: // subscriber lagging; it will catch up on a later event
-		}
+	for _, k := range kicks {
+		close(k)
 	}
 }
 
-// subscribe registers an SSE watcher and returns its id, its event
-// channel, and the progress snapshot at attach time.
-func (j *job) subscribe() (int, chan progressEvent, progressEvent) {
+// subscribe registers an SSE watcher and returns its id, the
+// subscriber handle, and the progress snapshot at attach time.
+func (j *job) subscribe() (int, *subscriber, progressEvent) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	id := j.nextSub
 	j.nextSub++
-	ch := make(chan progressEvent, 32)
-	j.subs[id] = ch
-	return id, ch, j.prog
+	sub := &subscriber{
+		ch:     make(chan progressEvent, 32),
+		kicked: make(chan struct{}),
+	}
+	j.subs[id] = sub
+	return id, sub, j.prog
 }
 
 // unsubscribe drops an SSE watcher.
@@ -155,6 +192,21 @@ func (j *job) unsubscribe(id int) {
 	j.mu.Lock()
 	delete(j.subs, id)
 	j.mu.Unlock()
+}
+
+// setState transitions the job (queued → running on dispatch).
+func (j *job) setState(state string) {
+	j.mu.Lock()
+	j.state = state
+	j.mu.Unlock()
+}
+
+// wasDeadline reports whether the job failed because its deadline
+// elapsed before any result was assembled.
+func (j *job) wasDeadline() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.deadlineHit
 }
 
 // finish publishes the outcome and wakes every waiter. A sweep that
@@ -176,6 +228,16 @@ func (j *job) finish(body []byte, datapoints int, partial bool, errMsg string) {
 	close(j.doneCh)
 }
 
+// finishShed terminates a queued job evicted by the admission
+// controller: it never ran, and polls answer 503 with Retry-After.
+func (j *job) finishShed() {
+	j.mu.Lock()
+	j.state = StateShed
+	j.errMsg = "evicted from the admission queue under load"
+	j.mu.Unlock()
+	close(j.doneCh)
+}
+
 // status snapshots the job for the status body.
 func (j *job) status() SweepStatus {
 	j.mu.Lock()
@@ -188,32 +250,43 @@ func (j *job) status() SweepStatus {
 }
 
 // jobTable is the id → job registry. Finished jobs are retained (for
-// result polling and late SSE attaches) up to maxFinishedJobs, then
-// evicted oldest-first; running jobs are never evicted.
+// result polling and late SSE attaches) up to the configured cap, then
+// evicted oldest-first; running jobs are never evicted. Retention is a
+// fixed-size ring buffer, so retiring a job is O(1) however large the
+// cap — the old slice-shift implementation cost O(n) per eviction.
 type jobTable struct {
-	mu       sync.Mutex
-	m        map[string]*job
-	finished []string
-	next     int
+	mu    sync.Mutex
+	m     map[string]*job
+	ring  []string // circular buffer of finished ids, oldest at head
+	head  int      // next write position
+	count int      // occupied slots
+	next  int
 }
 
-// maxFinishedJobs bounds how many completed job handles the table
-// keeps. The handles hold rendered reports, so this bound (together
-// with the sweep cache capacity) is what keeps a long-running server's
-// memory flat.
-const maxFinishedJobs = 128
+// DefaultMaxFinishedJobs is the default bound on completed job handles
+// the table keeps (entobenchd -maxjobs). The handles hold rendered
+// reports, so this bound (together with the sweep cache capacity) is
+// what keeps a long-running server's memory flat.
+const DefaultMaxFinishedJobs = 128
 
-func (t *jobTable) init() { t.m = make(map[string]*job) }
+func (t *jobTable) init(maxFinished int) {
+	if maxFinished <= 0 {
+		maxFinished = DefaultMaxFinishedJobs
+	}
+	t.m = make(map[string]*job)
+	t.ring = make([]string, maxFinished)
+}
 
-// create mints a new running job.
-func (t *jobTable) create() *job {
+// create mints a new job in the given initial state (StateRunning for
+// sync submissions, StateQueued for async ones awaiting dispatch).
+func (t *jobTable) create(state string) *job {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.next++
 	j := &job{
 		id:     fmt.Sprintf("s%d", t.next),
-		state:  StateRunning,
-		subs:   make(map[int]chan progressEvent),
+		state:  state,
+		subs:   make(map[int]*subscriber),
 		doneCh: make(chan struct{}),
 	}
 	t.m[j.id] = j
@@ -228,16 +301,26 @@ func (t *jobTable) lookup(id string) (*job, bool) {
 	return j, ok
 }
 
-// retire records a finished job for bounded retention.
+// drop removes a job outright — only for handles whose id was never
+// disclosed to any client (an async submission refused at admission).
+func (t *jobTable) drop(id string) {
+	t.mu.Lock()
+	delete(t.m, id)
+	t.mu.Unlock()
+}
+
+// retire records a finished job for bounded retention: the ring slot
+// it claims evicts whatever finished job held it before.
 func (t *jobTable) retire(id string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.finished = append(t.finished, id)
-	for len(t.finished) > maxFinishedJobs {
-		victim := t.finished[0]
-		t.finished = t.finished[1:]
-		delete(t.m, victim)
+	if t.count == len(t.ring) {
+		delete(t.m, t.ring[t.head])
+	} else {
+		t.count++
 	}
+	t.ring[t.head] = id
+	t.head = (t.head + 1) % len(t.ring)
 }
 
 // resolveSweep turns a request into the kernel and board selections,
@@ -265,16 +348,51 @@ func resolveSweep(req SweepRequest) ([]core.Spec, []mcu.Arch, error) {
 	return specs, archs, nil
 }
 
-// handleSweep is POST /v1/sweep: decode, resolve, run through the
-// keyed cache, respond. Synchronous requests block until the report is
-// ready and stream nothing; async requests return 202 immediately and
-// are watched via /v1/sweep/{id} and its /events stream.
+// validateSweep rejects out-of-range numeric wire fields with a
+// field-naming 400 body. 0 is indistinguishable from absent on
+// omitempty fields, so 0 keeps the server default and only negative
+// values are refused.
+func validateSweep(w http.ResponseWriter, req SweepRequest) bool {
+	switch {
+	case req.Workers < 0:
+		writeFieldError(w, "workers", "workers must be positive (got %d); omit it to keep the server default", req.Workers)
+	case req.CellTimeoutMS < 0:
+		writeFieldError(w, "cell_timeout_ms", "cell_timeout_ms must be positive (got %d); omit it to keep the server default", req.CellTimeoutMS)
+	case req.DeadlineMS < 0:
+		writeFieldError(w, "deadline_ms", "deadline_ms must be positive (got %d); omit it for no client deadline", req.DeadlineMS)
+	default:
+		return true
+	}
+	return false
+}
+
+// sweepDeadline resolves the effective deadline: the request's
+// deadline_ms capped by -maxdeadline, which also applies as the
+// default when the request carries none. 0 means unbounded.
+func (s *Server) sweepDeadline(req SweepRequest) time.Duration {
+	d := time.Duration(req.DeadlineMS) * time.Millisecond
+	if s.opts.MaxDeadline > 0 && (d == 0 || d > s.opts.MaxDeadline) {
+		d = s.opts.MaxDeadline
+	}
+	return d
+}
+
+// handleSweep is POST /v1/sweep: decode, validate, resolve, pass
+// admission, run through the keyed cache, respond. Synchronous
+// requests block until the report is ready and stream nothing; async
+// requests return 202 immediately and are watched via /v1/sweep/{id}
+// and its /events stream. Requests whose query is already warm or in
+// flight in the sweep cache bypass admission — only work that would
+// start a fresh sweep consumes the in-flight budget.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
 		writeError(w, http.StatusBadRequest, "parse sweep request: %v", err)
+		return
+	}
+	if !validateSweep(w, req) {
 		return
 	}
 	specs, archs, err := resolveSweep(req)
@@ -298,26 +416,49 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Backend = be
 	}
+	deadline := s.sweepDeadline(req)
+	weight := sweepWeight(specs, archs)
+	// Admission-exempt when the cache already holds the query (warm hit
+	// or coalescing join): serving it is nearly free, shedding it would
+	// discard paid-for work. The check is advisory — an entry evicted
+	// between check and run just makes this one unadmitted miss.
+	free := report.SweepQueryPresent(specs, archs, opts.Backend)
 
-	j := s.jobs.create()
 	if req.Async {
-		// Async jobs are owned by the server, not the submitting
-		// connection: they run on a background context and complete
-		// whether or not the submitter sticks around to watch.
-		go s.runJob(context.Background(), j, specs, archs, opts)
-		writeJSON(w, http.StatusAccepted, SweepAccepted{
-			ID:     j.id,
-			Result: "/v1/sweep/" + j.id,
-			Events: "/v1/sweep/" + j.id + "/events",
-		})
+		s.handleSweepAsync(w, specs, archs, opts, deadline, weight, free)
+		return
+	}
+	if !free && !s.adm.tryAcquire(weight) {
+		ctrShed.Inc()
+		s.writeShed(w, http.StatusTooManyRequests,
+			"server at capacity: sweep weight %d exceeds the available in-flight budget", weight)
 		return
 	}
 	// Synchronous: the request context rides the cancellation plumbing.
 	// A disconnected client drops this job's cache subscription; the
-	// underlying run cancels only if no other client shares it.
-	s.runJob(r.Context(), j, specs, archs, opts)
+	// underlying run cancels only if no other client shares it. The
+	// resolved deadline bounds the whole request.
+	j := s.jobs.create(StateRunning)
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+	}
+	start := time.Now()
+	s.runJob(ctx, j, specs, archs, opts)
+	cancel()
+	if !free {
+		s.adm.release(weight, time.Since(start))
+	}
 	st := j.status()
 	if st.State == StateFailed {
+		if j.wasDeadline() {
+			writeJSON(w, http.StatusGatewayTimeout, ErrorBody{
+				Error: fmt.Sprintf("sweep %s: deadline of %v elapsed before any result", j.id, deadline),
+				Code:  ErrCodeDeadlineExceeded,
+			})
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "sweep %s: %s", j.id, st.Error)
 		return
 	}
@@ -325,6 +466,59 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(j.body)
+}
+
+// handleSweepAsync admits, queues, or sheds an async submission. Async
+// jobs are owned by the server, not the submitting connection: once
+// dispatched they run on a background context (bounded only by the
+// resolved deadline) and complete whether or not the submitter sticks
+// around to watch.
+func (s *Server) handleSweepAsync(w http.ResponseWriter, specs []core.Spec, archs []mcu.Arch, opts core.SweepOptions, deadline time.Duration, weight int, free bool) {
+	j := s.jobs.create(StateQueued)
+	startJob := func() {
+		j.setState(StateRunning)
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if deadline > 0 {
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+		}
+		start := time.Now()
+		s.runJob(ctx, j, specs, archs, opts)
+		cancel()
+		if !free {
+			s.adm.release(weight, time.Since(start))
+		}
+	}
+	accepted := SweepAccepted{
+		ID:     j.id,
+		Result: "/v1/sweep/" + j.id,
+		Events: "/v1/sweep/" + j.id + "/events",
+	}
+	if free {
+		go startJob()
+		writeJSON(w, http.StatusAccepted, accepted)
+		return
+	}
+	q := &queuedSweep{
+		weight: weight,
+		start:  startJob,
+		shed: func() {
+			ctrShed.Inc()
+			j.finishShed()
+			s.jobs.retire(j.id)
+			s.logf("sweep %s: shed (evicted from admission queue)", j.id)
+		},
+	}
+	if !s.adm.submitAsync(q) {
+		// No queue configured and no capacity: refuse outright. The job
+		// id was never disclosed, so drop the handle entirely.
+		s.jobs.drop(j.id)
+		ctrShed.Inc()
+		s.writeShed(w, http.StatusServiceUnavailable,
+			"server at capacity and async queue disabled: sweep weight %d refused", weight)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, accepted)
 }
 
 // runJob executes one job through the keyed sweep cache and publishes
@@ -338,6 +532,15 @@ func (s *Server) runJob(ctx context.Context, j *job, specs []core.Spec, archs []
 	start := time.Now()
 	c, err := report.RunSweepQuery(specs, archs, opts)
 	if err != nil && len(c.Records) == 0 {
+		// The sweep's own error wraps the run context's cancellation
+		// (context.Canceled when this request's departure canceled it),
+		// so the request context is what tells a deadline death apart
+		// from a disconnect.
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			j.mu.Lock()
+			j.deadlineHit = true
+			j.mu.Unlock()
+		}
 		s.logf("sweep %s: failed after %v: %v", j.id, time.Since(start).Round(time.Millisecond), err)
 		j.finish(nil, 0, false, err.Error())
 		s.jobs.retire(j.id)
@@ -356,8 +559,10 @@ func (s *Server) runJob(ctx context.Context, j *job, specs []core.Spec, archs []
 }
 
 // handleSweepResult is GET /v1/sweep/{id}: the rendered report once
-// done (200), the live status while running (202), the failure after a
-// total loss (500), or 404 for an unknown id.
+// done (200), the live status while queued or running (202), the
+// failure after a total loss (500), a shed notice with Retry-After for
+// a job evicted from the admission queue (503), or 404 for an unknown
+// id.
 func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.lookup(r.PathValue("id"))
 	if !ok {
@@ -366,6 +571,8 @@ func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
 	}
 	st := j.status()
 	switch st.State {
+	case StateShed:
+		s.writeShed(w, http.StatusServiceUnavailable, "sweep %s: %s", j.id, st.Error)
 	case StateDone:
 		w.Header().Set(SweepIDHeader, j.id)
 		w.Header().Set("Content-Type", "application/json")

@@ -26,6 +26,12 @@ func metricName(counter string) string {
 	return MetricsPrefix + strings.ReplaceAll(counter, ".", "_")
 }
 
+// gaugeCounters are the obs names whose value is a current level, not
+// a cumulative total; they export with TYPE gauge.
+var gaugeCounters = map[string]bool{
+	obs.CounterServerQueueDepth: true,
+}
+
 // handleMetrics renders every registered counter, sorted by metric
 // name for a stable scrape.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -38,6 +44,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	for _, name := range names {
 		m := metricName(name)
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, counters[name])
+		typ := "counter"
+		if gaugeCounters[name] {
+			typ = "gauge"
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m, typ, m, counters[name])
 	}
 }

@@ -69,23 +69,54 @@ type Options struct {
 	// `backend` field — "sim" restores the classic path, any other name
 	// resolves through the process backend registry.
 	Backend harness.Backend
+	// MaxInflight bounds the total weight (measurement cells) of
+	// cache-filling sweeps running at once — the admission budget
+	// (entobenchd -maxinflight); <= 0 means DefaultMaxInflight.
+	// Requests whose query is already cached or in flight bypass the
+	// budget; synchronous requests over it are shed with 429.
+	MaxInflight int
+	// MaxQueue bounds the admitted-but-waiting async job queue
+	// (entobenchd -maxqueue); 0 means DefaultMaxQueue, negative means
+	// no queue (over-budget async submissions are refused outright).
+	// When the queue is full the oldest queued job is evicted and
+	// answers 503 on poll.
+	MaxQueue int
+	// MaxDeadline caps — and, when a request carries no deadline_ms,
+	// supplies — the per-request sweep deadline (entobenchd
+	// -maxdeadline); 0 means no cap and no default.
+	MaxDeadline time.Duration
+	// MaxFinishedJobs bounds retained finished job handles (entobenchd
+	// -maxjobs); <= 0 means DefaultMaxFinishedJobs.
+	MaxFinishedJobs int
 	// Logf, when non-nil, receives one line per completed sweep job
 	// (Printf-style). Nil disables logging.
 	Logf func(format string, args ...any)
 }
 
-// Server is the entobenchd HTTP handler state: the route mux and the
-// sweep job table.
+// healthReporter is what a cell cache exposes to surface degraded mode
+// on /healthz (report.PersistentCellCache implements it).
+type healthReporter interface {
+	Health() (ok bool, reasons []string)
+}
+
+// Server is the entobenchd HTTP handler state: the route mux, the
+// sweep job table, and the admission controller.
 type Server struct {
 	opts Options
 	mux  *http.ServeMux
 	jobs jobTable
+	adm  *admission
 }
 
 // New builds a Server and registers its routes.
 func New(opts Options) *Server {
-	s := &Server{opts: opts, mux: http.NewServeMux()}
-	s.jobs.init()
+	if opts.MaxQueue == 0 {
+		opts.MaxQueue = DefaultMaxQueue
+	} else if opts.MaxQueue < 0 {
+		opts.MaxQueue = 0
+	}
+	s := &Server{opts: opts, mux: http.NewServeMux(), adm: newAdmission(opts.MaxInflight, opts.MaxQueue)}
+	s.jobs.init(opts.MaxFinishedJobs)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/boards", s.handleBoards)
@@ -135,18 +166,56 @@ func Routes() []Route {
 	}
 }
 
-// ErrorBody is the JSON error envelope of every non-2xx response.
+// ErrorBody is the JSON error envelope of every non-2xx response. The
+// optional fields make refusals machine-readable: code classifies the
+// refusal, field names the offending wire field on a validation 400,
+// and retry_after_ms mirrors the Retry-After header on a shed.
 type ErrorBody struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	Code         string `json:"code,omitempty"`
+	Field        string `json:"field,omitempty"`
+	RetryAfterMS int    `json:"retry_after_ms,omitempty"`
 }
+
+// Error codes carried by ErrorBody.Code.
+const (
+	// ErrCodeBadRequest marks a validation refusal; ErrorBody.Field
+	// names the offending wire field.
+	ErrCodeBadRequest = "bad_request"
+	// ErrCodeOverloaded marks a load shed (429 synchronous refusal or
+	// 503 evicted async job); Retry-After is always present.
+	ErrCodeOverloaded = "overloaded"
+	// ErrCodeDeadlineExceeded marks a sweep whose deadline_ms elapsed
+	// before any cell completed (504).
+	ErrCodeDeadlineExceeded = "deadline_exceeded"
+)
 
 // writeError sends the JSON error envelope with the given status.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(ErrorBody{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeFieldError sends a validation 400 naming the offending field.
+func writeFieldError(w http.ResponseWriter, field, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, ErrorBody{
+		Error: fmt.Sprintf(format, args...),
+		Code:  ErrCodeBadRequest,
+		Field: field,
+	})
+}
+
+// writeShed answers a shed request: Retry-After header plus the
+// machine-readable body. Callers count server.shed_total at the moment
+// of the shed decision, not here — a client polling an already-shed
+// job repeats this response without being a new shed.
+func (s *Server) writeShed(w http.ResponseWriter, status int, format string, args ...any) {
+	ra := s.adm.retryAfter()
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", int((ra+time.Second-1)/time.Second)))
+	writeJSON(w, status, ErrorBody{
+		Error:        fmt.Sprintf(format, args...),
+		Code:         ErrCodeOverloaded,
+		RetryAfterMS: int(ra / time.Millisecond),
+	})
 }
 
 // writeJSON sends v as indented JSON (the house encoding: deterministic
@@ -159,9 +228,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// handleHealthz is the liveness probe: a healthy process answers "ok".
+// handleHealthz is the liveness probe. A fully operational process
+// answers exactly "ok"; a process serving in degraded mode (read-only
+// cell store after persistent I/O failure) answers "degraded" followed
+// by one "reason: ..." line per cause. Both are 200: a degraded daemon
+// is alive and still serving — restarting it would only lose the warm
+// cells it can still answer from.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if hr, ok := s.opts.CellCache.(healthReporter); ok {
+		if healthy, reasons := hr.Health(); !healthy {
+			fmt.Fprintln(w, "degraded")
+			for _, reason := range reasons {
+				fmt.Fprintln(w, "reason:", reason)
+			}
+			return
+		}
+	}
 	fmt.Fprintln(w, "ok")
 }
 

@@ -73,22 +73,32 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
+	// Flush the headers now: a client attaching to a job that has not
+	// reported progress yet must still see the stream open immediately
+	// instead of blocking until the first event happens to be written.
+	flusher.Flush()
 
-	id, ch, snapshot := j.subscribe()
+	id, sub, snapshot := j.subscribe()
 	defer j.unsubscribe(id)
 	if snapshot.Total > 0 {
 		writeSSE(w, flusher, SSEEventProgress, snapshot)
 	}
 	for {
 		select {
-		case ev := <-ch:
+		case ev := <-sub.ch:
 			writeSSE(w, flusher, SSEEventProgress, ev)
+		case <-sub.kicked:
+			// The fanout marked this subscriber stalled (its buffer
+			// stayed full across many events — a client that stopped
+			// reading without disconnecting). Drop it; the fanout never
+			// blocked on it and its goroutine ends here.
+			return
 		case <-j.doneCh:
 			// Drain any progress frames that raced completion so the
 			// last progress a client sees is the final count.
 			for {
 				select {
-				case ev := <-ch:
+				case ev := <-sub.ch:
 					writeSSE(w, flusher, SSEEventProgress, ev)
 					continue
 				default:
@@ -96,9 +106,10 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 			st := j.status()
-			if st.State == StateFailed {
+			switch st.State {
+			case StateFailed, StateShed:
 				writeSSE(w, flusher, SSEEventError, sseError{ID: j.id, Error: st.Error})
-			} else {
+			default:
 				j.mu.Lock()
 				done := sseDone{ID: j.id, Datapoints: j.datapoints, Partial: j.partial}
 				j.mu.Unlock()

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Stalled-SSE-client containment (docs/server.md, docs/robustness.md
+// "slow clients cost themselves only"): the progress fanout never
+// blocks on a subscriber, and a subscriber that stays full across many
+// consecutive events is kicked so its handler goroutine cannot outlive
+// the job.
+
+// TestStalledSubscriberKicked: a subscriber that never drains is kicked
+// after its buffer plus stallKickAfter consecutive misses, exactly
+// once — further fanout events must not close the kick channel again.
+func TestStalledSubscriberKicked(t *testing.T) {
+	var tbl jobTable
+	tbl.init(4)
+	j := tbl.create(StateRunning)
+	_, sub, _ := j.subscribe()
+
+	total := cap(sub.ch) + stallKickAfter
+	for i := 1; i <= total; i++ {
+		j.update(i, 0, 1<<20)
+	}
+	select {
+	case <-sub.kicked:
+	default:
+		t.Fatalf("subscriber not kicked after %d undrained events", total)
+	}
+	// A second close would panic; these must be no-ops on the kick path.
+	for i := total + 1; i <= total+16; i++ {
+		j.update(i, 0, 1<<20)
+	}
+}
+
+// TestFreshSubscriberNotKicked: a subscriber that keeps draining is
+// never kicked however many events flow.
+func TestFreshSubscriberNotKicked(t *testing.T) {
+	var tbl jobTable
+	tbl.init(4)
+	j := tbl.create(StateRunning)
+	_, sub, _ := j.subscribe()
+	for i := 1; i <= 10*stallKickAfter; i++ {
+		j.update(i, 0, 1<<20)
+		select {
+		case <-sub.ch:
+		default:
+		}
+	}
+	select {
+	case <-sub.kicked:
+		t.Fatal("draining subscriber was kicked")
+	default:
+	}
+}
+
+// TestStalledSSEClientDropped: end to end over a real listener — a
+// client that opens the events stream and stops reading fills the
+// socket, stalls its handler, and is kicked; the fanout (driven here
+// directly via j.update) never blocks, the stream terminates once the
+// client drains, and the server returns to its goroutine baseline.
+func TestStalledSSEClientDropped(t *testing.T) {
+	s := New(Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	j := s.jobs.create(StateRunning)
+
+	base := runtime.NumGoroutine()
+	resp, err := http.Get(ts.URL + "/v1/sweep/" + j.id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+
+	// Capture the handler's subscriber once it attaches. The kicked
+	// handler unsubscribes on its way out, so the handle must be taken
+	// before pumping rather than looked up afterwards.
+	var sub *subscriber
+	for start := time.Now(); sub == nil; {
+		j.mu.Lock()
+		for _, candidate := range j.subs {
+			sub = candidate
+		}
+		j.mu.Unlock()
+		if sub == nil {
+			if time.Since(start) > 5*time.Second {
+				t.Fatal("handler never subscribed")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Pump progress far faster than the unreading client's handler can
+	// flush it. The subscriber channel stays full across consecutive
+	// events, the fanout kicks it, and the pump itself never blocks —
+	// that is the guarantee under test.
+	deadline := time.Now().Add(30 * time.Second)
+pump:
+	for i := 1; ; i++ {
+		select {
+		case <-sub.kicked:
+			break pump
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fanout never kicked the stalled client")
+		}
+		j.update(i, 0, 1<<30)
+	}
+
+	// Drain: the handler finishes its blocked write, sees the kick, and
+	// ends the stream — the client reads through to EOF, no terminal
+	// done/error frame required.
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatalf("draining the kicked stream: %v", err)
+	}
+	resp.Body.Close()
+
+	waitUntil := time.Now().Add(5 * time.Second)
+	for time.Now().Before(waitUntil) {
+		if runtime.NumGoroutine() <= base+3 {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: baseline %d, now %d — kicked SSE handler leaked",
+		base, runtime.NumGoroutine())
+}

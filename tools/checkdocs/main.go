@@ -169,9 +169,16 @@ func checkRobustnessDocs(path string) []string {
 		obs.CounterSweepCellsFailed,
 		obs.CounterSweepPanicsRecovered,
 		obs.CounterSweepCellsTimedOut,
+		obs.CounterCellstoreGCEvicted,
+		obs.CounterCellstoreDegraded,
+		obs.CounterServerShedTotal,
 	} {
 		missing("counter", name)
 	}
+	// The service guarantees under resource pressure: degraded-mode
+	// serving and load shedding must be part of the failure model.
+	missing("healthz state", "degraded")
+	missing("shed header", "Retry-After")
 	return problems
 }
 
@@ -210,13 +217,28 @@ func checkServerDocs(path string) []string {
 		missing("SSE event", ev)
 	}
 	missing("response header", server.SweepIDHeader)
+	// The overload surface: shed responses carry Retry-After, error
+	// bodies carry machine-readable codes, job states include the
+	// queue/shed lifecycle, and /healthz distinguishes ok from degraded.
+	missing("response header", "Retry-After")
+	for _, code := range []string{server.ErrCodeBadRequest, server.ErrCodeOverloaded, server.ErrCodeDeadlineExceeded} {
+		missing("error code", code)
+	}
+	for _, st := range []string{server.StateQueued, server.StateRunning, server.StateDone, server.StateFailed, server.StateShed} {
+		missing("job state", st)
+	}
+	missing("healthz state", "degraded")
 	for _, name := range []string{
 		obs.CounterServerRequests,
 		obs.CounterServerSSEClients,
+		obs.CounterServerShedTotal,
+		obs.CounterServerQueueDepth,
 		obs.CounterSweepCacheHit,
 		obs.CounterSweepCacheMiss,
 		obs.CounterSweepCacheCoalesced,
 		obs.CounterSweepCacheEvicted,
+		obs.CounterCellstoreGCEvicted,
+		obs.CounterCellstoreDegraded,
 	} {
 		missing("counter", name)
 	}
